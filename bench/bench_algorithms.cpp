@@ -1,0 +1,217 @@
+// google-benchmark microbenchmarks of the library's hot paths.
+#include <benchmark/benchmark.h>
+
+#include "core/agreeable.hpp"
+#include "core/common_release_alpha.hpp"
+#include "core/common_release_alpha0.hpp"
+#include "core/discrete_solver.hpp"
+#include "core/discretize.hpp"
+#include "core/islands.hpp"
+#include "core/lower_bound.hpp"
+#include "core/online_sdem.hpp"
+#include "core/transition.hpp"
+#include "baseline/mbkp.hpp"
+#include "mem/contention.hpp"
+#include "mem/dram.hpp"
+#include "sched/energy.hpp"
+#include "sim/event_sim.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace sdem;
+
+SystemConfig cfg_alpha0() {
+  auto cfg = SystemConfig::paper_default_alpha0();
+  cfg.core.s_min = 0.0;
+  cfg.memory.xi_m = 0.0;
+  return cfg;
+}
+
+SystemConfig cfg_alpha() {
+  auto cfg = SystemConfig::paper_default();
+  cfg.core.s_min = 0.0;
+  cfg.memory.xi_m = 0.0;
+  return cfg;
+}
+
+void BM_CommonReleaseAlpha0(benchmark::State& state) {
+  const auto ts = make_common_release(static_cast<int>(state.range(0)), 0.0, 7);
+  const auto cfg = cfg_alpha0();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_common_release_alpha0(ts, cfg));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CommonReleaseAlpha0)->RangeMultiplier(4)->Range(16, 16384)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_CommonReleaseAlpha0Binary(benchmark::State& state) {
+  const auto ts = make_common_release(static_cast<int>(state.range(0)), 0.0, 7);
+  const auto cfg = cfg_alpha0();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_common_release_alpha0_binary(ts, cfg));
+  }
+}
+BENCHMARK(BM_CommonReleaseAlpha0Binary)->RangeMultiplier(4)->Range(16, 16384);
+
+void BM_CommonReleaseAlpha(benchmark::State& state) {
+  const auto ts = make_common_release(static_cast<int>(state.range(0)), 0.0, 7);
+  const auto cfg = cfg_alpha();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_common_release_alpha(ts, cfg));
+  }
+}
+BENCHMARK(BM_CommonReleaseAlpha)->RangeMultiplier(4)->Range(16, 16384);
+
+void BM_Transition(benchmark::State& state) {
+  const auto ts = make_common_release(static_cast<int>(state.range(0)), 0.0, 7);
+  auto cfg = cfg_alpha();
+  cfg.memory.xi_m = 0.040;
+  cfg.core.xi = 0.002;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_common_release_transition(ts, cfg));
+  }
+}
+BENCHMARK(BM_Transition)->RangeMultiplier(4)->Range(16, 1024);
+
+void BM_AgreeableDp(benchmark::State& state) {
+  const auto ts = make_agreeable(static_cast<int>(state.range(0)), 7, 0.060);
+  const auto cfg = cfg_alpha();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_agreeable(ts, cfg));
+  }
+}
+BENCHMARK(BM_AgreeableDp)->DenseRange(2, 10, 2)->Unit(benchmark::kMillisecond);
+
+void BM_SdemOnSimulation(benchmark::State& state) {
+  SyntheticParams p;
+  p.num_tasks = static_cast<int>(state.range(0));
+  p.max_interarrival = 0.200;
+  const auto ts = make_synthetic(p, 3);
+  auto cfg = SystemConfig::paper_default();
+  cfg.core.s_min = 0.0;
+  for (auto _ : state) {
+    SdemOnPolicy pol;
+    benchmark::DoNotOptimize(simulate(ts, cfg, pol));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SdemOnSimulation)->RangeMultiplier(2)->Range(32, 512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MbkpSimulation(benchmark::State& state) {
+  SyntheticParams p;
+  p.num_tasks = static_cast<int>(state.range(0));
+  p.max_interarrival = 0.200;
+  const auto ts = make_synthetic(p, 3);
+  auto cfg = SystemConfig::paper_default();
+  cfg.core.s_min = 0.0;
+  for (auto _ : state) {
+    MbkpPolicy pol;
+    benchmark::DoNotOptimize(simulate(ts, cfg, pol));
+  }
+}
+BENCHMARK(BM_MbkpSimulation)->RangeMultiplier(2)->Range(32, 512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BlockSolver(benchmark::State& state) {
+  const auto ts = make_agreeable(static_cast<int>(state.range(0)), 7, 0.040);
+  const auto cfg = cfg_alpha();
+  const auto sorted = ts.sorted_by_deadline().tasks();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_block(sorted, cfg));
+  }
+}
+BENCHMARK(BM_BlockSolver)->DenseRange(2, 10, 2)->Unit(benchmark::kMillisecond);
+
+void BM_Discretize(benchmark::State& state) {
+  const auto cfg = cfg_alpha();
+  const auto ts = make_common_release(64, 0.0, 7);
+  const auto res = solve_common_release_alpha(ts, cfg);
+  const auto ladder = FrequencyLadder::a57_opps();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(discretize_schedule(res.schedule, ladder));
+  }
+}
+BENCHMARK(BM_Discretize);
+
+void BM_DiscreteSolver(benchmark::State& state) {
+  const auto cfg = cfg_alpha();
+  const auto ts = make_common_release(static_cast<int>(state.range(0)), 0.0, 7);
+  const auto ladder = FrequencyLadder::a57_opps();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_common_release_discrete(ts, cfg, ladder));
+  }
+}
+BENCHMARK(BM_DiscreteSolver)->RangeMultiplier(4)->Range(16, 1024);
+
+void BM_IslandSolver(benchmark::State& state) {
+  const auto cfg = cfg_alpha();
+  const auto ts = make_common_release(static_cast<int>(state.range(0)), 0.0, 7);
+  const auto assignment = assign_islands_similar_speed(ts, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solve_common_release_islands(ts, cfg, assignment));
+  }
+}
+BENCHMARK(BM_IslandSolver)->RangeMultiplier(4)->Range(16, 1024);
+
+void BM_DramReplay(benchmark::State& state) {
+  auto cfg = SystemConfig::paper_default();
+  SyntheticParams p;
+  p.num_tasks = 256;
+  const auto ts = make_synthetic(p, 3);
+  SdemOnPolicy pol;
+  const auto sim = simulate(ts, cfg, pol);
+  const auto params = DramPowerParams::paper_50nm();
+  for (auto _ : state) {
+    OracleDramPolicy oracle;
+    benchmark::DoNotOptimize(replay_dram(sim.schedule, params, oracle,
+                                         sim.horizon_lo, sim.horizon_hi));
+  }
+}
+BENCHMARK(BM_DramReplay);
+
+void BM_ContentionProbe(benchmark::State& state) {
+  auto cfg = SystemConfig::paper_default();
+  SyntheticParams p;
+  p.num_tasks = 128;
+  const auto ts = make_synthetic(p, 3);
+  MbkpPolicy pol;
+  const auto sim = simulate(ts, cfg, pol);
+  const ContentionParams cp;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze_contention(sim.schedule, cp));
+  }
+}
+BENCHMARK(BM_ContentionProbe);
+
+void BM_LowerBound(benchmark::State& state) {
+  auto cfg = SystemConfig::paper_default();
+  SyntheticParams p;
+  p.num_tasks = static_cast<int>(state.range(0));
+  const auto ts = make_synthetic(p, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lower_bound_energy(ts, cfg));
+  }
+}
+BENCHMARK(BM_LowerBound)->RangeMultiplier(4)->Range(64, 4096);
+
+void BM_EnergyAccounting(benchmark::State& state) {
+  SyntheticParams p;
+  p.num_tasks = 256;
+  const auto ts = make_synthetic(p, 3);
+  auto cfg = SystemConfig::paper_default();
+  cfg.core.s_min = 0.0;
+  MbkpPolicy pol;
+  const auto sim = simulate(ts, cfg, pol);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_energy(sim.schedule, cfg));
+  }
+}
+BENCHMARK(BM_EnergyAccounting);
+
+}  // namespace
+
+BENCHMARK_MAIN();

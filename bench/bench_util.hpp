@@ -1,0 +1,90 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench prints (a) the experiment header with all parameters and
+// seeds, (b) an aligned table of the series the paper plots, and (c) the
+// same rows as CSV for downstream plotting. Rows can be pasted into
+// EXPERIMENTS.md directly.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "model/power.hpp"
+#include "sim/metrics.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace sdem::bench {
+
+/// Paper §8.1.3 configuration: A57-like cores with the real 700..1900 MHz
+/// DVFS window (online policies clamp to it; the planners' speeds already
+/// sit above the floor at the default alpha because s_m ~ 849 MHz), 8 cores
+/// with the §8.1.2 round-robin assignment.
+inline SystemConfig paper_cfg() { return SystemConfig::paper_default(); }
+
+inline void print_header(const std::string& title, const std::string& what) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("%s\n", what.c_str());
+  std::printf("==========================================================\n");
+}
+
+inline void print_table(const Table& t) {
+  std::printf("%s\n", t.to_text().c_str());
+  std::printf("-- CSV --\n%s\n", t.to_csv().c_str());
+}
+
+/// Per-seed saving statistics for one operating point.
+struct SavingStats {
+  Stats sdem_system;
+  Stats mbkps_system;
+  Stats sdem_memory;
+  Stats mbkps_memory;
+};
+
+template <typename MakeTrace>
+SavingStats collect_comparison(MakeTrace&& make_trace,
+                               const SystemConfig& cfg, int seeds) {
+  SavingStats out;
+  for (int s = 1; s <= seeds; ++s) {
+    const TaskSet trace = make_trace(static_cast<std::uint64_t>(s));
+    const Comparison cmp = run_comparison(trace, cfg);
+    out.sdem_system.add(cmp.system_saving_sdem());
+    out.mbkps_system.add(cmp.system_saving_mbkps());
+    out.sdem_memory.add(cmp.memory_saving_sdem());
+    out.mbkps_memory.add(cmp.memory_saving_mbkps());
+  }
+  return out;
+}
+
+/// Average a metric over seeds via a comparison callback.
+template <typename MakeTrace>
+Comparison average_comparison(MakeTrace&& make_trace, const SystemConfig& cfg,
+                              int seeds, double* sdem_saving,
+                              double* mbkps_saving, double* sdem_mem_saving,
+                              double* mbkps_mem_saving) {
+  Comparison last;
+  double ss = 0, ms = 0, smem = 0, mmem = 0;
+  for (int s = 1; s <= seeds; ++s) {
+    const TaskSet trace = make_trace(static_cast<std::uint64_t>(s));
+    last = run_comparison(trace, cfg);
+    ss += last.system_saving_sdem();
+    ms += last.system_saving_mbkps();
+    smem += last.memory_saving_sdem();
+    mmem += last.memory_saving_mbkps();
+  }
+  if (sdem_saving) *sdem_saving = ss / seeds;
+  if (mbkps_saving) *mbkps_saving = ms / seeds;
+  if (sdem_mem_saving) *sdem_mem_saving = smem / seeds;
+  if (mbkps_mem_saving) *mbkps_mem_saving = mmem / seeds;
+  return last;
+}
+
+/// "12.34 ±0.56" percentage rendering of a savings Stats.
+inline std::string pct(const Stats& s) {
+  return Table::fmt(100.0 * s.mean(), 2) + " +-" +
+         Table::fmt(100.0 * s.sem(), 2);
+}
+
+}  // namespace sdem::bench

@@ -1,0 +1,80 @@
+// big.LITTLE batch placement: the heterogeneous-core extension in action.
+// The same common-release batch is solved three ways — all-big cores,
+// all-little cores, and the mixed cluster with each task bound to one core
+// type — showing how the per-core critical speeds move the race/stretch
+// balance and which placement wins for which task.
+//
+// Run: ./build/examples/biglittle
+#include <cstdio>
+
+#include "core/common_release_hetero.hpp"
+#include "workload/generator.hpp"
+
+using namespace sdem;
+
+namespace {
+
+CorePower big_core() {
+  CorePower c;
+  c.alpha = 0.31;       // W: out-of-order cores leak
+  c.beta = 2.53e-10;    // W/MHz^3
+  c.lambda = 3.0;
+  c.s_up = 1900.0;
+  return c;
+}
+
+CorePower little_core() {
+  CorePower c;
+  c.alpha = 0.06;       // in-order: little leakage
+  c.beta = 5.0e-10;     // but worse energy per cycle at speed
+  c.lambda = 3.0;
+  c.s_up = 1300.0;
+  return c;
+}
+
+double solve(const TaskSet& ts, const std::vector<CorePower>& cores,
+             const MemoryPower& mem, const char* label, bool print_speeds) {
+  const auto res = solve_common_release_hetero(ts, cores, mem);
+  if (!res.feasible) {
+    std::printf("%-28s infeasible\n", label);
+    return 0.0;
+  }
+  std::printf("%-28s %.5f J, memory sleeps %.1f ms\n", label, res.energy,
+              res.sleep_time * 1e3);
+  if (print_speeds) {
+    for (const auto& seg : res.schedule.segments()) {
+      std::printf("    task %d on %s core: %.0f MHz for %.2f ms\n",
+                  seg.task_id, cores[seg.core].alpha > 0.1 ? "big " : "LITTLE",
+                  seg.speed, (seg.end - seg.start) * 1e3);
+    }
+  }
+  return res.energy;
+}
+
+}  // namespace
+
+int main() {
+  const TaskSet ts = make_common_release(6, 0.0, /*seed=*/99);
+  MemoryPower mem{4.0, 0.0};
+  std::printf("six tasks, common release; big: 310 mW static, 1900 MHz; "
+              "LITTLE: 60 mW static, 1300 MHz\n\n");
+
+  std::vector<CorePower> all_big(ts.size(), big_core());
+  std::vector<CorePower> all_little(ts.size(), little_core());
+  std::vector<CorePower> mixed;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    // Steep (tight) tasks go big, shallow tasks go LITTLE.
+    mixed.push_back(ts[i].filled_speed() > 100.0 ? big_core()
+                                                 : little_core());
+  }
+
+  solve(ts, all_big, mem, "all big cores", false);
+  solve(ts, all_little, mem, "all LITTLE cores", false);
+  solve(ts, mixed, mem, "mixed (steep->big)", true);
+
+  std::printf(
+      "\nLITTLE cores have a lower critical speed (less leakage to race\n"
+      "away from), so they prefer stretching; big cores race. The shared\n"
+      "memory still forces one common busy interval across both.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Quickstart: schedule a handful of tasks released together on DVS cores
+// sharing one memory, and see how the optimal schedule balances "race to
+// idle" (sleep the memory sooner) against "stretch" (run the cores slower).
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/common_release_alpha.hpp"
+#include "sched/energy.hpp"
+#include "sched/validate.hpp"
+
+using namespace sdem;
+
+int main() {
+  // ARM Cortex-A57-like cores (P(s) = 0.31 W + 2.53e-10 W/MHz^3 * s^3,
+  // 700..1900 MHz) sharing a 4 W DRAM.
+  SystemConfig cfg = SystemConfig::paper_default();
+  cfg.core.s_min = 0.0;   // the offline theory treats speed as continuous
+  cfg.memory.xi_m = 0.0;  // Section 4 model: free transitions
+  cfg.num_cores = 0;      // unbounded: one core per task
+
+  // Four tasks released at t = 0 with individual deadlines (seconds) and
+  // workloads (megacycles).
+  TaskSet tasks;
+  tasks.add(Task{.id = 0, .release = 0.0, .deadline = 0.030, .work = 4.0});
+  tasks.add(Task{.id = 1, .release = 0.0, .deadline = 0.060, .work = 9.0});
+  tasks.add(Task{.id = 2, .release = 0.0, .deadline = 0.090, .work = 3.0});
+  tasks.add(Task{.id = 3, .release = 0.0, .deadline = 0.120, .work = 14.0});
+
+  const OfflineResult res = solve_common_release_alpha(tasks, cfg);
+  if (!res.feasible) {
+    std::printf("no feasible schedule (a task exceeds s_up?)\n");
+    return 1;
+  }
+
+  std::printf("Optimal common-release schedule (Section 4.2)\n");
+  std::printf("  winning case: %d, memory sleeps %.2f ms of the %.0f ms horizon\n\n",
+              res.case_index, res.sleep_time * 1e3, 0.120 * 1e3);
+  std::printf("  %-6s %-8s %-10s %-10s %-12s\n", "task", "core", "start(ms)",
+              "end(ms)", "speed(MHz)");
+  for (const auto& seg : res.schedule.segments()) {
+    std::printf("  %-6d %-8d %-10.3f %-10.3f %-12.1f\n", seg.task_id, seg.core,
+                seg.start * 1e3, seg.end * 1e3, seg.speed);
+  }
+
+  const auto v = validate_schedule(res.schedule, tasks, cfg);
+  std::printf("\n  feasible: %s\n", v.ok ? "yes" : v.error.c_str());
+
+  const EnergyBreakdown e = compute_energy(res.schedule, cfg);
+  std::printf("  core dynamic  %.4f J\n", e.core_dynamic);
+  std::printf("  core static   %.4f J\n", e.core_static);
+  std::printf("  memory active %.4f J\n", e.memory_active);
+  std::printf("  system total  %.4f J (analytic: %.4f J)\n", e.system_total(),
+              res.energy);
+
+  // Contrast: what would pure race-to-idle (everything at s_up) cost?
+  Schedule race;
+  int core = 0;
+  double latest = 0.0;
+  for (const auto& t : tasks.tasks()) {
+    const double len = t.work / cfg.core.s_up;
+    race.add(Segment{t.id, core++, 0.0, len, cfg.core.s_up});
+    latest = std::max(latest, len);
+  }
+  std::printf("\nPure race-to-idle at s_up: %.4f J (memory busy only %.2f ms)\n",
+              system_energy(race, cfg), latest * 1e3);
+  std::printf("The optimum saves %.1f%% over racing — 'race to idle OR NOT'.\n",
+              100.0 * (system_energy(race, cfg) - res.energy) /
+                  system_energy(race, cfg));
+  return 0;
+}

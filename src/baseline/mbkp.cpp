@@ -1,0 +1,42 @@
+#include "baseline/mbkp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baseline/oa.hpp"
+
+namespace sdem {
+
+std::vector<Segment> MbkpPolicy::replan(double now,
+                                        const std::vector<PendingTask>& pending,
+                                        const SystemConfig& cfg) {
+  const int cores = cfg.num_cores > 0 ? cfg.num_cores
+                                      : static_cast<int>(pending.size());
+
+  // Assign new tasks: round-robin inside their density class.
+  for (const auto& p : pending) {
+    if (core_of_.count(p.task.id)) continue;
+    const double density = p.task.work / std::max(p.task.region(), 1e-12);
+    const int klass = static_cast<int>(std::floor(std::log2(
+        std::max(density, 1e-12))));
+    int& cursor = class_cursor_[klass];
+    core_of_[p.task.id] = cursor % std::max(cores, 1);
+    ++cursor;
+  }
+
+  // Per-core Optimal Available over the core's own queue.
+  std::vector<std::vector<OaJob>> queues(std::max(cores, 1));
+  for (const auto& p : pending) {
+    const int c = core_of_[p.task.id];
+    queues[c].push_back(OaJob{p.task.id, p.task.deadline, p.remaining});
+  }
+  std::vector<Segment> plan;
+  for (int c = 0; c < static_cast<int>(queues.size()); ++c) {
+    if (queues[c].empty()) continue;
+    auto segs = oa_plan(now, queues[c], c, cfg.core.s_up, cfg.core.s_min);
+    plan.insert(plan.end(), segs.begin(), segs.end());
+  }
+  return plan;
+}
+
+}  // namespace sdem

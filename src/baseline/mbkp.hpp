@@ -1,0 +1,42 @@
+// MBKP baseline (paper §8): multi-core online DVS scheduling in the style of
+// Albers, Müller and Schmelzer (2007) — the comparator the paper evaluates
+// against.
+//
+// Tasks are partitioned across cores by density classes: class(T) =
+// floor(log2(w / (d - r))), round-robin within each class, so cores receive
+// similar mixes of "steep" and "shallow" jobs. Each core then runs Optimal
+// Available speed scaling over its own queue. MBKP is energy-aware for the
+// cores but ignorant of the shared memory: it neither aligns busy intervals
+// nor sleeps the memory.
+//
+// The paper derives two comparators from this schedule:
+//   MBKP  — memory never sleeps  (SleepDiscipline::kNever)
+//   MBKPS — memory sleeps in any idle gap it happens to get
+//           (SleepDiscipline::kOptimal accounting over the same schedule;
+//           gaps below the break-even time stay idle-awake — sleeping them
+//           would cost more than idling, and MBKPS is naive about creating
+//           gaps, not about using them)
+// Both reuse this policy's schedule; the discipline is applied at
+// accounting time (see sim/metrics.hpp).
+#pragma once
+
+#include <map>
+
+#include "sim/policy.hpp"
+
+namespace sdem {
+
+class MbkpPolicy : public OnlinePolicy {
+ public:
+  std::string name() const override { return "MBKP"; }
+
+  std::vector<Segment> replan(double now,
+                              const std::vector<PendingTask>& pending,
+                              const SystemConfig& cfg) override;
+
+ private:
+  std::map<int, int> core_of_;        ///< task id -> assigned core
+  std::map<int, int> class_cursor_;   ///< density class -> round-robin cursor
+};
+
+}  // namespace sdem

@@ -1,0 +1,59 @@
+#include "baseline/oa.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace sdem {
+
+double oa_speed(double now, const std::vector<OaJob>& jobs) {
+  std::vector<OaJob> sorted = jobs;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const OaJob& a, const OaJob& b) { return a.deadline < b.deadline; });
+  double speed = 0.0;
+  double work = 0.0;
+  for (const auto& j : sorted) {
+    work += j.remaining;
+    if (j.deadline > now) speed = std::max(speed, work / (j.deadline - now));
+  }
+  return speed;
+}
+
+std::vector<Segment> oa_plan(double now, std::vector<OaJob> jobs, int core,
+                             double s_up, double s_min) {
+  std::vector<Segment> out;
+  std::erase_if(jobs, [](const OaJob& j) { return j.remaining <= 0.0; });
+  std::sort(jobs.begin(), jobs.end(),
+            [](const OaJob& a, const OaJob& b) { return a.deadline < b.deadline; });
+
+  double t = now;
+  std::size_t next = 0;
+  while (next < jobs.size()) {
+    // Steepest prefix from `next` onward.
+    double work = 0.0;
+    double best_speed = 0.0;
+    std::size_t best_end = next;
+    for (std::size_t k = next; k < jobs.size(); ++k) {
+      work += jobs[k].remaining;
+      const double horizon = jobs[k].deadline - t;
+      const double s = horizon > 0.0 ? work / horizon
+                                     : std::numeric_limits<double>::infinity();
+      if (s >= best_speed) {
+        best_speed = s;
+        best_end = k;
+      }
+    }
+    double speed = best_speed;
+    if (s_up > 0.0 && speed > s_up) speed = s_up;  // overload: race at s_up
+    if (s_min > 0.0 && speed < s_min) speed = s_min;  // DVFS floor
+    if (speed <= 0.0) break;
+    for (std::size_t k = next; k <= best_end; ++k) {
+      const double end = t + jobs[k].remaining / speed;
+      out.push_back(Segment{jobs[k].id, core, t, end, speed});
+      t = end;
+    }
+    next = best_end + 1;
+  }
+  return out;
+}
+
+}  // namespace sdem

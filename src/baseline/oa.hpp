@@ -1,0 +1,35 @@
+// Optimal Available (OA) single-core online speed scaling (Yao et al. 1995).
+//
+// At each arrival, OA recomputes the optimal schedule of the remaining work
+// assuming no further arrivals. With every pending job already released the
+// optimal schedule is the prefix-density "staircase": sort by deadline,
+// repeatedly run the prefix attaining the maximum density
+// max_k (sum_{j<=k} rem_j) / (d_k - now) under EDF at that speed.
+// OA is alpha^alpha-competitive on a single core; MBKP runs it per core.
+#pragma once
+
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace sdem {
+
+struct OaJob {
+  int id = 0;
+  double deadline = 0.0;
+  double remaining = 0.0;  ///< megacycles left
+};
+
+/// Plan all pending jobs from `now` to completion (valid until the next
+/// arrival invalidates it). Speeds are capped at `s_up` when positive; an
+/// overloaded prefix then runs at s_up (deadline misses surface in
+/// validation, not here). Speeds are floored at `s_min` when positive (a
+/// DVFS floor like the A57's 700 MHz): the prefix then finishes early and
+/// the core idles. One segment per job.
+std::vector<Segment> oa_plan(double now, std::vector<OaJob> jobs, int core,
+                             double s_up = 0.0, double s_min = 0.0);
+
+/// The OA speed at `now` (density of the steepest prefix), uncapped.
+double oa_speed(double now, const std::vector<OaJob>& jobs);
+
+}  // namespace sdem

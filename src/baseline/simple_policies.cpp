@@ -1,0 +1,71 @@
+#include "baseline/simple_policies.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace sdem {
+namespace {
+
+/// Serialize `pending` per core in EDF order starting at `now`, each task
+/// running at the speed `pick(p, window)` (clamped into the DVFS window and
+/// to the remaining slack).
+template <typename PickSpeed>
+std::vector<Segment> serialize(double now,
+                               const std::vector<PendingTask>& pending,
+                               const SystemConfig& cfg, PickSpeed&& pick) {
+  std::map<int, std::vector<const PendingTask*>> by_core;
+  for (const auto& p : pending) {
+    if (p.remaining > 0.0) by_core[p.core].push_back(&p);
+  }
+  std::vector<Segment> plan;
+  for (auto& [core, group] : by_core) {
+    std::sort(group.begin(), group.end(),
+              [](const PendingTask* a, const PendingTask* b) {
+                return a->task.deadline < b->task.deadline;
+              });
+    double cur = now;
+    for (const PendingTask* p : group) {
+      const double window = std::max(p->task.deadline - cur, 1e-9);
+      double speed = pick(*p, window);
+      // Fit the deadline if possible; the DVFS cap bounds everything.
+      speed = std::max(speed, p->remaining / window);
+      speed = std::max(speed, cfg.core.s_min);
+      speed = std::min(speed, cfg.core.max_speed());
+      const double len = p->remaining / speed;
+      plan.push_back(Segment{p->task.id, core, cur, cur + len, speed});
+      cur += len;
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+std::vector<Segment> RaceToIdlePolicy::replan(
+    double now, const std::vector<PendingTask>& pending,
+    const SystemConfig& cfg) {
+  return serialize(now, pending, cfg, [&](const PendingTask&, double) {
+    return cfg.core.max_speed();
+  });
+}
+
+std::vector<Segment> StretchPolicy::replan(
+    double now, const std::vector<PendingTask>& pending,
+    const SystemConfig& cfg) {
+  return serialize(now, pending, cfg,
+                   [&](const PendingTask& p, double window) {
+                     return p.remaining / window;
+                   });
+}
+
+std::vector<Segment> CriticalSpeedPolicy::replan(
+    double now, const std::vector<PendingTask>& pending,
+    const SystemConfig& cfg) {
+  return serialize(now, pending, cfg,
+                   [&](const PendingTask& p, double window) {
+                     return cfg.core.critical_speed(p.remaining / window);
+                   });
+}
+
+}  // namespace sdem

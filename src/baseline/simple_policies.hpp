@@ -1,0 +1,47 @@
+// The two poles of the title question as explicit online policies, plus
+// the single-core-folklore middle ground:
+//
+//   RaceToIdlePolicy   — run every pending task immediately at s_up; the
+//                        memory's busy time is minimal but the cores' cubic
+//                        dynamic power is maximal.
+//   StretchPolicy      — run every pending task immediately at the filled
+//                        speed of its remaining window; core dynamic power
+//                        is minimal but the memory (and, with alpha != 0,
+//                        the cores' static power) stays on longest.
+//   CriticalSpeedPolicy— run immediately at the per-task critical speed
+//                        s_0 = min{max{s_m, s_f}, s_up}: optimal for a core
+//                        in isolation, memory-oblivious.
+//
+// None of the three balances the memory sleep time against DVS — that gap
+// is exactly what SDEM-ON closes, and the comparison benches quantify it.
+#pragma once
+
+#include "sim/policy.hpp"
+
+namespace sdem {
+
+class RaceToIdlePolicy : public OnlinePolicy {
+ public:
+  std::string name() const override { return "race-to-idle"; }
+  std::vector<Segment> replan(double now,
+                              const std::vector<PendingTask>& pending,
+                              const SystemConfig& cfg) override;
+};
+
+class StretchPolicy : public OnlinePolicy {
+ public:
+  std::string name() const override { return "stretch"; }
+  std::vector<Segment> replan(double now,
+                              const std::vector<PendingTask>& pending,
+                              const SystemConfig& cfg) override;
+};
+
+class CriticalSpeedPolicy : public OnlinePolicy {
+ public:
+  std::string name() const override { return "critical-speed"; }
+  std::vector<Segment> replan(double now,
+                              const std::vector<PendingTask>& pending,
+                              const SystemConfig& cfg) override;
+};
+
+}  // namespace sdem

@@ -1,0 +1,163 @@
+#include "baseline/yds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace sdem {
+namespace {
+
+struct Collapse {
+  double a = 0.0;
+  double b = 0.0;  ///< interval [a, b] removed from the time axis
+};
+
+/// Preemptive EDF of `jobs` (all contained in [a, b]) at constant speed s.
+/// Appends segments in the current (compressed) coordinate system.
+void edf_fill(const std::vector<YdsJob>& jobs, double a, double b, double s,
+              int core, std::vector<Segment>& out) {
+  std::vector<double> rem(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) rem[i] = jobs[i].work;
+  double t = a;
+  while (t < b - 1e-15) {
+    // Earliest-deadline released job with remaining work.
+    int pick = -1;
+    double next_release = b;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (rem[i] <= 0.0) continue;
+      if (jobs[i].release <= t + 1e-15) {
+        if (pick < 0 || jobs[i].deadline < jobs[pick].deadline) {
+          pick = static_cast<int>(i);
+        }
+      } else {
+        next_release = std::min(next_release, jobs[i].release);
+      }
+    }
+    if (pick < 0) {
+      if (next_release >= b) break;
+      t = next_release;
+      continue;
+    }
+    const double finish = t + rem[pick] / s;
+    const double end = std::min({finish, next_release, b});
+    out.push_back(Segment{jobs[pick].id, core, t, end, s});
+    rem[pick] -= s * (end - t);
+    if (rem[pick] < 1e-12 * std::max(1.0, jobs[pick].work)) rem[pick] = 0.0;
+    t = end;
+  }
+}
+
+}  // namespace
+
+Schedule yds_schedule(std::vector<YdsJob> jobs, int core) {
+  Schedule result;
+  std::erase_if(jobs, [](const YdsJob& j) { return j.work <= 0.0; });
+
+  std::vector<Collapse> collapses;           // in round-local coordinates
+  std::vector<std::vector<Segment>> rounds;  // segments per round
+
+  while (!jobs.empty()) {
+    // Candidate interval endpoints: all releases and deadlines.
+    std::vector<double> pts;
+    for (const auto& j : jobs) {
+      pts.push_back(j.release);
+      pts.push_back(j.deadline);
+    }
+    std::sort(pts.begin(), pts.end());
+    pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+
+    double best_density = -1.0;
+    double best_a = 0.0, best_b = 0.0;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      for (std::size_t k = i + 1; k < pts.size(); ++k) {
+        const double a = pts[i], b = pts[k];
+        double w = 0.0;
+        for (const auto& j : jobs) {
+          if (j.release >= a && j.deadline <= b) w += j.work;
+        }
+        if (w <= 0.0) continue;
+        const double density = w / (b - a);
+        if (density > best_density) {
+          best_density = density;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    if (best_density <= 0.0) break;  // nothing schedulable (zero work)
+
+    std::vector<YdsJob> in, rest;
+    for (const auto& j : jobs) {
+      if (j.release >= best_a && j.deadline <= best_b) {
+        in.push_back(j);
+      } else {
+        rest.push_back(j);
+      }
+    }
+    rounds.emplace_back();
+    edf_fill(in, best_a, best_b, best_density, core, rounds.back());
+    collapses.push_back({best_a, best_b});
+
+    // Collapse [a, b]: times inside map to a, later times shift left.
+    const double len = best_b - best_a;
+    for (auto& j : rest) {
+      auto squash = [&](double t) {
+        if (t <= best_a) return t;
+        if (t >= best_b) return t - len;
+        return best_a;
+      };
+      j.release = squash(j.release);
+      j.deadline = squash(j.deadline);
+    }
+    jobs = std::move(rest);
+  }
+
+  // Map each round's segments back to original time by undoing the
+  // collapses of all earlier rounds, in reverse order. A segment that
+  // straddles a collapse point splits around the reinserted interval (the
+  // job is preempted there by the earlier, denser round).
+  for (std::size_t r = 0; r < rounds.size(); ++r) {
+    std::vector<Segment> segs = std::move(rounds[r]);
+    for (std::size_t c = r; c-- > 0;) {
+      const double a = collapses[c].a;
+      const double len = collapses[c].b - collapses[c].a;
+      std::vector<Segment> next;
+      next.reserve(segs.size());
+      // Tolerance: a segment starting within rounding noise of the collapse
+      // point belongs wholly on the far side (splitting would create a
+      // zero-length orphan before its own release).
+      const double fuzz = 1e-12 * std::max(1.0, std::abs(a));
+      for (const auto& seg : segs) {
+        if (seg.end <= a + fuzz) {
+          next.push_back(seg);
+        } else if (seg.start >= a - fuzz) {
+          Segment s2 = seg;
+          s2.start += len;
+          s2.end += len;
+          next.push_back(s2);
+        } else {
+          Segment left = seg, right = seg;
+          left.end = a;
+          right.start = a + len;
+          right.end = seg.end + len;
+          next.push_back(left);
+          next.push_back(right);
+        }
+      }
+      segs = std::move(next);
+    }
+    for (const auto& seg : segs) result.add(seg);
+  }
+  return result;
+}
+
+double yds_energy(const Schedule& s, double beta, double lambda) {
+  double e = 0.0;
+  for (const auto& seg : s.segments()) {
+    e += beta * std::pow(seg.speed, lambda) * seg.duration();
+  }
+  return e;
+}
+
+}  // namespace sdem

@@ -1,0 +1,30 @@
+// YDS (Yao-Demers-Shenker 1995) optimal single-core speed scaling.
+//
+// Substrate for the baselines: Optimal Available (OA) replans a YDS
+// schedule over the remaining work at each arrival, and MBKP runs OA per
+// core. Classic algorithm: repeatedly find the maximum-density interval
+// I* = argmax_I (sum of work of jobs with [r,d] inside I) / |I|, run those
+// jobs there at the density speed under EDF, remove them, and collapse I*.
+#pragma once
+
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace sdem {
+
+struct YdsJob {
+  int id = 0;
+  double release = 0.0;
+  double deadline = 0.0;
+  double work = 0.0;
+};
+
+/// Optimal single-core schedule (continuous speeds, preemptive EDF).
+/// Segments come back on core `core` with the jobs' ids.
+Schedule yds_schedule(std::vector<YdsJob> jobs, int core = 0);
+
+/// Total dynamic energy of a schedule under power beta * s^lambda.
+double yds_energy(const Schedule& s, double beta, double lambda);
+
+}  // namespace sdem

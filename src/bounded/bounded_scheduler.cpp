@@ -1,0 +1,110 @@
+#include "bounded/bounded_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "baseline/yds.hpp"
+#include "sched/energy.hpp"
+#include "support/numeric.hpp"
+
+namespace sdem {
+namespace {
+
+/// Scale every segment's speed by m (>= 1), shrinking it in place towards
+/// its own start (EDF order and deadlines are preserved: each job's start
+/// can only move earlier within its core, never later).
+Schedule scale_speeds(const Schedule& base, double m, double s_up) {
+  Schedule out;
+  const int cores = base.cores_used();
+  for (int c = 0; c < cores; ++c) {
+    double cursor = 0.0;
+    bool first = true;
+    for (const auto& seg : base.core_segments(c)) {
+      const double speed = std::min(seg.speed * m, s_up);
+      const double len = seg.work() / speed;
+      // Keep the original start unless compression freed room earlier —
+      // never start before the original start (release safety: YDS only
+      // starts jobs at/after release).
+      const double start = first ? seg.start : std::max(seg.start, cursor);
+      Segment s = seg;
+      s.speed = speed;
+      s.start = start;
+      s.end = start + len;
+      out.add(s);
+      cursor = s.end;
+      first = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+OfflineResult solve_bounded_general(const TaskSet& tasks,
+                                    const SystemConfig& cfg, int cores) {
+  OfflineResult res;
+  if (tasks.empty() || cores < 1 || !tasks.validate().empty()) return res;
+
+  // 1. LPT assignment on workload.
+  std::vector<int> order(tasks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return tasks[a].work > tasks[b].work;
+  });
+  std::vector<double> load(cores, 0.0);
+  std::vector<std::vector<YdsJob>> queue(cores);
+  for (int i : order) {
+    const int c = static_cast<int>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    load[c] += tasks[i].work;
+    queue[c].push_back(YdsJob{tasks[i].id, tasks[i].release,
+                              tasks[i].deadline, tasks[i].work});
+  }
+
+  // 2. Per-core YDS.
+  Schedule base;
+  double max_speed = 0.0;
+  double min_speed = std::numeric_limits<double>::infinity();
+  for (int c = 0; c < cores; ++c) {
+    const Schedule s = yds_schedule(queue[c], c);
+    for (const auto& seg : s.segments()) {
+      base.add(seg);
+      max_speed = std::max(max_speed, seg.speed);
+      min_speed = std::min(min_speed, seg.speed);
+    }
+  }
+  const double s_up = cfg.core.max_speed();
+  if (max_speed > s_up * (1.0 + 1e-9)) return res;  // overloaded core
+
+  // 3. Global race-to-idle multiplier: per-segment speeds are min(m * s,
+  // s_up), so the search must reach s_up for the *slowest* segment — the
+  // fast ones simply saturate. Log-scale search (the interesting regime is
+  // near m = 1, the range can span decades).
+  auto energy_of = [&](double m) {
+    return system_energy(scale_speeds(base, m, s_up), cfg);
+  };
+  double m_hi = 8.0;
+  if (std::isfinite(s_up) && min_speed > 0.0 &&
+      std::isfinite(min_speed)) {
+    m_hi = std::min(std::max(1.0, s_up / min_speed), 1e5);
+  }
+  const double u = grid_refine_min(
+      [&](double lg) { return energy_of(std::exp(lg)); }, 0.0,
+      std::log(m_hi), 1024);
+  const double m = std::exp(u);
+  const double best_m = energy_of(m) <= energy_of(1.0) ? m : 1.0;
+
+  res.feasible = true;
+  res.schedule = scale_speeds(base, best_m, s_up);
+  res.energy = system_energy(res.schedule, cfg);
+  res.case_index = cores;
+  const double lo = tasks.min_release();
+  const double hi = tasks.max_deadline();
+  res.sleep_time = res.schedule.memory_sleep_time(lo, hi);
+  return res;
+}
+
+}  // namespace sdem

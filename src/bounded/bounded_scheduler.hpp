@@ -1,0 +1,32 @@
+// Offline heuristic for the bounded-core SDEM problem (general deadlines).
+//
+// Theorem 1 says the assignment subproblem alone is NP-hard, so this is a
+// principled heuristic rather than an optimum:
+//
+//   1. assign tasks to the C cores by LPT on workload (balanced loads are
+//      what the Eq. (3) analysis rewards);
+//   2. schedule each core with YDS — the energy-optimal single-core speed
+//      profile for that core's queue;
+//   3. race-to-idle knob: scale every YDS speed by a common multiplier
+//      m >= 1 (EDF feasibility is preserved — all jobs only finish
+//      earlier) and pick m by golden section on the exact system energy.
+//      m = 1 is pure stretch; m -> s_up/s_yds_max is pure race.
+//
+// Step 3 is where the paper's core-vs-memory balance reappears under
+// bounded cores: larger m burns cubic core power but compresses the
+// memory's busy union.
+#pragma once
+
+#include "core/result.hpp"
+#include "model/power.hpp"
+#include "model/task.hpp"
+
+namespace sdem {
+
+/// Schedule `tasks` on `cores` cores under `cfg`'s power model. Returns an
+/// infeasible result when some assignment cannot meet deadlines within
+/// s_up.
+OfflineResult solve_bounded_general(const TaskSet& tasks,
+                                    const SystemConfig& cfg, int cores);
+
+}  // namespace sdem

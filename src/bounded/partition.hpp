@@ -1,0 +1,58 @@
+// Bounded-core SDEM (paper §3, Theorem 1).
+//
+// With C < n cores, common release time and common deadline D, alpha == 0
+// and xi_m == 0, the optimal schedule gives every core one busy interval of
+// the same length |I_b| aligned at the start, so the system energy is
+//
+//   E(|I_b|) = beta * sum_c (W_c / |I_b|)^lambda * |I_b| + alpha_m |I_b|
+//
+// where W_c is core c's total assigned work. Eq. (2)/(3): the optimal
+// |I_b| = min(D, ((lambda-1) beta sum_c W_c^lambda / alpha_m)^(1/lambda)),
+// and E is minimized by the workload-balanced assignment — finding it is
+// PARTITION, hence NP-hard (Theorem 1). This module provides:
+//
+//   * the closed-form interval/energy evaluation for a given assignment,
+//   * an exact 2-core solver (meet-in-the-middle subset sums),
+//   * an exact small-n solver for any C (exhaustive assignment),
+//   * the LPT + pairwise-improvement heuristic for larger instances.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/power.hpp"
+#include "model/task.hpp"
+
+namespace sdem {
+
+struct BoundedResult {
+  bool feasible = false;
+  std::vector<int> assignment;  ///< task index (input order) -> core
+  double interval = 0.0;        ///< optimal busy-interval length |I_b|
+  double energy = 0.0;          ///< Eq. (3)-style system energy
+};
+
+/// Energy of an assignment summarised by per-core loads, with the interval
+/// optimized via Eq. (2) and clamped to the deadline D and the speed cap.
+double bounded_energy(const std::vector<double>& core_loads,
+                      const SystemConfig& cfg, double deadline,
+                      double* best_interval = nullptr);
+
+/// Exact solver for C == 2 via meet-in-the-middle over subset sums
+/// (E is monotone in the load imbalance, so the split closest to W/2 wins).
+/// n <= ~30.
+BoundedResult solve_bounded_exact2(const TaskSet& tasks,
+                                   const SystemConfig& cfg, double deadline);
+
+/// Exact solver for any C by exhaustive assignment (C^n) — tiny n only.
+BoundedResult solve_bounded_exact(const TaskSet& tasks,
+                                  const SystemConfig& cfg, double deadline,
+                                  int cores);
+
+/// LPT (longest processing time first), optionally followed by pairwise
+/// move/swap local search (on by default; disable to see raw LPT's gap).
+BoundedResult solve_bounded_lpt(const TaskSet& tasks, const SystemConfig& cfg,
+                                double deadline, int cores,
+                                bool local_search = true);
+
+}  // namespace sdem

@@ -1,0 +1,69 @@
+#include "core/agreeable.hpp"
+
+#include <limits>
+#include <vector>
+
+namespace sdem {
+
+OfflineResult solve_agreeable(const TaskSet& tasks, const SystemConfig& cfg) {
+  OfflineResult res;
+  if (tasks.empty() || !tasks.is_agreeable() || !tasks.validate().empty())
+    return res;
+  if (tasks.max_filled_speed() > cfg.core.max_speed() * (1.0 + 1e-12))
+    return res;
+
+  const TaskSet sorted = tasks.sorted_by_deadline();
+  const int n = static_cast<int>(sorted.size());
+  const double pair_charge = cfg.memory.alpha_m * cfg.memory.xi_m;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // block_cost[p][q]: optimal energy of tasks p..q (sorted order, inclusive)
+  // in a single busy interval.
+  std::vector<std::vector<BlockResult>> block(n, std::vector<BlockResult>(n));
+  for (int p = 0; p < n; ++p) {
+    std::vector<Task> sub;
+    sub.reserve(n - p);
+    for (int q = p; q < n; ++q) {
+      sub.push_back(sorted[q]);
+      block[p][q] = solve_block(sub, cfg);
+    }
+  }
+
+  std::vector<double> opt(n + 1, kInf);
+  std::vector<int> parent(n + 1, -1);
+  opt[0] = 0.0;
+  for (int q = 1; q <= n; ++q) {
+    for (int p = 0; p < q; ++p) {
+      if (!block[p][q - 1].feasible || opt[p] == kInf) continue;
+      const double cand = opt[p] + block[p][q - 1].energy + pair_charge;
+      if (cand < opt[q]) {
+        opt[q] = cand;
+        parent[q] = p;
+      }
+    }
+  }
+  if (opt[n] == kInf) return res;
+
+  // Reconstruct blocks and emit the schedule (one core per sorted task).
+  std::vector<std::pair<int, int>> blocks;  // [p, q] inclusive
+  for (int q = n; q > 0; q = parent[q]) blocks.push_back({parent[q], q - 1});
+  double busy = 0.0;
+  for (auto it = blocks.rbegin(); it != blocks.rend(); ++it) {
+    const auto& b = block[it->first][it->second];
+    busy += b.e - b.s;
+    for (int k = 0; k < static_cast<int>(b.placements.size()); ++k) {
+      const auto& p = b.placements[k];
+      if (p.len <= 0.0) continue;
+      res.schedule.add(
+          Segment{p.task_id, it->first + k, p.start, p.start + p.len, p.speed});
+    }
+  }
+
+  res.feasible = true;
+  res.energy = opt[n];
+  res.case_index = static_cast<int>(blocks.size());
+  res.sleep_time = (sorted[n - 1].deadline - sorted.min_release()) - busy;
+  return res;
+}
+
+}  // namespace sdem

@@ -1,0 +1,37 @@
+// Dynamic-programming optimal schemes for agreeable-deadline tasks
+// (paper §5.1 for alpha == 0 and §5.2 for alpha != 0).
+//
+// Lemma 4: sorting tasks by deadline, some optimal solution schedules them
+// in deadline order across busy intervals ("blocks"), so blocks are
+// contiguous ranges of the sorted order and
+//
+//   OPT(q) = min_{p <= q} OPT(p) + E_min(p+1..q)  [+ alpha_m * xi_m / block]
+//
+// where E_min is the single-block optimum from core/block.hpp. The
+// transition charge follows the Section 7 DP; with xi_m == 0 it vanishes and
+// this is exactly the Section 5 recurrence.
+#pragma once
+
+#include "core/block.hpp"
+#include "core/result.hpp"
+#include "model/power.hpp"
+#include "model/task.hpp"
+
+namespace sdem {
+
+/// Generic DP over blocks. Handles both alpha == 0 and alpha != 0 because
+/// the unified block objective covers both (see core/block.hpp). The result
+/// `case_index` reports the number of blocks in the optimal partition.
+OfflineResult solve_agreeable(const TaskSet& tasks, const SystemConfig& cfg);
+
+/// Paper-facing aliases for the two subsections.
+inline OfflineResult solve_agreeable_alpha0(const TaskSet& tasks,
+                                            const SystemConfig& cfg) {
+  return solve_agreeable(tasks, cfg);
+}
+inline OfflineResult solve_agreeable_alpha(const TaskSet& tasks,
+                                           const SystemConfig& cfg) {
+  return solve_agreeable(tasks, cfg);
+}
+
+}  // namespace sdem

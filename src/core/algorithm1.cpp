@@ -1,0 +1,231 @@
+#include "core/algorithm1.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/numeric.hpp"
+
+namespace sdem {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Ctx {
+  const std::vector<Task>* tasks = nullptr;
+  const SystemConfig* cfg = nullptr;
+  std::vector<double> s0;  ///< per-task critical speed
+  std::vector<double> s1;  ///< per-task memory-associated critical speed
+};
+
+double window(const Task& t, double s, double e, bool& ok) {
+  const double lo = std::max(s, t.release);
+  const double hi = std::min(e, t.deadline);
+  ok = hi > lo;
+  return hi - lo;
+}
+
+/// Eq. (15) restricted to `subset`: all subset tasks aligned with their
+/// clipped windows, plus the memory term.
+double aligned_energy(const Ctx& ctx, const std::vector<int>& subset, double s,
+                      double e) {
+  if (e <= s) return kInf;
+  const auto& cfg = *ctx.cfg;
+  double energy = cfg.memory.alpha_m * (e - s);
+  for (int k : subset) {
+    const Task& t = (*ctx.tasks)[k];
+    bool ok = false;
+    const double w = window(t, s, e, ok);
+    if (!ok) return kInf;
+    if (t.work / w > cfg.core.max_speed() * (1.0 + 1e-9)) return kInf;
+    energy += cfg.core.beta * stretch_energy_term(t.work, w, cfg.core.lambda) +
+              cfg.core.alpha * w;
+  }
+  return energy;
+}
+
+/// Minimize aligned_energy over one (i,j) box via the shared feasibility-
+/// clamped box minimizer (smooth convex inside the box).
+bool minimize_box(const Ctx& ctx, const std::vector<int>& subset, double s_lo,
+                  double s_hi, double e_lo, double e_hi, double& s, double& e,
+                  double& val) {
+  std::vector<Task> sub;
+  sub.reserve(subset.size());
+  for (int k : subset) sub.push_back((*ctx.tasks)[k]);
+  const BoxMin m = minimize_in_box(
+      sub, ctx.cfg->core.max_speed(),
+      [&](double a, double b) { return aligned_energy(ctx, subset, a, b); },
+      s_lo, s_hi, e_lo, e_hi);
+  if (!m.feasible) return false;
+  s = m.s;
+  e = m.e;
+  val = m.value;
+  return true;
+}
+
+/// Algorithm 1 inside one (i,j) box. Returns the block energy (including
+/// evicted Type-I tasks) or +inf when the box is infeasible.
+double algorithm1_in_box(const Ctx& ctx, double s_lo, double s_hi, double e_lo,
+                         double e_hi, double& out_s, double& out_e,
+                         std::vector<double>& out_speed) {
+  const auto& tasks = *ctx.tasks;
+  const auto& cfg = *ctx.cfg;
+  const int n = static_cast<int>(tasks.size());
+
+  std::vector<int> aligned;  // indices still aligned with the busy interval
+  for (int k = 0; k < n; ++k) {
+    if (tasks[k].work > 0.0) aligned.push_back(k);
+  }
+  std::vector<char> evicted(n, 0);
+  out_speed.assign(n, 0.0);
+
+  double s = s_lo, e = e_hi, val = kInf;
+  constexpr double kSlack = 1.0 + 1e-9;
+
+  // Steps 1-3: evict tasks whose aligned speed falls below s_0.
+  while (!aligned.empty()) {
+    if (!minimize_box(ctx, aligned, s_lo, s_hi, e_lo, e_hi, s, e, val))
+      return kInf;
+    std::vector<int> keep;
+    for (int k : aligned) {
+      bool ok = false;
+      const double w = window(tasks[k], s, e, ok);
+      const double sigma = tasks[k].work / w;
+      if (sigma * kSlack < ctx.s0[k]) {
+        evicted[k] = 1;
+      } else {
+        keep.push_back(k);
+      }
+    }
+    if (keep.size() == aligned.size()) break;
+    aligned = std::move(keep);
+  }
+
+  // Steps 4-5: tasks faster than s_1 re-determine the busy interval; the
+  // rest prolong to align with it (evicting any that drop below s_0).
+  for (int round = 0; round < n + 2 && !aligned.empty(); ++round) {
+    std::vector<int> fast;
+    for (int k : aligned) {
+      bool ok = false;
+      const double w = window(tasks[k], s, e, ok);
+      if (tasks[k].work / w > ctx.s1[k] * kSlack) fast.push_back(k);
+    }
+    if (fast.empty()) break;
+    double ns = s, ne = e, nval = kInf;
+    if (!minimize_box(ctx, fast, s_lo, s_hi, e_lo, e_hi, ns, ne, nval))
+      return kInf;
+    s = ns;
+    e = ne;
+    std::vector<int> keep;
+    for (int k : aligned) {
+      bool ok = false;
+      const double w = window(tasks[k], s, e, ok);
+      if (!ok || tasks[k].work / w > cfg.core.max_speed() * kSlack) return kInf;
+      if (tasks[k].work / w * kSlack < ctx.s0[k]) {
+        evicted[k] = 1;
+      } else {
+        keep.push_back(k);
+      }
+    }
+    aligned = std::move(keep);
+  }
+
+  // Final energy: aligned tasks fill their windows; evicted run at s_0.
+  double energy = cfg.memory.alpha_m * (e - s);
+  std::vector<char> is_aligned(n, 0);
+  for (int k : aligned) is_aligned[k] = 1;
+  for (int k = 0; k < n; ++k) {
+    const Task& t = tasks[k];
+    if (t.work <= 0.0) continue;
+    if (is_aligned[k]) {
+      bool ok = false;
+      const double w = window(t, s, e, ok);
+      if (!ok) return kInf;
+      out_speed[k] = t.work / w;
+      energy += cfg.core.exec_energy(t.work, out_speed[k]);
+    } else {
+      // Type-I: must fit at s_0 inside the clipped window.
+      bool ok = false;
+      const double w = window(t, s, e, ok);
+      if (!ok || t.work / ctx.s0[k] > w * (1.0 + 1e-9)) return kInf;
+      out_speed[k] = ctx.s0[k];
+      energy += cfg.core.exec_energy(t.work, ctx.s0[k]);
+    }
+  }
+  out_s = s;
+  out_e = e;
+  return energy;
+}
+
+}  // namespace
+
+BlockResult solve_block_algorithm1(const std::vector<Task>& tasks,
+                                   const SystemConfig& cfg) {
+  BlockResult out;
+  if (tasks.empty()) return out;
+
+  Ctx ctx;
+  ctx.tasks = &tasks;
+  ctx.cfg = &cfg;
+  const int n = static_cast<int>(tasks.size());
+  ctx.s0.resize(n);
+  ctx.s1.resize(n);
+  for (int k = 0; k < n; ++k) {
+    ctx.s0[k] = cfg.core.critical_speed(tasks[k].filled_speed());
+    ctx.s1[k] = cfg.memory_critical_speed(tasks[k].filled_speed());
+  }
+
+  double r_min = kInf, r_max = -kInf, d_min = kInf, d_max = -kInf;
+  for (const auto& t : tasks) {
+    r_min = std::min(r_min, t.release);
+    r_max = std::max(r_max, t.release);
+    d_min = std::min(d_min, t.deadline);
+    d_max = std::max(d_max, t.deadline);
+  }
+  std::vector<double> sb{r_min, d_min}, eb{r_max, d_max};
+  for (const auto& t : tasks) {
+    if (t.release > r_min && t.release < d_min) sb.push_back(t.release);
+    if (t.deadline > r_max && t.deadline < d_max) eb.push_back(t.deadline);
+  }
+  std::sort(sb.begin(), sb.end());
+  sb.erase(std::unique(sb.begin(), sb.end()), sb.end());
+  std::sort(eb.begin(), eb.end());
+  eb.erase(std::unique(eb.begin(), eb.end()), eb.end());
+
+  double best = kInf, best_s = 0.0, best_e = 0.0;
+  std::vector<double> best_speed;
+  for (std::size_t si = 0; si + 1 < sb.size(); ++si) {
+    for (std::size_t ei = 0; ei + 1 < eb.size(); ++ei) {
+      if (eb[ei + 1] <= sb[si]) continue;
+      double s = 0.0, e = 0.0;
+      std::vector<double> speed;
+      const double v = algorithm1_in_box(ctx, sb[si], sb[si + 1], eb[ei],
+                                         eb[ei + 1], s, e, speed);
+      if (v < best) {
+        best = v;
+        best_s = s;
+        best_e = e;
+        best_speed = std::move(speed);
+      }
+    }
+  }
+  if (!std::isfinite(best)) return out;
+
+  out.feasible = true;
+  out.s = best_s;
+  out.e = best_e;
+  out.energy = best;
+  for (int k = 0; k < n; ++k) {
+    BlockResult::Placement p;
+    p.task_id = tasks[k].id;
+    if (tasks[k].work > 0.0) {
+      p.speed = best_speed[k];
+      p.len = tasks[k].work / p.speed;
+      p.start = std::max(best_s, tasks[k].release);
+    }
+    out.placements.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace sdem

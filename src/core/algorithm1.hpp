@@ -1,0 +1,24 @@
+// Literal implementation of the paper's Algorithm 1 (§5.2): the five-step
+// iterative classification of a block's tasks into Type-I (run at their
+// critical speed s_0, core sleeps early) and Type-II (aligned with the busy
+// interval, speed in [s_0, s_1]).
+//
+// This exists as a fidelity reference: core/block.hpp minimizes the same
+// objective directly (the fixpoint Algorithm 1 converges to is exactly the
+// stationary point of that convex objective); tests assert the two agree.
+#pragma once
+
+#include <vector>
+
+#include "core/block.hpp"
+#include "model/power.hpp"
+#include "model/task.hpp"
+
+namespace sdem {
+
+/// Solve one block with the paper's Algorithm 1, enumerating (i,j) boxes
+/// and running the five-step scheme in each. `tasks` must be agreeable.
+BlockResult solve_block_algorithm1(const std::vector<Task>& tasks,
+                                   const SystemConfig& cfg);
+
+}  // namespace sdem

@@ -1,0 +1,100 @@
+#include "core/common_release_hetero.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "core/block.hpp"
+#include "support/numeric.hpp"
+
+namespace sdem {
+
+OfflineResult solve_common_release_hetero(const TaskSet& tasks,
+                                          const std::vector<CorePower>& cores,
+                                          const MemoryPower& memory) {
+  OfflineResult res;
+  if (tasks.empty() || !tasks.is_common_release() ||
+      cores.size() != tasks.size() || !tasks.validate().empty()) {
+    return res;
+  }
+  const double release = tasks[0].release;
+  const int n = static_cast<int>(tasks.size());
+  for (int k = 0; k < n; ++k) {
+    if (tasks[k].filled_speed() > cores[k].max_speed() * (1.0 + 1e-12)) {
+      return res;
+    }
+  }
+
+  double horizon = 0.0;
+  for (const auto& t : tasks.tasks()) {
+    horizon = std::max(horizon, t.deadline - release);
+  }
+
+  auto energy = [&](double T) {
+    if (T <= 0.0) {
+      return tasks.total_work() > 0.0 ? std::numeric_limits<double>::infinity()
+                                      : 0.0;
+    }
+    double e = memory.alpha_m * T;
+    for (int k = 0; k < n; ++k) {
+      const double window = std::min(T, tasks[k].deadline - release);
+      e += task_window_energy(tasks[k], cores[k], window);
+      if (!std::isfinite(e)) return std::numeric_limits<double>::infinity();
+    }
+    return e;
+  };
+
+  // Feasible floor and piece breakpoints.
+  double t_min = 0.0;
+  std::set<double> bps;
+  for (int k = 0; k < n; ++k) {
+    const Task& t = tasks[k];
+    if (t.work <= 0.0) continue;
+    if (std::isfinite(cores[k].max_speed())) {
+      t_min = std::max(t_min, t.work / cores[k].max_speed());
+    }
+    if (t.deadline - release < horizon) bps.insert(t.deadline - release);
+    const double s_m = cores[k].critical_speed_raw();
+    const double knee_speed = std::min(
+        s_m > 0.0 ? s_m : cores[k].max_speed(), cores[k].max_speed());
+    if (std::isfinite(knee_speed) && knee_speed > 0.0) {
+      const double knee = t.work / knee_speed;
+      if (knee > t_min && knee < horizon) bps.insert(knee);
+    }
+  }
+  std::vector<double> edges(bps.begin(), bps.end());
+  std::erase_if(edges, [&](double e) { return e <= t_min; });
+  edges.insert(edges.begin(), t_min);
+  edges.push_back(horizon);
+
+  double best_T = horizon;
+  double best = energy(horizon);
+  for (std::size_t i = 0; i + 1 < edges.size(); ++i) {
+    if (edges[i + 1] <= edges[i]) continue;
+    const double t = golden_min(energy, edges[i], edges[i + 1], 1e-13);
+    for (double cand : {t, edges[i], edges[i + 1]}) {
+      const double e = energy(cand);
+      if (e < best) {
+        best = e;
+        best_T = cand;
+      }
+    }
+  }
+  if (!std::isfinite(best)) return res;
+
+  res.feasible = true;
+  res.energy = best;
+  res.sleep_time = horizon - best_T;
+  for (int k = 0; k < n; ++k) {
+    const Task& t = tasks[k];
+    if (t.work <= 0.0) continue;
+    const double window = std::min(best_T, t.deadline - release);
+    const double speed = task_window_speed(t, cores[k], window);
+    res.schedule.add(
+        Segment{t.id, k, release, release + t.work / speed, speed});
+  }
+  return res;
+}
+
+}  // namespace sdem

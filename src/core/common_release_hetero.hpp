@@ -1,0 +1,34 @@
+// Heterogeneous-core extension of the Section 4 common-release scheme.
+//
+// The paper notes (end of §4.2) that the common-release schemes extend to
+// heterogeneous cores with per-core power functions — each core then has
+// its own critical speed, and the per-case energy sums the dynamic terms
+// per core. We implement that via the same window formulation used for the
+// homogeneous case: with the memory busy on [0, T], task k (bound to its
+// own core with power alpha_k + beta_k s^lambda_k) owns the window
+// min(T, d_k) and contributes its window-optimal core energy f_k; every
+// f_k is convex non-increasing in the window, so
+//
+//   E(T) = alpha_m T + sum_k f_k(min(T, d_k))
+//
+// is piecewise convex with breakpoints at the deadlines and at each core's
+// critical-speed knee w_k / min(s_mk, s_upk): per-piece golden section is
+// exact (the same argument as core/transition.hpp with zero overheads).
+#pragma once
+
+#include <vector>
+
+#include "core/result.hpp"
+#include "model/power.hpp"
+#include "model/task.hpp"
+
+namespace sdem {
+
+/// Solve the common-release problem where task i runs on a dedicated core
+/// with power model `cores[i]` (same order as `tasks`; must match size).
+/// `memory` supplies alpha_m. Transition overheads are not modeled here.
+OfflineResult solve_common_release_hetero(const TaskSet& tasks,
+                                          const std::vector<CorePower>& cores,
+                                          const MemoryPower& memory);
+
+}  // namespace sdem

@@ -1,0 +1,162 @@
+#include "core/discrete_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "support/numeric.hpp"
+
+namespace sdem {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Level minimizing the race energy exec(w, s) — independent of the window
+/// and of w (energy-per-cycle P(s)/s is minimized at the level closest to
+/// the critical speed in cost).
+double best_race_level(const CorePower& core, const FrequencyLadder& ladder) {
+  double best = ladder.levels().front();
+  double best_epc = kInf;
+  for (double s : ladder.levels()) {
+    if (s > core.max_speed() * (1.0 + 1e-12)) continue;
+    const double epc = core.power(s) / s;
+    if (epc < best_epc) {
+      best_epc = epc;
+      best = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+double discrete_window_energy(const Task& t, const CorePower& core,
+                              const FrequencyLadder& ladder, double window,
+                              double* hi_level, double* lo_level,
+                              double* hi_time) {
+  if (hi_level) *hi_level = 0.0;
+  if (lo_level) *lo_level = 0.0;
+  if (hi_time) *hi_time = 0.0;
+  if (t.work <= 0.0) return 0.0;
+  if (window <= 0.0) return kInf;
+
+  const double fill = t.work / window;
+  const double top = std::min(ladder.highest(), core.max_speed());
+  if (fill > top * (1.0 + 1e-9)) return kInf;
+
+  const double race = best_race_level(core, ladder);
+  if (t.work / race <= window * (1.0 + 1e-12)) {
+    // Loose window: race at the cheapest level and sleep.
+    if (hi_level) *hi_level = race;
+    if (lo_level) *lo_level = race;
+    if (hi_time) *hi_time = t.work / race;
+    return core.exec_energy(t.work, race);
+  }
+
+  // Tight window: fill it exactly with the adjacent bracketing pair.
+  const auto [lo, hi] = ladder.bracket(fill);
+  if (lo == hi) {
+    if (hi_level) *hi_level = hi;
+    if (lo_level) *lo_level = hi;
+    if (hi_time) *hi_time = window;
+    return core.power(hi) * window;
+  }
+  const double t_hi = window * (fill - lo) / (hi - lo);
+  if (hi_level) *hi_level = hi;
+  if (lo_level) *lo_level = lo;
+  if (hi_time) *hi_time = t_hi;
+  return core.power(hi) * t_hi + core.power(lo) * (window - t_hi);
+}
+
+OfflineResult solve_common_release_discrete(const TaskSet& tasks,
+                                            const SystemConfig& cfg,
+                                            const FrequencyLadder& ladder) {
+  OfflineResult res;
+  if (tasks.empty() || !tasks.is_common_release() || !tasks.validate().empty())
+    return res;
+  const double top = std::min(ladder.highest(), cfg.core.max_speed());
+  if (tasks.max_filled_speed() > top * (1.0 + 1e-12)) return res;
+
+  const double release = tasks[0].release;
+  double horizon = 0.0;
+  for (const auto& t : tasks.tasks()) {
+    horizon = std::max(horizon, t.deadline - release);
+  }
+
+  auto energy = [&](double T) {
+    if (T <= 0.0) {
+      return tasks.total_work() > 0.0 ? kInf : 0.0;
+    }
+    double e = cfg.memory.alpha_m * T;
+    for (const auto& t : tasks.tasks()) {
+      e += discrete_window_energy(t, cfg.core, ladder,
+                                  std::min(T, t.deadline - release));
+      if (!std::isfinite(e)) return kInf;
+    }
+    return e;
+  };
+
+  // Feasible floor and piece breakpoints: deadlines, per-task bracket
+  // switches (window = w / level), race knees.
+  double t_min = 0.0;
+  std::set<double> bps;
+  const double race = best_race_level(cfg.core, ladder);
+  for (const auto& t : tasks.tasks()) {
+    if (t.work <= 0.0) continue;
+    t_min = std::max(t_min, t.work / top);
+    if (t.deadline - release < horizon) bps.insert(t.deadline - release);
+    for (double s : ladder.levels()) {
+      const double w = t.work / s;
+      if (w > t_min && w < horizon) bps.insert(w);
+    }
+    const double knee = t.work / race;
+    if (knee > t_min && knee < horizon) bps.insert(knee);
+  }
+  std::vector<double> edges(bps.begin(), bps.end());
+  std::erase_if(edges, [&](double e) { return e <= t_min; });
+  edges.insert(edges.begin(), t_min);
+  edges.push_back(horizon);
+
+  double best_T = horizon;
+  double best = energy(horizon);
+  for (std::size_t i = 0; i + 1 < edges.size(); ++i) {
+    if (edges[i + 1] <= edges[i]) continue;
+    const double t = golden_min(energy, edges[i], edges[i + 1], 1e-13);
+    for (double cand : {t, edges[i], edges[i + 1]}) {
+      const double e = energy(cand);
+      if (e < best) {
+        best = e;
+        best_T = cand;
+      }
+    }
+  }
+  if (!std::isfinite(best)) return res;
+
+  res.feasible = true;
+  res.energy = best;
+  res.sleep_time = horizon - best_T;
+  int core_idx = 0;
+  for (const auto& t : tasks.tasks()) {
+    if (t.work <= 0.0) {
+      ++core_idx;
+      continue;
+    }
+    const double window = std::min(best_T, t.deadline - release);
+    double hi = 0.0, lo = 0.0, t_hi = 0.0;
+    discrete_window_energy(t, cfg.core, ladder, window, &hi, &lo, &t_hi);
+    if (hi == lo) {
+      res.schedule.add(
+          Segment{t.id, core_idx, release, release + t_hi, hi});
+    } else {
+      res.schedule.add(Segment{t.id, core_idx, release, release + t_hi, hi});
+      res.schedule.add(Segment{t.id, core_idx, release + t_hi,
+                               release + window, lo});
+    }
+    ++core_idx;
+  }
+  return res;
+}
+
+}  // namespace sdem

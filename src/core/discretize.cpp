@@ -1,0 +1,88 @@
+#include "core/discretize.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace sdem {
+
+FrequencyLadder::FrequencyLadder(std::vector<double> levels)
+    : levels_(std::move(levels)) {
+  if (levels_.empty()) {
+    throw std::invalid_argument("FrequencyLadder needs at least one level");
+  }
+  std::sort(levels_.begin(), levels_.end());
+  if (levels_.front() <= 0.0) {
+    throw std::invalid_argument("frequency levels must be positive");
+  }
+}
+
+std::pair<double, double> FrequencyLadder::bracket(double s) const {
+  if (s <= levels_.front()) return {levels_.front(), levels_.front()};
+  if (s >= levels_.back()) return {levels_.back(), levels_.back()};
+  const auto hi = std::lower_bound(levels_.begin(), levels_.end(), s);
+  if (*hi == s) return {s, s};
+  return {*std::prev(hi), *hi};
+}
+
+FrequencyLadder FrequencyLadder::uniform(int n, double lo, double hi) {
+  std::vector<double> v;
+  v.reserve(n);
+  if (n <= 1) {
+    v.push_back(hi);
+  } else {
+    for (int i = 0; i < n; ++i) {
+      v.push_back(lo + (hi - lo) * static_cast<double>(i) / (n - 1));
+    }
+  }
+  return FrequencyLadder(std::move(v));
+}
+
+FrequencyLadder FrequencyLadder::a57_opps() {
+  return FrequencyLadder({700.0, 1000.0, 1200.0, 1400.0, 1700.0, 1900.0});
+}
+
+DiscretizeResult discretize_schedule(const Schedule& continuous,
+                                     const FrequencyLadder& ladder) {
+  DiscretizeResult out;
+  for (const auto& seg : continuous.segments()) {
+    const auto [lo, hi] = ladder.bracket(seg.speed);
+    if (seg.speed > ladder.highest() * (1.0 + 1e-9)) {
+      // Cannot realize: clamp to the top level; the duration grows past the
+      // original window, so the result is flagged.
+      out.feasible = false;
+      Segment s = seg;
+      s.speed = ladder.highest();
+      s.end = s.start + seg.work() / s.speed;
+      out.schedule.add(s);
+      continue;
+    }
+    if (lo == hi) {
+      // Exact level (or below the bottom level: race at the bottom level
+      // and finish early).
+      Segment s = seg;
+      s.speed = std::max(seg.speed, ladder.lowest());
+      s.end = s.start + seg.work() / s.speed;
+      out.schedule.add(s);
+      continue;
+    }
+    // Ishihara-Yasuura split: preserve work and duration exactly.
+    const double t = seg.duration();
+    const double t_hi = t * (seg.speed - lo) / (hi - lo);
+    const double t_lo = t - t_hi;
+    ++out.splits;
+    // Run the faster level first: intermediate progress dominates the
+    // continuous schedule, so any later preemption point is safe too.
+    Segment fast = seg, slow = seg;
+    fast.speed = hi;
+    fast.end = seg.start + t_hi;
+    slow.speed = lo;
+    slow.start = fast.end;
+    slow.end = seg.start + t;
+    if (t_hi > 0.0) out.schedule.add(fast);
+    if (t_lo > 0.0) out.schedule.add(slow);
+  }
+  return out;
+}
+
+}  // namespace sdem

@@ -1,0 +1,61 @@
+// Discrete-frequency realization of continuous-speed schedules.
+//
+// The paper assumes continuous speeds and cites Ishihara & Yasuura (1998)
+// for the transformation to real DVFS ladders: any continuous speed s
+// executed for time T is realized optimally by the two *adjacent* ladder
+// levels s_lo <= s <= s_hi, time-weighted to preserve both the executed
+// work and the duration:
+//
+//   t_hi = T (s - s_lo) / (s_hi - s_lo),   t_lo = T - t_hi.
+//
+// By convexity of the power function no other level pair (or richer mix)
+// does better, and because both the window and the work are preserved the
+// transformed schedule remains feasible. This module applies that split
+// per segment and quantifies the energy penalty of a given ladder.
+#pragma once
+
+#include <vector>
+
+#include "model/power.hpp"
+#include "sched/schedule.hpp"
+
+namespace sdem {
+
+/// A sorted set of allowed core frequencies (MHz).
+class FrequencyLadder {
+ public:
+  explicit FrequencyLadder(std::vector<double> levels);
+
+  const std::vector<double>& levels() const { return levels_; }
+  double lowest() const { return levels_.front(); }
+  double highest() const { return levels_.back(); }
+
+  /// Adjacent pair bracketing s: returns {s_lo, s_hi} with s_lo <= s <=
+  /// s_hi (both equal when s matches a level or falls outside the ladder,
+  /// clamped).
+  std::pair<double, double> bracket(double s) const;
+
+  /// n evenly spaced levels spanning [lo, hi].
+  static FrequencyLadder uniform(int n, double lo, double hi);
+
+  /// A Cortex-A57-like OPP table: {700, 1000, 1200, 1400, 1700, 1900} MHz.
+  static FrequencyLadder a57_opps();
+
+ private:
+  std::vector<double> levels_;
+};
+
+struct DiscretizeResult {
+  Schedule schedule;
+  bool feasible = true;  ///< false if some speed exceeded the top level
+  int splits = 0;        ///< segments that needed the two-level split
+};
+
+/// Realize `continuous` on `ladder`. Speeds below the bottom level run at
+/// the bottom level (finishing early — always safe); speeds above the top
+/// level are clamped and flagged infeasible (the work then cannot fit the
+/// original window).
+DiscretizeResult discretize_schedule(const Schedule& continuous,
+                                     const FrequencyLadder& ladder);
+
+}  // namespace sdem

@@ -1,0 +1,160 @@
+#include "core/lemma3.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/numeric.hpp"
+
+namespace sdem {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+BlockResult solve_block_lemma3(const std::vector<Task>& tasks,
+                               const SystemConfig& cfg) {
+  BlockResult out;
+  if (tasks.empty() || cfg.core.alpha != 0.0) return out;
+
+  const double beta = cfg.core.beta;
+  const double lambda = cfg.core.lambda;
+  const double alpha_m = cfg.memory.alpha_m;
+  const double s_up = cfg.core.max_speed();
+
+  double r_min = kInf, r_max = -kInf, d_min = kInf, d_max = -kInf;
+  for (const auto& t : tasks) {
+    r_min = std::min(r_min, t.release);
+    r_max = std::max(r_max, t.release);
+    d_min = std::min(d_min, t.deadline);
+    d_max = std::max(d_max, t.deadline);
+  }
+  std::vector<double> sb{r_min, d_min}, eb{r_max, d_max};
+  for (const auto& t : tasks) {
+    if (t.release > r_min && t.release < d_min) sb.push_back(t.release);
+    if (t.deadline > r_max && t.deadline < d_max) eb.push_back(t.deadline);
+  }
+  std::sort(sb.begin(), sb.end());
+  sb.erase(std::unique(sb.begin(), sb.end()), sb.end());
+  std::sort(eb.begin(), eb.end());
+  eb.erase(std::unique(eb.begin(), eb.end()), eb.end());
+
+  auto energy_at = [&](double s, double e) {
+    return block_energy_at(tasks, cfg, s, e);
+  };
+
+  const double target = alpha_m / (beta * (lambda - 1.0));
+  double best = kInf, best_s = r_min, best_e = d_max;
+
+  for (std::size_t si = 0; si + 1 < sb.size(); ++si) {
+    for (std::size_t ei = 0; ei + 1 < eb.size(); ++ei) {
+      const double s_lo = sb[si], s_hi = sb[si + 1];
+      const double e_lo = eb[ei], e_hi = eb[ei + 1];
+      if (e_hi <= s_lo) continue;
+
+      // Classify tasks for an interior point of this box.
+      std::vector<const Task*> left, right;
+      bool coupled = false;  // a task clipped on both sides (paper case 3)
+      for (const auto& t : tasks) {
+        const bool l = t.release <= s_lo;
+        const bool r = t.deadline >= e_hi;
+        if (l && r) coupled = true;
+        if (l && !r) left.push_back(&t);
+        if (r && !l) right.push_back(&t);
+      }
+      if (coupled) {
+        // The lemma's separable equations do not apply; use the shared
+        // convex box minimizer (the paper: "the analysis is similar").
+        const BoxMin m = minimize_in_box(tasks, s_up, energy_at, s_lo, s_hi,
+                                         e_lo, e_hi);
+        if (m.feasible && m.value < best) {
+          best = m.value;
+          best_s = m.s;
+          best_e = m.e;
+        }
+        continue;
+      }
+
+      // s_up feasibility clamps — fully separable without coupled tasks.
+      double s_cap = s_hi, e_floor = e_lo;
+      if (std::isfinite(s_up)) {
+        for (const Task* t : left) {
+          s_cap = std::min(s_cap, t->deadline - t->work / s_up);
+        }
+        for (const Task* t : right) {
+          e_floor = std::max(e_floor, t->release + t->work / s_up);
+        }
+      }
+      if (s_cap < s_lo || e_floor > e_hi) continue;
+
+      // dE/ds' = -alpha_m + beta (l-1) sum_L w^l (d_k - s')^-l: increasing.
+      auto dE_ds = [&](double s) {
+        double acc = -target;
+        for (const Task* t : left) {
+          acc += std::pow(t->work, lambda) *
+                 std::pow(t->deadline - s, -lambda);
+        }
+        return acc;
+      };
+      double s_star;
+      if (left.empty()) {
+        s_star = s_cap;  // pure memory term: shrink from the left
+      } else if (dE_ds(s_cap) <= 0.0) {
+        s_star = s_cap;
+      } else if (dE_ds(s_lo) >= 0.0) {
+        s_star = s_lo;
+      } else {
+        s_star = bisect_root(dE_ds, s_lo, s_cap);
+      }
+
+      // dE/de' = alpha_m - beta (l-1) sum_R w^l (e' - r_k)^-l: increasing.
+      auto dE_de = [&](double e) {
+        double acc = target;
+        for (const Task* t : right) {
+          acc -= std::pow(t->work, lambda) *
+                 std::pow(e - t->release, -lambda);
+        }
+        return acc;
+      };
+      double e_star;
+      if (right.empty()) {
+        e_star = e_floor;  // shrink from the right
+      } else if (dE_de(e_floor) >= 0.0) {
+        e_star = e_floor;
+      } else if (dE_de(e_hi) <= 0.0) {
+        e_star = e_hi;
+      } else {
+        e_star = bisect_root(dE_de, e_floor, e_hi);
+      }
+
+      const double val = energy_at(s_star, e_star);
+      if (val < best) {
+        best = val;
+        best_s = s_star;
+        best_e = e_star;
+      }
+    }
+  }
+
+  if (!std::isfinite(best)) return out;
+  out.feasible = true;
+  out.s = best_s;
+  out.e = best_e;
+  out.energy = best;
+  for (const auto& t : tasks) {
+    BlockResult::Placement p;
+    p.task_id = t.id;
+    if (t.work > 0.0) {
+      const double lo = std::max(best_s, t.release);
+      const double hi = std::min(best_e, t.deadline);
+      p.speed = t.work / (hi - lo);
+      p.len = hi - lo;
+      p.start = lo;
+    }
+    out.placements.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace sdem

@@ -1,0 +1,34 @@
+// Literal implementation of Lemma 3 (§5.1): per-(i,j)-pair stationarity by
+// bisection on the paper's exact first-order conditions, for alpha == 0.
+//
+// For a pair with i < n' - j (no both-sides-clipped task), the optimum
+// (Delta_1, Delta_2) separates:
+//
+//   sum_{k <= i}       ( w_k / (d_k - Delta_1) )^lambda        = alpha_m / (beta (lambda-1))
+//   sum_{k >= n'-j+1}  ( w_k / (d_n' - r_k - Delta_2) )^lambda = alpha_m / (beta (lambda-1))
+//
+// each side monotone in its variable, solved by bisection and clamped to
+// the pair's feasible box ((r_i, r_{i+1}] x [d_n'-d_{n'-j+1}, d_n'-d_{n'-j}))
+// exactly as the lemma prescribes. Pairs with a both-sides-clipped task
+// (i >= n' - j, the case the paper only sketches) fall back to the shared
+// convex box minimizer.
+//
+// This is the third independent route to the Section 5.1 block optimum
+// (besides core/block.hpp and the grid reference); the three must agree,
+// which tests/test_lemma3.cpp asserts.
+#pragma once
+
+#include <vector>
+
+#include "core/block.hpp"
+#include "model/power.hpp"
+#include "model/task.hpp"
+
+namespace sdem {
+
+/// Solve one alpha == 0 block by Lemma 3's case analysis. `tasks` must be
+/// agreeable; cfg.core.alpha must be 0 (returns infeasible otherwise).
+BlockResult solve_block_lemma3(const std::vector<Task>& tasks,
+                               const SystemConfig& cfg);
+
+}  // namespace sdem

@@ -1,0 +1,49 @@
+#include "core/lower_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/block.hpp"
+
+namespace sdem {
+
+double weighted_interval_schedule(std::vector<WeightedInterval> v) {
+  std::erase_if(v, [](const WeightedInterval& w) {
+    return w.weight <= 0.0 || w.hi <= w.lo;
+  });
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end(),
+            [](const WeightedInterval& a, const WeightedInterval& b) {
+              return a.hi < b.hi;
+            });
+  const int n = static_cast<int>(v.size());
+  std::vector<double> ends(n);
+  for (int i = 0; i < n; ++i) ends[i] = v[i].hi;
+  std::vector<double> best(n + 1, 0.0);
+  for (int i = 1; i <= n; ++i) {
+    const auto& cur = v[i - 1];
+    // p = how many of the first i-1 intervals end at or before cur.lo.
+    const int p = static_cast<int>(
+        std::upper_bound(ends.begin(), ends.begin() + (i - 1), cur.lo) -
+        ends.begin());
+    best[i] = std::max(best[i - 1], best[p] + cur.weight);
+  }
+  return best[n];
+}
+
+LowerBound lower_bound_energy(const TaskSet& tasks, const SystemConfig& cfg) {
+  LowerBound lb;
+  std::vector<WeightedInterval> regions;
+  const double s_up = cfg.core.max_speed();
+  for (const auto& t : tasks.tasks()) {
+    if (t.work <= 0.0) continue;
+    lb.core += task_window_energy(t, cfg.core, t.region());
+    if (std::isfinite(s_up)) {
+      regions.push_back({t.release, t.deadline, t.work / s_up});
+    }
+  }
+  lb.memory = cfg.memory.alpha_m * weighted_interval_schedule(regions);
+  return lb;
+}
+
+}  // namespace sdem

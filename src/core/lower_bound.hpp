@@ -1,0 +1,44 @@
+// Rigorous energy lower bounds for general task sets.
+//
+// The agreeable DP certifies online schedules on agreeable inputs; general
+// inputs need a bound that holds for *every* feasible schedule:
+//
+//   * cores: each task's core energy is at least its window-optimal energy
+//     over its full feasible region (no schedule can give it more room);
+//   * memory: within any set of pairwise-disjoint task regions, the memory
+//     must be awake at least w_k / s_up inside each region, so
+//     alpha_m * (max-weight disjoint-region packing) lower-bounds the
+//     memory energy. The packing is weighted interval scheduling, solved
+//     exactly by DP.
+//
+// The two parts bound disjoint energy components, so their sum is a valid
+// system-wide lower bound (transition overheads only increase energy).
+#pragma once
+
+#include <vector>
+
+#include "model/power.hpp"
+#include "model/task.hpp"
+
+namespace sdem {
+
+struct WeightedInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double weight = 0.0;
+};
+
+/// Max-weight set of pairwise-disjoint intervals (classic DP, O(n log n)).
+double weighted_interval_schedule(std::vector<WeightedInterval> v);
+
+struct LowerBound {
+  double core = 0.0;    ///< sum of per-task window-optimal energies
+  double memory = 0.0;  ///< alpha_m * disjoint-region busy packing
+  double total() const { return core + memory; }
+};
+
+/// Valid lower bound on the system energy of any feasible schedule of
+/// `tasks` under `cfg` (unbounded cores; bounded cores only increase it).
+LowerBound lower_bound_energy(const TaskSet& tasks, const SystemConfig& cfg);
+
+}  // namespace sdem

@@ -1,0 +1,117 @@
+#include "core/online_sdem.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "core/common_release_alpha.hpp"
+#include "core/common_release_alpha0.hpp"
+#include "core/transition.hpp"
+
+namespace sdem {
+namespace {
+
+/// Pick the Section 4 / Section 7 scheme matching the configuration.
+OfflineResult plan_common_release(const TaskSet& tasks,
+                                  const SystemConfig& cfg) {
+  if (cfg.memory.xi_m > 0.0 || (cfg.core.alpha > 0.0 && cfg.core.xi > 0.0)) {
+    return solve_common_release_transition(tasks, cfg);
+  }
+  if (cfg.core.alpha > 0.0) return solve_common_release_alpha(tasks, cfg);
+  return solve_common_release_alpha0(tasks, cfg);
+}
+
+}  // namespace
+
+std::vector<Segment> SdemOnPolicy::replan(double now,
+                                          const std::vector<PendingTask>& pending,
+                                          const SystemConfig& cfg) {
+  return plan(now, pending, cfg, procrastinate_);
+}
+
+std::vector<Segment> SdemOnPolicy::replan_completion(
+    double now, const std::vector<PendingTask>& pending,
+    const SystemConfig& cfg) {
+  return plan(now, pending, cfg, /*procrastinate=*/false);
+}
+
+std::vector<Segment> SdemOnPolicy::plan(double now,
+                                        const std::vector<PendingTask>& pending,
+                                        const SystemConfig& cfg,
+                                        bool procrastinate) {
+  std::vector<Segment> plan;
+  if (pending.empty()) return plan;
+  const double s_up = cfg.core.max_speed();
+
+  // Re-release everything at `now`. Overdue or overloaded tasks get a
+  // race-to-finish effective deadline (the miss is already unavoidable;
+  // the validator will count it).
+  TaskSet virt;
+  std::map<int, double> eff_deadline;
+  for (const auto& p : pending) {
+    Task t;
+    t.id = p.task.id;
+    t.release = now;
+    t.work = p.remaining;
+    const double min_span =
+        std::isfinite(s_up) ? p.remaining / s_up : 1e-9;
+    t.deadline = std::max(p.task.deadline, now + std::max(min_span, 1e-12));
+    eff_deadline[t.id] = t.deadline;
+    virt.add(t);
+  }
+
+  const OfflineResult local = plan_common_release(virt, cfg);
+
+  // Per-task execution length p_j and speed from the local optimum.
+  std::map<int, double> dur;
+  for (const auto& seg : local.schedule.segments()) {
+    dur[seg.task_id] += seg.duration();
+  }
+
+  // Latest start of each task; the batch wakes at the earliest one.
+  double wake = std::numeric_limits<double>::infinity();
+  for (const auto& p : pending) {
+    const double d = eff_deadline[p.task.id];
+    const double len = dur.count(p.task.id) ? dur[p.task.id] : 0.0;
+    if (len > 0.0) wake = std::min(wake, d - len);
+  }
+  if (!std::isfinite(wake)) return plan;
+  wake = procrastinate ? std::max(wake, now) : now;
+
+  // All tasks start when the memory wakes; tasks sharing a core serialize
+  // in EDF order, compressing up to s_up when needed.
+  std::map<int, std::vector<const PendingTask*>> by_core;
+  for (const auto& p : pending) by_core[p.core].push_back(&p);
+  for (auto& [core, group] : by_core) {
+    std::sort(group.begin(), group.end(),
+              [&](const PendingTask* a, const PendingTask* b) {
+                return eff_deadline[a->task.id] < eff_deadline[b->task.id];
+              });
+    double cur = wake;
+    for (const PendingTask* p : group) {
+      if (p->remaining <= 0.0) continue;
+      double len = dur.count(p->task.id) ? dur[p->task.id] : 0.0;
+      if (len <= 0.0) len = p->remaining / std::min(s_up, 1e9);
+      const double d = eff_deadline[p->task.id];
+      if (cur + len > d) {
+        // Compress to fit, bounded by s_up (beyond that the miss stands).
+        const double min_len =
+            std::isfinite(s_up) ? p->remaining / s_up : 1e-12;
+        len = std::max(d - cur, min_len);
+      }
+      if (cfg.core.s_min > 0.0) {
+        // DVFS floor: a plan slower than s_min runs at s_min and the core
+        // sleeps the difference.
+        len = std::min(len, p->remaining / cfg.core.s_min);
+      }
+      plan.push_back(
+          Segment{p->task.id, core, cur, cur + len, p->remaining / len});
+      cur += len;
+    }
+  }
+  return plan;
+}
+
+}  // namespace sdem

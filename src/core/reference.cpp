@@ -1,0 +1,144 @@
+#include "core/reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/block.hpp"
+#include "core/transition.hpp"
+#include "support/numeric.hpp"
+
+namespace sdem {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double tail_cost(double static_power, double gap, double break_even) {
+  if (gap <= 0.0 || static_power <= 0.0) return 0.0;
+  if (break_even <= 0.0) return 0.0;  // free transition: always sleep
+  return std::min(static_power * gap, static_power * break_even);
+}
+
+}  // namespace
+
+double reference_common_release(const TaskSet& tasks, const SystemConfig& cfg,
+                                std::size_t grid) {
+  if (tasks.empty()) return 0.0;
+  const double release = tasks[0].release;
+  double d_max = 0.0;
+  for (const auto& t : tasks.tasks()) {
+    d_max = std::max(d_max, t.deadline - release);
+  }
+  auto energy = [&](double m) {
+    if (m <= 0.0) return tasks.total_work() > 0.0 ? kInf : 0.0;
+    double e = cfg.memory.alpha_m * m;
+    for (const auto& t : tasks.tasks()) {
+      e += task_window_energy(t, cfg.core,
+                              std::min(m, t.deadline - release));
+      if (!std::isfinite(e)) return kInf;
+    }
+    return e;
+  };
+  // Search only the s_up-feasible domain [max_k w_k / s_up, d_max]; golden
+  // refinement cannot bracket a minimum pinned against an infinite cliff.
+  double m_min = 0.0;
+  if (std::isfinite(cfg.core.max_speed())) {
+    for (const auto& t : tasks.tasks()) {
+      m_min = std::max(m_min, t.work / cfg.core.max_speed());
+    }
+  }
+  const double m = grid_refine_min(energy, m_min, d_max, grid);
+  return std::min(energy(m), energy(m_min));
+}
+
+double reference_common_release_transition(const TaskSet& tasks,
+                                           const SystemConfig& cfg,
+                                           std::size_t grid) {
+  if (tasks.empty()) return 0.0;
+  const double release = tasks[0].release;
+  double d_max = 0.0;
+  for (const auto& t : tasks.tasks()) {
+    d_max = std::max(d_max, t.deadline - release);
+  }
+  // Same model as core/transition.hpp: system awake at [0, H], H = d_max;
+  // the decision variable is the memory busy end M. Per-task costs use the
+  // shared two-candidate lemma (stretch vs race-and-sleep); the independence
+  // of this reference is in the dense outer search over M, which replaces
+  // the analytic case/candidate scan.
+  const double H = d_max;
+  auto energy = [&](double m) {
+    if (m <= 0.0) return tasks.total_work() > 0.0 ? kInf : 0.0;
+    double e = cfg.memory.alpha_m * m +
+               tail_cost(cfg.memory.alpha_m, H - m, cfg.memory.xi_m);
+    for (const auto& t : tasks.tasks()) {
+      double run = 0.0, speed = 0.0;
+      e += transition_task_cost(t, cfg, H, std::min(m, t.deadline - release),
+                                run, speed);
+      if (!std::isfinite(e)) return kInf;
+    }
+    return e;
+  };
+  double m_min = 0.0;
+  if (std::isfinite(cfg.core.max_speed())) {
+    for (const auto& t : tasks.tasks()) {
+      m_min = std::max(m_min, t.work / cfg.core.max_speed());
+    }
+  }
+  const double m = grid_refine_min(energy, m_min, d_max, grid);
+  return std::min(energy(m), energy(m_min));
+}
+
+double reference_block(const std::vector<Task>& tasks, const SystemConfig& cfg,
+                       std::size_t grid) {
+  if (tasks.empty()) return 0.0;
+  double r_min = kInf, r_max = -kInf, d_min = kInf, d_max = -kInf;
+  for (const auto& t : tasks) {
+    r_min = std::min(r_min, t.release);
+    r_max = std::max(r_max, t.release);
+    d_min = std::min(d_min, t.deadline);
+    d_max = std::max(d_max, t.deadline);
+  }
+  double s = 0.0, e = 0.0;
+  return grid_refine_min2(
+      [&](double a, double b) { return block_energy_at(tasks, cfg, a, b); },
+      r_min, d_min, r_max, d_max, s, e, grid);
+}
+
+double reference_agreeable(const TaskSet& tasks, const SystemConfig& cfg,
+                           std::size_t grid) {
+  const TaskSet sorted = tasks.sorted_by_deadline();
+  const int n = static_cast<int>(sorted.size());
+  if (n == 0) return 0.0;
+  const double pair_charge = cfg.memory.alpha_m * cfg.memory.xi_m;
+
+  // Memoize block costs over contiguous ranges.
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n, -1.0));
+  auto block_cost = [&](int p, int q) {
+    if (cost[p][q] >= 0.0) return cost[p][q];
+    std::vector<Task> sub(sorted.tasks().begin() + p,
+                          sorted.tasks().begin() + q + 1);
+    cost[p][q] = reference_block(sub, cfg, grid);
+    return cost[p][q];
+  };
+
+  // Enumerate all 2^(n-1) contiguous partitions via bitmask of cut points.
+  double best = kInf;
+  const unsigned long masks = 1UL << (n - 1);
+  for (unsigned long mask = 0; mask < masks; ++mask) {
+    double total = 0.0;
+    int start = 0;
+    for (int i = 0; i < n; ++i) {
+      const bool cut = (i == n - 1) || (mask >> i) & 1UL;
+      if (cut) {
+        total += block_cost(start, i) + pair_charge;
+        start = i + 1;
+        if (total >= best) break;
+      }
+    }
+    best = std::min(best, total);
+  }
+  return best;
+}
+
+}  // namespace sdem

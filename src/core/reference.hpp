@@ -1,0 +1,43 @@
+// Brute-force / numeric reference optimizers used to certify the analytic
+// schemes in tests. These deliberately share as little code as possible with
+// the closed-form solvers: dense grid scans + golden refinement instead of
+// case analysis, and exhaustive partition enumeration instead of DP.
+//
+// Only intended for small n (the partition enumeration is O(2^n)).
+#pragma once
+
+#include "model/power.hpp"
+#include "model/task.hpp"
+
+namespace sdem {
+
+/// Common-release reference (both alpha cases): the memory busy interval is
+/// [release, release + M]; task k owns the window min(M, d_k - release) and
+/// runs at its window-clamped optimal speed. Returns the minimum over M of
+///
+///   E(M) = alpha_m * M + sum_k f_k(min(M, d_k - release))
+///
+/// via a dense grid + golden refinement. Transition overheads are ignored
+/// (Section 4 model).
+double reference_common_release(const TaskSet& tasks, const SystemConfig& cfg,
+                                std::size_t grid = 200000);
+
+/// Same, but with break-even transition accounting (Section 7 model): the
+/// memory tail gap and each core's tail gap cost min(static * gap,
+/// static * break_even). Tasks are still all released together.
+double reference_common_release_transition(const TaskSet& tasks,
+                                           const SystemConfig& cfg,
+                                           std::size_t grid = 200000);
+
+/// Agreeable-deadline reference: enumerate every contiguous partition of the
+/// deadline-sorted tasks into blocks; optimize each block by an independent
+/// 2-D grid + coordinate refinement of the block objective; charge
+/// alpha_m * xi_m per block. O(2^n) — keep n <= ~12.
+double reference_agreeable(const TaskSet& tasks, const SystemConfig& cfg,
+                           std::size_t grid = 160);
+
+/// Single-block 2-D reference (exposed for block-solver tests).
+double reference_block(const std::vector<Task>& tasks, const SystemConfig& cfg,
+                       std::size_t grid = 160);
+
+}  // namespace sdem

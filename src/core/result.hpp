@@ -1,0 +1,16 @@
+// Shared result type for the offline SDEM schemes.
+#pragma once
+
+#include "sched/schedule.hpp"
+
+namespace sdem {
+
+struct OfflineResult {
+  Schedule schedule;
+  double energy = 0.0;      ///< analytic system-wide energy of the schedule
+  double sleep_time = 0.0;  ///< memory sleep time Delta chosen by the scheme
+  int case_index = -1;      ///< winning Case i (1-based; -1 if n/a)
+  bool feasible = false;    ///< false when no feasible schedule exists
+};
+
+}  // namespace sdem

@@ -1,0 +1,176 @@
+#include "core/transition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "support/numeric.hpp"
+
+namespace sdem {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double tail_cost(double static_power, double gap, double break_even) {
+  if (gap <= 0.0 || static_power <= 0.0) return 0.0;
+  if (break_even <= 0.0) return 0.0;
+  return std::min(static_power * gap, static_power * break_even);
+}
+
+}  // namespace
+
+double transition_task_cost(const Task& t, const SystemConfig& cfg, double H,
+                            double window, double& run, double& speed) {
+  run = 0.0;
+  speed = 0.0;
+  if (t.work <= 0.0) return 0.0;
+  if (window <= 0.0) return kInf;
+  const double fill = t.work / window;
+  if (fill > cfg.core.max_speed() * (1.0 + 1e-12)) return kInf;
+
+  auto cost_at = [&](double r) {
+    const double s = t.work / r;
+    return cfg.core.exec_energy(t.work, s) +
+           tail_cost(cfg.core.alpha, H - r, cfg.core.xi);
+  };
+
+  // Candidate 1: stretch to the window.
+  double best_run = window;
+  double best = cost_at(window);
+  // Candidate 2: race at the (clamped) critical speed and sleep.
+  const double s_m = cfg.core.critical_speed_raw();
+  if (s_m > 0.0) {
+    const double s_race = std::min(std::max(s_m, fill), cfg.core.max_speed());
+    const double r = t.work / s_race;
+    const double c = cost_at(r);
+    if (c < best) {
+      best = c;
+      best_run = r;
+    }
+  } else if (cfg.core.alpha <= 0.0) {
+    // No static power: the tail is free; stretching is optimal (candidate 1).
+  }
+  run = best_run;
+  speed = t.work / best_run;
+  return best;
+}
+
+OfflineResult solve_common_release_transition(const TaskSet& tasks,
+                                              const SystemConfig& cfg) {
+  OfflineResult res;
+  if (tasks.empty() || !tasks.is_common_release() || !tasks.validate().empty())
+    return res;
+  if (tasks.max_filled_speed() > cfg.core.max_speed() * (1.0 + 1e-12))
+    return res;
+
+  const double release = tasks[0].release;
+  double H = 0.0;
+  for (const auto& t : tasks.tasks()) H = std::max(H, t.deadline - release);
+  if (H <= 0.0) return res;
+
+  const double alpha = cfg.core.alpha;
+  const double alpha_m = cfg.memory.alpha_m;
+  const double beta = cfg.core.beta;
+  const double lambda = cfg.core.lambda;
+  const double s_m = cfg.core.critical_speed_raw();
+
+  // Total energy as a function of the memory busy end T.
+  auto energy = [&](double T) {
+    if (T <= 0.0) return tasks.total_work() > 0.0 ? kInf : 0.0;
+    double e = alpha_m * T + tail_cost(alpha_m, H - T, cfg.memory.xi_m);
+    for (const auto& t : tasks.tasks()) {
+      double run = 0.0, speed = 0.0;
+      e += transition_task_cost(t, cfg, H, std::min(T, t.deadline - release),
+                                run, speed);
+      if (!std::isfinite(e)) return kInf;
+    }
+    return e;
+  };
+
+  // E(T) is piecewise convex between breakpoints where some term changes
+  // branch:
+  //   * T = d_k            (task k's window stops growing),
+  //   * T = knee_k = w_k / min(s_m, s_up)
+  //                        (window-fill speed crosses the race speed),
+  //   * T = H - xi_m, H - xi (tail gaps cross their break-even times),
+  //   * T = tau_k          (stretch-and-idle crosses race-and-sleep: on the
+  //     idle branch the stretch cost is beta w^l T^(1-l) + alpha H, so the
+  //     crossing with the constant race cost is closed-form).
+  // Within a piece every per-task term keeps one smooth convex branch and
+  // the memory term is linear, so golden section per piece is exact.
+  // Feasible domain: every task needs window min(T, d_k) >= w_k / s_up, so
+  // T >= T_min = max_k w_k / s_up (deadlines already satisfy it). Searching
+  // below T_min would walk golden sections into the +inf region.
+  double t_min = 0.0;
+  if (std::isfinite(cfg.core.max_speed())) {
+    for (const auto& t : tasks.tasks()) {
+      t_min = std::max(t_min, t.work / cfg.core.max_speed());
+    }
+  }
+
+  std::set<double> bps;
+  auto add = [&](double T) {
+    if (T > t_min && T < H) bps.insert(T);
+  };
+  add(H - cfg.core.xi);
+  add(H - cfg.memory.xi_m);
+  const double s_race = std::min(s_m > 0.0 ? s_m : cfg.core.max_speed(),
+                                 cfg.core.max_speed());
+  for (const auto& t : tasks.tasks()) {
+    if (t.work <= 0.0) continue;
+    add(t.deadline - release);
+    if (s_m > 0.0) {
+      add(t.work / s_race);  // knee
+      // Idle-branch crossing tau_k (only meaningful when alpha > 0).
+      if (alpha > 0.0 && std::isfinite(s_race)) {
+        const double run = t.work / s_race;
+        const double race_cost =
+            cfg.core.exec_energy(t.work, s_race) +
+            std::min(alpha * (H - run), alpha * cfg.core.xi);
+        const double rhs = race_cost - alpha * H;
+        if (rhs > 0.0) {
+          add(std::pow(beta * std::pow(t.work, lambda) / rhs,
+                       1.0 / (lambda - 1.0)));
+        }
+      }
+    }
+  }
+  std::vector<double> edges(bps.begin(), bps.end());
+  edges.insert(edges.begin(), t_min);
+  edges.push_back(H);
+
+  double best_T = H;
+  double best = energy(H);
+  for (std::size_t i = 0; i + 1 < edges.size(); ++i) {
+    const double lo = edges[i], hi = edges[i + 1];
+    if (hi <= lo) continue;
+    const double t = golden_min(energy, lo, hi, 1e-13);
+    for (double cand : {t, lo, hi}) {
+      const double e = energy(cand);
+      if (e < best) {
+        best = e;
+        best_T = cand;
+      }
+    }
+  }
+  if (!std::isfinite(best)) return res;
+
+  res.feasible = true;
+  res.energy = best;
+  res.sleep_time = H - best_T;
+  int core = 0;
+  for (const auto& t : tasks.tasks()) {
+    double run = 0.0, speed = 0.0;
+    transition_task_cost(t, cfg, H, std::min(best_T, t.deadline - release),
+                         run, speed);
+    if (t.work > 0.0) {
+      res.schedule.add(Segment{t.id, core, release, release + run, speed});
+    }
+    ++core;
+  }
+  return res;
+}
+
+}  // namespace sdem

@@ -1,0 +1,43 @@
+// Mode-transition overhead extension (paper §7).
+//
+// Model: the system is awake at both ends of the horizon [0, H] with
+// H = d_max - release (the maximal interval I of the task set, as in the
+// paper's constrained-critical-speed definition). The memory is busy on
+// [0, T]; the trailing gap H - T costs min(alpha_m (H-T), alpha_m xi_m)
+// (idle-awake vs one sleep cycle). Each core runs its task over [0, run]
+// and its trailing gap costs min(alpha (H-run), alpha xi).
+//
+// Per task, given the window W = min(T, d_k - release), the core either
+//   * stretches: run = W (cheapest when its trailing gap would be shorter
+//     than the break-even time anyway), or
+//   * races: run = w / s_c with the constrained critical speed
+//     s_c = min{max{s_m, w/W}, s_up} and sleeps through the tail
+// — the two candidates of the paper's constrained-critical-speed analysis;
+// no other run length can be optimal (the idle branch of the tail makes the
+// energy decreasing in run, the sleep branch is convex with minimum at s_m).
+//
+// The scheme scans T over the piecewise-smooth total energy
+//   E(T) = alpha_m T + tail_m(H - T) + sum_k task_cost_k(T)
+// using the paper's stationary candidates (Eqs. 4 and 8 and the
+// cores-sleep/memory-idle variant), all piece breakpoints (c_k, d_k, H-xi,
+// H-xi_m), and a safety grid; Table 3's case analysis is exactly the
+// restriction of this candidate set to the relevant orderings of Delta, xi
+// and xi_m. With xi == xi_m == 0 the scheme reduces to Section 4.
+#pragma once
+
+#include "core/result.hpp"
+#include "model/power.hpp"
+#include "model/task.hpp"
+
+namespace sdem {
+
+/// Minimal core energy (exec + trailing-gap cost against horizon H) for a
+/// task whose window is `window`. Outputs the chosen run length and speed.
+double transition_task_cost(const Task& t, const SystemConfig& cfg, double H,
+                            double window, double& run, double& speed);
+
+/// Optimal common-release schedule under transition overheads.
+OfflineResult solve_common_release_transition(const TaskSet& tasks,
+                                              const SystemConfig& cfg);
+
+}  // namespace sdem

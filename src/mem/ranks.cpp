@@ -1,0 +1,52 @@
+#include "mem/ranks.hpp"
+
+#include <algorithm>
+
+namespace sdem {
+
+RankEnergy rank_memory_energy(const Schedule& sched, const MemoryPower& memory,
+                              int num_ranks, int num_cores, double horizon_lo,
+                              double horizon_hi) {
+  RankEnergy out;
+  num_ranks = std::max(1, num_ranks);
+  num_cores = std::max(num_cores, sched.cores_used());
+  const double rank_power = memory.alpha_m / num_ranks;
+
+  for (int r = 0; r < num_ranks; ++r) {
+    // Busy union of the rank's cores.
+    std::vector<Interval> v;
+    for (const auto& seg : sched.segments()) {
+      if (seg.core % num_ranks == r) v.push_back({seg.start, seg.end});
+    }
+    const auto busy = merge_intervals(std::move(v));
+
+    for (const auto& b : busy) out.active += rank_power * b.length();
+
+    std::vector<double> gaps;
+    if (busy.empty()) {
+      if (horizon_hi > horizon_lo) gaps.push_back(horizon_hi - horizon_lo);
+    } else {
+      if (busy.front().lo > horizon_lo) {
+        gaps.push_back(busy.front().lo - horizon_lo);
+      }
+      for (std::size_t i = 1; i < busy.size(); ++i) {
+        gaps.push_back(busy[i].lo - busy[i - 1].hi);
+      }
+      if (horizon_hi > busy.back().hi) {
+        gaps.push_back(horizon_hi - busy.back().hi);
+      }
+    }
+    for (double g : gaps) {
+      if (g <= 0.0) continue;
+      if (memory.xi_m <= 0.0 || g >= memory.xi_m) {
+        out.transition += rank_power * memory.xi_m;
+        out.sleep_time += g;
+      } else {
+        out.idle += rank_power * g;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sdem

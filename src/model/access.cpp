@@ -1,0 +1,62 @@
+#include "model/access.hpp"
+
+#include <algorithm>
+
+namespace sdem {
+
+std::vector<Interval> memory_busy_with_access(
+    const Schedule& sched, const std::map<int, TaskAccess>& access) {
+  std::vector<Interval> v;
+  for (const auto& seg : sched.segments()) {
+    TaskAccess a;  // default kWhole
+    if (auto it = access.find(seg.task_id); it != access.end()) {
+      a = it->second;
+    }
+    const double f = std::clamp(a.fraction, 0.0, 1.0);
+    if (f <= 0.0) continue;
+    const double len = seg.duration() * f;
+    switch (a.pattern) {
+      case AccessPattern::kWhole:
+        v.push_back({seg.start, seg.end});
+        break;
+      case AccessPattern::kPrefix:
+        v.push_back({seg.start, seg.start + len});
+        break;
+      case AccessPattern::kSuffix:
+        v.push_back({seg.end - len, seg.end});
+        break;
+    }
+  }
+  return merge_intervals(std::move(v));
+}
+
+AccessAwareMemoryEnergy access_aware_memory_energy(
+    const Schedule& sched, const std::map<int, TaskAccess>& access,
+    const MemoryPower& memory, double horizon_lo, double horizon_hi) {
+  AccessAwareMemoryEnergy out;
+  const auto busy = memory_busy_with_access(sched, access);
+  for (const auto& b : busy) out.active += memory.alpha_m * b.length();
+
+  std::vector<double> gaps;
+  if (busy.empty()) {
+    if (horizon_hi > horizon_lo) gaps.push_back(horizon_hi - horizon_lo);
+  } else {
+    if (busy.front().lo > horizon_lo) gaps.push_back(busy.front().lo - horizon_lo);
+    for (std::size_t i = 1; i < busy.size(); ++i) {
+      gaps.push_back(busy[i].lo - busy[i - 1].hi);
+    }
+    if (horizon_hi > busy.back().hi) gaps.push_back(horizon_hi - busy.back().hi);
+  }
+  for (double g : gaps) {
+    if (g <= 0.0) continue;
+    if (memory.xi_m <= 0.0 || g >= memory.xi_m) {
+      out.transition += memory.alpha_m * memory.xi_m;
+      out.sleep_time += g;
+    } else {
+      out.idle += memory.alpha_m * g;
+    }
+  }
+  return out;
+}
+
+}  // namespace sdem

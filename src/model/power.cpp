@@ -1,0 +1,93 @@
+#include "model/power.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace sdem {
+
+double CorePower::power(double s) const { return alpha + dynamic_power(s); }
+
+double CorePower::dynamic_power(double s) const {
+  return beta * std::pow(s, lambda);
+}
+
+double CorePower::exec_energy(double work, double s) const {
+  if (work <= 0.0) return 0.0;
+  if (s <= 0.0) return std::numeric_limits<double>::infinity();
+  return power(s) * (work / s);
+}
+
+double CorePower::critical_speed_raw() const {
+  if (alpha <= 0.0) return 0.0;
+  return std::pow(alpha / (beta * (lambda - 1.0)), 1.0 / lambda);
+}
+
+double CorePower::critical_speed(double filled_speed) const {
+  return std::min(std::max(critical_speed_raw(), filled_speed), max_speed());
+}
+
+double CorePower::max_speed() const {
+  return s_up > 0.0 ? s_up : std::numeric_limits<double>::infinity();
+}
+
+double CorePower::clamp_speed(double s, double filled_speed) const {
+  return std::min(std::max({s, s_min, filled_speed}), max_speed());
+}
+
+std::string CorePower::describe() const {
+  std::ostringstream os;
+  os << "CorePower{alpha=" << alpha << "W, beta=" << beta
+     << "W/MHz^l, lambda=" << lambda << ", s=[" << s_min << "," << s_up
+     << "]MHz, xi=" << xi << "s}";
+  return os.str();
+}
+
+double SystemConfig::memory_critical_speed_raw() const {
+  const double a = core.alpha + memory.alpha_m;
+  if (a <= 0.0) return 0.0;
+  return std::pow(a / (core.beta * (core.lambda - 1.0)), 1.0 / core.lambda);
+}
+
+double SystemConfig::memory_critical_speed(double filled_speed) const {
+  return std::min(std::max(memory_critical_speed_raw(), filled_speed),
+                  core.max_speed());
+}
+
+double SystemConfig::constrained_critical_speed(const Task& t,
+                                                double interval_len) const {
+  const double s_f = t.filled_speed();
+  const double s_m = core.critical_speed_raw();
+  const double run_speed = std::min(s_m > 0.0 ? s_m : core.max_speed(),
+                                    core.max_speed());
+  // s_c = min{max{s_m, s_f}, s_up} when running at min(s_m, s_up) leaves an
+  // idle tail of at least xi in the maximal interval; otherwise stretch to
+  // the filled speed (no useful core sleep is possible).
+  if (run_speed > 0.0 && interval_len - t.work / run_speed >= core.xi) {
+    return std::min(std::max(s_m, s_f), core.max_speed());
+  }
+  return std::min(s_f, core.max_speed());
+}
+
+SystemConfig SystemConfig::paper_default() {
+  SystemConfig cfg;
+  cfg.core.alpha = 0.31;        // 310 mW
+  cfg.core.beta = 2.53e-10;     // 2.53e-7 mW/MHz^3 = 2.53e-10 W/MHz^3
+  cfg.core.lambda = 3.0;
+  cfg.core.s_min = 700.0;       // MHz
+  cfg.core.s_up = 1900.0;       // MHz
+  cfg.core.xi = 0.0;
+  cfg.memory.alpha_m = 4.0;     // W (Table 4 default)
+  cfg.memory.xi_m = 0.040;      // 40 ms (Table 4 default)
+  cfg.num_cores = 8;
+  return cfg;
+}
+
+SystemConfig SystemConfig::paper_default_alpha0() {
+  SystemConfig cfg = paper_default();
+  cfg.core.alpha = 0.0;
+  return cfg;
+}
+
+}  // namespace sdem

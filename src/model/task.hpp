@@ -1,0 +1,84 @@
+// Task and task-set model (paper §3).
+//
+// A task T_i has release time r_i, deadline d_i and workload w_i (megacycles).
+// The feasible region is [r_i, d_i]; the filled speed s_fi = w_i / (d_i - r_i)
+// is the slowest speed that still meets the deadline when the task occupies
+// its whole region. Tasks are non-preemptive and non-migrating in the offline
+// schemes; the online simulator allows preemption (§6).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sdem {
+
+struct Task {
+  int id = 0;
+  double release = 0.0;   ///< r_i, seconds
+  double deadline = 0.0;  ///< d_i, seconds
+  double work = 0.0;      ///< w_i, megacycles
+
+  /// Length of the feasible region |I_i| = d_i - r_i.
+  double region() const { return deadline - release; }
+
+  /// Filled speed s_fi = w_i / |I_i| in MHz.
+  double filled_speed() const;
+};
+
+/// Classification of a task set against the paper's task models.
+enum class TaskModel {
+  kCommonRelease,      ///< all r_i equal (individual deadlines) — §4
+  kCommonReleaseDeadline,  ///< all r_i equal and all d_i equal — §3 (Thm 1)
+  kAgreeable,          ///< r_i <= r_j implies d_i <= d_j — §5
+  kGeneral,            ///< arbitrary — §6
+};
+
+/// A set of tasks plus the helpers every scheme needs.
+class TaskSet {
+ public:
+  TaskSet() = default;
+  explicit TaskSet(std::vector<Task> tasks);
+
+  const std::vector<Task>& tasks() const { return tasks_; }
+  std::size_t size() const { return tasks_.size(); }
+  bool empty() const { return tasks_.empty(); }
+  const Task& operator[](std::size_t i) const { return tasks_[i]; }
+
+  void add(Task t);
+
+  /// Strictest model this set satisfies (common release+deadline is reported
+  /// as kCommonReleaseDeadline, which also implies the other two).
+  TaskModel classify() const;
+
+  bool is_common_release() const;
+  bool is_agreeable() const;
+
+  /// Earliest release / latest deadline over the set. Undefined when empty.
+  double min_release() const;
+  double max_deadline() const;
+
+  /// Total workload in megacycles.
+  double total_work() const;
+
+  /// Largest filled speed over the set (infeasibility check vs s_up).
+  double max_filled_speed() const;
+
+  /// Returns a copy sorted by (deadline, release, id).
+  TaskSet sorted_by_deadline() const;
+
+  /// Returns a copy sorted by (release, deadline, id).
+  TaskSet sorted_by_release() const;
+
+  /// Validation: positive workloads, deadline > release, unique ids.
+  /// Returns an empty string when valid, else a diagnostic.
+  std::string validate() const;
+
+ private:
+  std::vector<Task> tasks_;
+};
+
+/// Human-readable name of a task model (for diagnostics and tables).
+std::string to_string(TaskModel m);
+
+}  // namespace sdem

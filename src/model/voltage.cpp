@@ -1,0 +1,63 @@
+#include "model/voltage.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace sdem {
+
+double VoltageModel::speed_at(double v) const {
+  if (v <= v_t) return 0.0;
+  return kappa * (v - v_t) * (v - v_t) / v;
+}
+
+double VoltageModel::vdd_for(double s) const {
+  if (s <= 0.0) return v_t;
+  // kappa V^2 - (2 kappa v_t + s) V + kappa v_t^2 = 0.
+  const double b = 2.0 * kappa * v_t + s;
+  const double disc = b * b - 4.0 * kappa * kappa * v_t * v_t;
+  return (b + std::sqrt(disc)) / (2.0 * kappa);
+}
+
+double VoltageModel::dynamic_power(double s) const {
+  const double v = vdd_for(s);
+  return c_ef * v * v * s;
+}
+
+double VoltageModel::exec_energy(double work, double s) const {
+  if (work <= 0.0 || s <= 0.0) return 0.0;
+  return dynamic_power(s) * (work / s);
+}
+
+PowerFit fit_power_law(const VoltageModel& m, double s_lo, double s_hi,
+                       int samples) {
+  // Linear regression of y = log P on x = log s.
+  std::vector<double> xs, ys;
+  xs.reserve(samples);
+  ys.reserve(samples);
+  for (int i = 0; i < samples; ++i) {
+    const double f = static_cast<double>(i) / (samples - 1);
+    const double s = s_lo * std::pow(s_hi / s_lo, f);
+    xs.push_back(std::log(s));
+    ys.push_back(std::log(m.dynamic_power(s)));
+  }
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (int i = 0; i < samples; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double n = static_cast<double>(samples);
+  PowerFit fit;
+  fit.lambda = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  fit.beta = std::exp((sy - fit.lambda * sx) / n);
+  for (int i = 0; i < samples; ++i) {
+    const double pred = fit.beta * std::exp(fit.lambda * xs[i]);
+    const double truth = std::exp(ys[i]);
+    fit.max_rel_error =
+        std::max(fit.max_rel_error, std::abs(pred - truth) / truth);
+  }
+  return fit;
+}
+
+}  // namespace sdem

@@ -1,0 +1,47 @@
+// Physical voltage/frequency model (paper §3, Rabaey et al.):
+//
+//   P_d(V, s) = C_ef * V_dd^2 * s,          s = kappa * (V_dd - V_t)^2 / V_dd
+//
+// The paper (like most of the DVS literature) works with the polynomial
+// abstraction P_d ~ beta * s^lambda. This module keeps the physical model
+// around so that abstraction can be *derived* instead of assumed: it
+// inverts the speed equation for V_dd, evaluates the true dynamic power,
+// and least-squares-fits (beta, lambda) over a frequency range — the fit
+// used to justify lambda = 3 for A57-like parameters is validated in
+// tests/test_voltage.cpp.
+#pragma once
+
+namespace sdem {
+
+struct VoltageModel {
+  double c_ef = 1.0e-9;   ///< effective switched capacitance, F (scaled)
+  double v_t = 0.3;       ///< threshold voltage, V
+  double kappa = 900.0;   ///< hardware constant, MHz * V / V^2
+
+  /// Speed delivered at supply voltage v (MHz); 0 for v <= v_t.
+  double speed_at(double v) const;
+
+  /// Supply voltage required for speed s (MHz): the larger root of
+  /// kappa V^2 - (2 kappa v_t + s) V + kappa v_t^2 = 0 (the physical
+  /// branch with V > v_t).
+  double vdd_for(double s) const;
+
+  /// True dynamic power at speed s: C_ef * V(s)^2 * s (watts when c_ef is
+  /// in F and s in MHz — callers treat the result as model units).
+  double dynamic_power(double s) const;
+
+  /// Energy for `work` megacycles at speed s (dynamic only).
+  double exec_energy(double work, double s) const;
+};
+
+/// Least-squares fit of log P = log beta + lambda log s over `samples`
+/// geometrically spaced speeds in [s_lo, s_hi].
+struct PowerFit {
+  double beta = 0.0;
+  double lambda = 0.0;
+  double max_rel_error = 0.0;  ///< worst relative error over the samples
+};
+PowerFit fit_power_law(const VoltageModel& m, double s_lo, double s_hi,
+                       int samples = 64);
+
+}  // namespace sdem

@@ -1,0 +1,72 @@
+#include "sched/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace sdem {
+
+double demand_bound(const TaskSet& tasks, double t1, double t2) {
+  double w = 0.0;
+  for (const auto& t : tasks.tasks()) {
+    if (t.release >= t1 && t.deadline <= t2) w += t.work;
+  }
+  return w;
+}
+
+bool edf_schedulable_single_core(const TaskSet& tasks, double s_up) {
+  if (tasks.empty()) return true;
+  if (s_up <= 0.0) s_up = std::numeric_limits<double>::infinity();
+  // Critical windows: [release_i, deadline_j] pairs.
+  std::vector<double> starts, ends;
+  for (const auto& t : tasks.tasks()) {
+    starts.push_back(t.release);
+    ends.push_back(t.deadline);
+  }
+  for (double t1 : starts) {
+    for (double t2 : ends) {
+      if (t2 <= t1) continue;
+      if (demand_bound(tasks, t1, t2) > s_up * (t2 - t1) * (1.0 + 1e-12)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool schedulable_unbounded(const TaskSet& tasks, double s_up) {
+  if (s_up <= 0.0) return tasks.validate().empty();
+  return tasks.validate().empty() &&
+         tasks.max_filled_speed() <= s_up * (1.0 + 1e-12);
+}
+
+AdmissionReport admit(const TaskSet& tasks, const SystemConfig& cfg) {
+  AdmissionReport r;
+  const double s_up = cfg.core.max_speed();
+  for (const auto& t : tasks.tasks()) {
+    const double f = t.filled_speed();
+    if (f > r.max_filled_speed) {
+      r.max_filled_speed = f;
+      r.bottleneck_task = t.id;
+    }
+  }
+  // Peak density over critical windows (informative even when unbounded).
+  std::vector<double> starts, ends;
+  for (const auto& t : tasks.tasks()) {
+    starts.push_back(t.release);
+    ends.push_back(t.deadline);
+  }
+  for (double t1 : starts) {
+    for (double t2 : ends) {
+      if (t2 <= t1) continue;
+      const double d = demand_bound(tasks, t1, t2) / (t2 - t1);
+      r.peak_density = std::max(r.peak_density, d);
+    }
+  }
+  if (std::isfinite(s_up)) r.peak_density /= s_up;
+  r.schedulable = schedulable_unbounded(tasks, cfg.core.s_up);
+  return r;
+}
+
+}  // namespace sdem

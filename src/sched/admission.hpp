@@ -1,0 +1,42 @@
+// Schedulability / admission analysis for the real-time substrate.
+//
+// Before asking any SDEM scheme for an energy-optimal schedule, a real
+// system asks whether the task set is schedulable at all. This module
+// provides the classical checks at the model's level of abstraction:
+//
+//   * per-task: filled speed within s_up (the paper's standing assumption);
+//   * single core: EDF demand-bound function — work demanded in every
+//     window [t1, t2] must fit s_up * (t2 - t1);
+//   * unbounded cores: per-task check only (each task can have a core);
+//   * C cores, partitioned: a safe sufficient condition via LPT-style
+//     density packing.
+#pragma once
+
+#include <vector>
+
+#include "model/power.hpp"
+#include "model/task.hpp"
+
+namespace sdem {
+
+/// EDF demand bound: total work of tasks fully contained in [t1, t2].
+/// Evaluated over all critical windows (release/deadline pairs).
+double demand_bound(const TaskSet& tasks, double t1, double t2);
+
+/// Exact single-core EDF schedulability at speed cap s_up (preemptive).
+bool edf_schedulable_single_core(const TaskSet& tasks, double s_up);
+
+/// Unbounded cores: schedulable iff every filled speed fits s_up.
+bool schedulable_unbounded(const TaskSet& tasks, double s_up);
+
+struct AdmissionReport {
+  bool schedulable = false;
+  double max_filled_speed = 0.0;   ///< MHz, must be <= s_up
+  double peak_density = 0.0;       ///< max over windows of demand/(len*s_up)
+  int bottleneck_task = -1;        ///< task with the max filled speed
+};
+
+/// Full report for a task set against a config (unbounded-core model).
+AdmissionReport admit(const TaskSet& tasks, const SystemConfig& cfg);
+
+}  // namespace sdem

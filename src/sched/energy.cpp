@@ -1,0 +1,117 @@
+#include "sched/energy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace sdem {
+namespace {
+
+struct GapCosts {
+  double idle = 0.0;    ///< time spent idle-awake in gaps
+  double sleeps = 0.0;  ///< number of sleep cycles taken
+  double asleep = 0.0;  ///< time spent asleep
+};
+
+/// Decide idle-vs-sleep for every gap between consecutive busy intervals,
+/// including leading/trailing gaps against the horizon when one is given.
+GapCosts account_gaps(const std::vector<Interval>& busy, double break_even,
+                      SleepDiscipline disc, double horizon_lo,
+                      double horizon_hi) {
+  GapCosts out;
+  if (busy.empty()) {
+    // A device that never runs: idle-awake across the horizon under kNever,
+    // otherwise it sleeps through it (one cycle if the horizon is nonempty).
+    if (horizon_hi > horizon_lo) {
+      const double span = horizon_hi - horizon_lo;
+      if (disc == SleepDiscipline::kNever) {
+        out.idle = span;
+      } else if (disc == SleepDiscipline::kAlways ||
+                 (disc == SleepDiscipline::kOptimal && span >= break_even)) {
+        out.sleeps = 1.0;
+        out.asleep = span;
+      } else {
+        out.idle = span;
+      }
+    }
+    return out;
+  }
+
+  std::vector<double> gaps;
+  if (horizon_hi > horizon_lo) {
+    if (busy.front().lo > horizon_lo) gaps.push_back(busy.front().lo - horizon_lo);
+    if (horizon_hi > busy.back().hi) gaps.push_back(horizon_hi - busy.back().hi);
+  }
+  for (std::size_t i = 1; i < busy.size(); ++i) {
+    gaps.push_back(busy[i].lo - busy[i - 1].hi);
+  }
+
+  for (double g : gaps) {
+    if (g <= 0.0) continue;
+    switch (disc) {
+      case SleepDiscipline::kNever:
+        out.idle += g;
+        break;
+      case SleepDiscipline::kAlways:
+        out.sleeps += 1.0;
+        out.asleep += g;
+        break;
+      case SleepDiscipline::kOptimal:
+        // Sleep iff the gap is at least the break-even time (with a free
+        // transition, always sleep).
+        if (break_even <= 0.0 || g >= break_even) {
+          out.sleeps += 1.0;
+          out.asleep += g;
+        } else {
+          out.idle += g;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+EnergyBreakdown compute_energy(const Schedule& sched, const SystemConfig& cfg,
+                               const EnergyOptions& opts) {
+  EnergyBreakdown e;
+
+  for (const auto& s : sched.segments()) {
+    e.core_dynamic += cfg.core.dynamic_power(s.speed) * s.duration();
+  }
+
+  if (cfg.core.alpha > 0.0) {
+    const int cores = sched.cores_used();
+    for (int c = 0; c < cores; ++c) {
+      const auto busy = sched.core_busy(c);
+      for (const auto& i : busy) e.core_static += cfg.core.alpha * i.length();
+      const auto gaps = account_gaps(busy, cfg.core.xi, opts.core_gaps,
+                                     opts.horizon_lo, opts.horizon_hi);
+      e.core_idle += cfg.core.alpha * gaps.idle;
+      e.core_transition += cfg.core.alpha * cfg.core.xi * gaps.sleeps;
+    }
+  }
+
+  {
+    const auto busy = sched.memory_busy();
+    for (const auto& i : busy) {
+      e.memory_active += cfg.memory.alpha_m * i.length();
+    }
+    const auto gaps = account_gaps(busy, cfg.memory.xi_m, opts.memory_gaps,
+                                   opts.horizon_lo, opts.horizon_hi);
+    e.memory_idle += cfg.memory.alpha_m * gaps.idle;
+    e.memory_transition +=
+        cfg.memory.alpha_m * cfg.memory.xi_m * gaps.sleeps;
+    e.memory_sleep_time = gaps.asleep;
+  }
+
+  return e;
+}
+
+double system_energy(const Schedule& sched, const SystemConfig& cfg,
+                     const EnergyOptions& opts) {
+  return compute_energy(sched, cfg, opts).system_total();
+}
+
+}  // namespace sdem

@@ -1,0 +1,71 @@
+// Energy accounting (paper §3, §7).
+//
+// Model: a device (core or memory) is awake at both horizon boundaries (the
+// system is on before the task set arrives and after it completes). While
+// awake it burns static power (alpha / alpha_m); while executing, a core
+// additionally burns dynamic power beta * s^lambda. Between busy intervals a
+// device may stay idle-awake (static power for the whole gap) or take a
+// sleep cycle: sleep is free but the transition pair costs
+// static_power * break_even (paper's break-even-time formulation). With a
+// zero break-even time, sleeping is free and instantaneous, which recovers
+// the Section 3 model where idle cores and sleeping memory cost nothing.
+//
+// Gap disciplines:
+//   kNever   — idle-awake through every gap (MBKP's memory)
+//   kAlways  — sleep through every gap, however short (MBKPS's memory)
+//   kOptimal — sleep iff the gap length >= the break-even time
+//
+// Leading and trailing gaps (horizon edge to first/last busy interval) are
+// gaps like any other when a horizon is given; otherwise the horizon
+// defaults to the busy span and they are empty.
+#pragma once
+
+#include "model/power.hpp"
+#include "sched/schedule.hpp"
+
+namespace sdem {
+
+/// How a device treats an idle gap between busy intervals.
+enum class SleepDiscipline {
+  kNever,
+  kAlways,
+  kOptimal,
+};
+
+struct EnergyBreakdown {
+  double core_dynamic = 0.0;      ///< beta * s^lambda * time
+  double core_static = 0.0;       ///< alpha * execution time
+  double core_idle = 0.0;         ///< alpha * idle-awake gap time
+  double core_transition = 0.0;   ///< alpha * xi per sleep cycle
+  double memory_active = 0.0;     ///< alpha_m * busy time
+  double memory_idle = 0.0;       ///< alpha_m * idle-awake gap time
+  double memory_transition = 0.0; ///< alpha_m * xi_m per sleep cycle
+  double memory_sleep_time = 0.0; ///< total time the memory spends asleep
+
+  double core_total() const {
+    return core_dynamic + core_static + core_idle + core_transition;
+  }
+  double memory_total() const {
+    return memory_active + memory_idle + memory_transition;
+  }
+  double system_total() const { return core_total() + memory_total(); }
+};
+
+struct EnergyOptions {
+  SleepDiscipline core_gaps = SleepDiscipline::kOptimal;
+  SleepDiscipline memory_gaps = SleepDiscipline::kOptimal;
+  /// Accounting horizon; when hi <= lo it defaults to the schedule's busy
+  /// span (leading/trailing gaps empty).
+  double horizon_lo = 0.0;
+  double horizon_hi = 0.0;
+};
+
+/// Full accounting of `sched` under `cfg`.
+EnergyBreakdown compute_energy(const Schedule& sched, const SystemConfig& cfg,
+                               const EnergyOptions& opts = {});
+
+/// Convenience: system-wide total.
+double system_energy(const Schedule& sched, const SystemConfig& cfg,
+                     const EnergyOptions& opts = {});
+
+}  // namespace sdem

@@ -1,0 +1,103 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+
+namespace sdem {
+
+std::vector<Interval> merge_intervals(std::vector<Interval> v) {
+  std::erase_if(v, [](const Interval& i) { return i.length() <= 0.0; });
+  std::sort(v.begin(), v.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  std::vector<Interval> out;
+  for (const auto& i : v) {
+    if (!out.empty() && i.lo <= out.back().hi) {
+      out.back().hi = std::max(out.back().hi, i.hi);
+    } else {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+int Schedule::cores_used() const {
+  int m = 0;
+  for (const auto& s : segments_) m = std::max(m, s.core + 1);
+  return m;
+}
+
+std::vector<Interval> Schedule::core_busy(int core) const {
+  std::vector<Interval> v;
+  for (const auto& s : segments_) {
+    if (s.core == core) v.push_back({s.start, s.end});
+  }
+  return merge_intervals(std::move(v));
+}
+
+std::vector<Interval> Schedule::memory_busy() const {
+  std::vector<Interval> v;
+  v.reserve(segments_.size());
+  for (const auto& s : segments_) v.push_back({s.start, s.end});
+  return merge_intervals(std::move(v));
+}
+
+double Schedule::memory_busy_time() const {
+  double t = 0.0;
+  for (const auto& i : memory_busy()) t += i.length();
+  return t;
+}
+
+double Schedule::memory_sleep_time(double horizon_lo, double horizon_hi) const {
+  double busy = 0.0;
+  for (const auto& i : memory_busy()) {
+    const double lo = std::max(i.lo, horizon_lo);
+    const double hi = std::min(i.hi, horizon_hi);
+    if (hi > lo) busy += hi - lo;
+  }
+  return (horizon_hi - horizon_lo) - busy;
+}
+
+double Schedule::start_time() const {
+  double t = 0.0;
+  bool first = true;
+  for (const auto& s : segments_) {
+    if (first || s.start < t) t = s.start;
+    first = false;
+  }
+  return t;
+}
+
+double Schedule::end_time() const {
+  double t = 0.0;
+  for (const auto& s : segments_) t = std::max(t, s.end);
+  return t;
+}
+
+double Schedule::task_work(int task_id) const {
+  double w = 0.0;
+  for (const auto& s : segments_) {
+    if (s.task_id == task_id) w += s.work();
+  }
+  return w;
+}
+
+std::map<int, std::vector<Segment>> Schedule::by_task() const {
+  std::map<int, std::vector<Segment>> m;
+  for (const auto& s : segments_) m[s.task_id].push_back(s);
+  for (auto& [id, v] : m) {
+    std::sort(v.begin(), v.end(),
+              [](const Segment& a, const Segment& b) { return a.start < b.start; });
+  }
+  return m;
+}
+
+std::vector<Segment> Schedule::core_segments(int core) const {
+  std::vector<Segment> v;
+  for (const auto& s : segments_) {
+    if (s.core == core) v.push_back(s);
+  }
+  std::sort(v.begin(), v.end(),
+            [](const Segment& a, const Segment& b) { return a.start < b.start; });
+  return v;
+}
+
+}  // namespace sdem

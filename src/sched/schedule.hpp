@@ -1,0 +1,83 @@
+// Schedule representation (paper §3).
+//
+// A schedule is a set of execution segments: task `task_id` runs on core
+// `core` over [start, end) at constant speed `speed` (MHz). The offline
+// schemes emit one segment per task (non-preemptive, non-migrating); the
+// online simulator may emit several segments per task (preemption allowed,
+// §6). Memory is busy whenever at least one core executes; the memory sleep
+// time Delta is the complement inside the schedule horizon.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "model/task.hpp"
+
+namespace sdem {
+
+struct Segment {
+  int task_id = 0;
+  int core = 0;
+  double start = 0.0;
+  double end = 0.0;
+  double speed = 0.0;  ///< MHz
+
+  double duration() const { return end - start; }
+  /// Megacycles executed in this segment.
+  double work() const { return speed * duration(); }
+};
+
+/// Closed interval [lo, hi) with helpers.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double length() const { return hi - lo; }
+};
+
+/// Merge overlapping/touching intervals; input need not be sorted.
+std::vector<Interval> merge_intervals(std::vector<Interval> v);
+
+class Schedule {
+ public:
+  Schedule() = default;
+
+  void add(Segment s) { segments_.push_back(s); }
+  const std::vector<Segment>& segments() const { return segments_; }
+  bool empty() const { return segments_.empty(); }
+  std::size_t size() const { return segments_.size(); }
+
+  /// Largest core index used + 1.
+  int cores_used() const;
+
+  /// Sorted, merged busy intervals of one core.
+  std::vector<Interval> core_busy(int core) const;
+
+  /// Sorted, merged busy intervals of the memory (union over cores).
+  std::vector<Interval> memory_busy() const;
+
+  /// Sum of memory busy interval lengths.
+  double memory_busy_time() const;
+
+  /// Memory sleep time inside [horizon_lo, horizon_hi]:
+  /// horizon length minus memory busy time (busy clipped to the horizon).
+  double memory_sleep_time(double horizon_lo, double horizon_hi) const;
+
+  /// Earliest segment start / latest segment end (0 for empty schedules).
+  double start_time() const;
+  double end_time() const;
+
+  /// Total megacycles executed for a task across all its segments.
+  double task_work(int task_id) const;
+
+  /// Map task_id -> its segments (sorted by start).
+  std::map<int, std::vector<Segment>> by_task() const;
+
+  /// Segments of one core sorted by start time.
+  std::vector<Segment> core_segments(int core) const;
+
+ private:
+  std::vector<Segment> segments_;
+};
+
+}  // namespace sdem

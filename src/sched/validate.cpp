@@ -1,0 +1,122 @@
+#include "sched/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace sdem {
+namespace {
+
+ValidationResult fail(const std::string& msg) { return {false, msg}; }
+
+}  // namespace
+
+ValidationResult validate_schedule(const Schedule& sched, const TaskSet& tasks,
+                                   const SystemConfig& cfg,
+                                   const ValidateOptions& opts) {
+  std::map<int, const Task*> by_id;
+  for (const auto& t : tasks.tasks()) by_id[t.id] = &t;
+
+  // Segment sanity + window containment.
+  for (const auto& s : sched.segments()) {
+    std::ostringstream err;
+    auto it = by_id.find(s.task_id);
+    if (it == by_id.end()) {
+      err << "segment references unknown task id " << s.task_id;
+      return fail(err.str());
+    }
+    const Task& t = *it->second;
+    if (s.end <= s.start) {
+      err << "task " << s.task_id << ": empty segment [" << s.start << ", "
+          << s.end << "]";
+      return fail(err.str());
+    }
+    if (s.speed <= 0.0) {
+      err << "task " << s.task_id << ": non-positive speed " << s.speed;
+      return fail(err.str());
+    }
+    if (opts.enforce_speed_bounds && cfg.core.s_up > 0.0 &&
+        s.speed > cfg.core.s_up * (1.0 + opts.speed_tol)) {
+      err << "task " << s.task_id << ": speed " << s.speed << " exceeds s_up "
+          << cfg.core.s_up;
+      return fail(err.str());
+    }
+    if (s.start < t.release - opts.time_tol) {
+      err << "task " << s.task_id << ": starts at " << s.start
+          << " before release " << t.release;
+      return fail(err.str());
+    }
+    if (s.end > t.deadline + opts.time_tol) {
+      err << "task " << s.task_id << ": ends at " << s.end
+          << " after deadline " << t.deadline;
+      return fail(err.str());
+    }
+    if (s.core < 0) {
+      err << "task " << s.task_id << ": negative core index " << s.core;
+      return fail(err.str());
+    }
+  }
+
+  // Bounded core count.
+  if (!cfg.unbounded() && sched.cores_used() > cfg.num_cores) {
+    std::ostringstream err;
+    err << "schedule uses " << sched.cores_used() << " cores, config allows "
+        << cfg.num_cores;
+    return fail(err.str());
+  }
+
+  // Workload completion.
+  for (const auto& t : tasks.tasks()) {
+    const double done = sched.task_work(t.id);
+    if (std::abs(done - t.work) >
+        opts.work_tol * std::max(1.0, std::abs(t.work))) {
+      std::ostringstream err;
+      err << "task " << t.id << ": executed " << done << " of " << t.work
+          << " megacycles";
+      return fail(err.str());
+    }
+  }
+
+  // Per-core overlap.
+  const int cores = sched.cores_used();
+  for (int c = 0; c < cores; ++c) {
+    const auto segs = sched.core_segments(c);
+    for (std::size_t i = 1; i < segs.size(); ++i) {
+      if (segs[i].start < segs[i - 1].end - opts.time_tol) {
+        std::ostringstream err;
+        err << "core " << c << ": tasks " << segs[i - 1].task_id << " and "
+            << segs[i].task_id << " overlap at t=" << segs[i].start;
+        return fail(err.str());
+      }
+    }
+  }
+
+  // Non-migration / non-preemption.
+  for (const auto& [id, segs] : sched.by_task()) {
+    if (opts.require_non_migrating) {
+      for (const auto& s : segs) {
+        if (s.core != segs.front().core) {
+          std::ostringstream err;
+          err << "task " << id << " migrates between cores "
+              << segs.front().core << " and " << s.core;
+          return fail(err.str());
+        }
+      }
+    }
+    if (opts.require_non_preemptive) {
+      for (std::size_t i = 1; i < segs.size(); ++i) {
+        if (segs[i].start > segs[i - 1].end + opts.time_tol) {
+          std::ostringstream err;
+          err << "task " << id << " is preempted at t=" << segs[i - 1].end;
+          return fail(err.str());
+        }
+      }
+    }
+  }
+
+  return {true, {}};
+}
+
+}  // namespace sdem

@@ -1,0 +1,39 @@
+// Schedule feasibility validation (paper §3).
+//
+// A feasible schedule: every task's workload is fully executed inside its
+// feasible region [r_i, d_i], no two segments overlap on the same core,
+// and every speed is positive and within the core's speed range. The offline
+// schemes are additionally non-preemptive (one segment per task) and
+// non-migrating (all of a task's segments on one core).
+#pragma once
+
+#include <string>
+
+#include "model/power.hpp"
+#include "model/task.hpp"
+#include "sched/schedule.hpp"
+
+namespace sdem {
+
+struct ValidateOptions {
+  double work_tol = 1e-6;    ///< relative tolerance on executed workload
+  double time_tol = 1e-9;    ///< absolute slack on window/overlap checks (s)
+  double speed_tol = 1e-6;   ///< relative slack on the s_up check
+  bool require_non_preemptive = false;  ///< one contiguous run per task
+  bool require_non_migrating = true;    ///< all segments of a task on 1 core
+  bool enforce_speed_bounds = true;     ///< check speed <= s_up
+};
+
+struct ValidationResult {
+  bool ok = false;
+  std::string error;  ///< empty when ok
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Validate `sched` against `tasks` under `cfg`.
+ValidationResult validate_schedule(const Schedule& sched, const TaskSet& tasks,
+                                   const SystemConfig& cfg,
+                                   const ValidateOptions& opts = {});
+
+}  // namespace sdem

@@ -1,0 +1,46 @@
+// Discrete-event online simulator (paper §6, §8).
+//
+// Drives an OnlinePolicy over an arrival trace:
+//   * tasks are assigned to cores round-robin in arrival order (the paper's
+//     "9th task goes back to core 1" rule);
+//   * at every distinct arrival instant the policy replans the pending set;
+//   * the plan executes until the next arrival, work is accounted, and the
+//     executed pieces become schedule segments.
+//
+// The simulator never edits a plan: if a policy emits overlapping segments
+// on one core or misses a deadline, that surfaces in the result counters —
+// policies own feasibility, the simulator owns bookkeeping.
+#pragma once
+
+#include <map>
+
+#include "sim/policy.hpp"
+
+namespace sdem {
+
+struct SimResult {
+  Schedule schedule;
+  int deadline_misses = 0;   ///< tasks not finished by their deadline
+  int unfinished = 0;        ///< tasks with remaining work at simulation end
+  int replans = 0;           ///< number of policy invocations
+  double horizon_lo = 0.0;   ///< first release
+  double horizon_hi = 0.0;   ///< max(last deadline, last segment end)
+};
+
+SimResult simulate(const TaskSet& arrivals, const SystemConfig& cfg,
+                   OnlinePolicy& policy);
+
+/// Slack-reclamation variant (the online setting of Zhuo & Chakrabarti's
+/// slack distribution, §2): tasks declare their WCET but actually execute
+/// `actual_fraction[id] * work` megacycles (default 1.0). Policies plan
+/// against the declared remaining work; when a task completes early the
+/// simulator frees its core immediately and — when `replan_on_completion`
+/// is set — re-invokes the policy so the freed slack is redistributed
+/// (slower speeds, longer memory sleep). Deadline accounting is against the
+/// actual work.
+SimResult simulate_with_actuals(const TaskSet& arrivals,
+                                const SystemConfig& cfg, OnlinePolicy& policy,
+                                const std::map<int, double>& actual_fraction,
+                                bool replan_on_completion = true);
+
+}  // namespace sdem

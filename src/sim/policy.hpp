@@ -1,0 +1,51 @@
+// Online scheduling policy interface (paper §6, §8).
+//
+// The event simulator drives a policy through the arrival trace: whenever
+// the pending set changes (one or more arrivals), the policy replans and
+// returns segments covering the pending work from `now` to completion,
+// assuming no further arrivals. The simulator clips the plan at the next
+// arrival, accounts the executed work, and replans. Preemption across
+// replans is allowed (§6); within one plan each core's segments must not
+// overlap.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/power.hpp"
+#include "model/task.hpp"
+#include "sched/schedule.hpp"
+
+namespace sdem {
+
+struct PendingTask {
+  Task task;               ///< original release/deadline/work
+  double remaining = 0.0;  ///< megacycles left at replan time
+  int core = 0;            ///< core assigned by the simulator (round-robin)
+};
+
+class OnlinePolicy {
+ public:
+  virtual ~OnlinePolicy() = default;
+  virtual std::string name() const = 0;
+
+  /// Plan all pending work from `now` until completion. Segments must start
+  /// at or after `now`, execute only pending tasks, and respect per-core
+  /// exclusivity. The plan is valid until the next arrival.
+  virtual std::vector<Segment> replan(double now,
+                                      const std::vector<PendingTask>& pending,
+                                      const SystemConfig& cfg) = 0;
+
+  /// Replan triggered by an early task completion (slack reclamation)
+  /// rather than an arrival. Defaults to the arrival replan; policies that
+  /// procrastinate should override to avoid re-sleeping mid-batch — going
+  /// back to sleep with work in flight fragments the memory's busy interval
+  /// and pays extra transition pairs.
+  virtual std::vector<Segment> replan_completion(
+      double now, const std::vector<PendingTask>& pending,
+      const SystemConfig& cfg) {
+    return replan(now, pending, cfg);
+  }
+};
+
+}  // namespace sdem

@@ -1,0 +1,85 @@
+#include "single/sss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sdem {
+namespace {
+
+/// Idle-vs-sleep cost of a gap under break-even accounting.
+struct GapTally {
+  double idle = 0.0;
+  double asleep = 0.0;
+  int sleeps = 0;
+};
+
+GapTally tally_gaps(const Schedule& sched, double xi) {
+  GapTally out;
+  Interval prev{0.0, -1.0};
+  for (const auto& b : merge_intervals([&] {
+         std::vector<Interval> v;
+         for (const auto& s : sched.segments()) v.push_back({s.start, s.end});
+         return v;
+       }())) {
+    if (prev.hi >= prev.lo) {
+      const double gap = b.lo - prev.hi;
+      if (gap > 0.0) {
+        if (xi <= 0.0 || gap >= xi) {
+          out.asleep += gap;
+          ++out.sleeps;
+        } else {
+          out.idle += gap;
+        }
+      }
+    }
+    prev = b;
+  }
+  return out;
+}
+
+}  // namespace
+
+double single_core_energy(const Schedule& sched, const CorePower& power) {
+  double e = 0.0;
+  for (const auto& s : sched.segments()) {
+    e += power.power(s.speed) * s.duration();
+  }
+  const GapTally g = tally_gaps(sched, power.xi);
+  e += power.alpha * g.idle;
+  e += power.alpha * power.xi * static_cast<double>(g.sleeps);
+  return e;
+}
+
+SssResult solve_single_core_sleep(const std::vector<YdsJob>& jobs,
+                                  const CorePower& power, int core) {
+  SssResult res;
+  const Schedule yds = yds_schedule(jobs, core);
+
+  // Feasibility against s_up.
+  for (const auto& seg : yds.segments()) {
+    if (seg.speed > power.max_speed() * (1.0 + 1e-9)) return res;
+  }
+
+  // Raise sub-critical speeds to s_m, shrinking each segment toward its
+  // start. Within a core the segments are disjoint and only end earlier,
+  // so the result stays feasible (YDS never starts before a release).
+  const double s_m = power.critical_speed_raw();
+  for (const auto& seg : yds.segments()) {
+    Segment s = seg;
+    if (s_m > 0.0 && s.speed < s_m) {
+      const double speed = std::min(s_m, power.max_speed());
+      s.end = s.start + seg.work() / speed;
+      s.speed = speed;
+    }
+    res.schedule.add(s);
+  }
+
+  res.feasible = true;
+  res.energy = single_core_energy(res.schedule, power);
+  const GapTally g = tally_gaps(res.schedule, power.xi);
+  res.sleep_time = g.asleep;
+  res.sleeps = g.sleeps;
+  return res;
+}
+
+}  // namespace sdem

@@ -1,0 +1,48 @@
+// Single-core speed scaling with a sleep state (the paper's §2 ancestry:
+// Irani, Shukla & Gupta 2007; Albers & Antoniadis's "Race to idle").
+//
+// One DVS core with power alpha + beta s^lambda, a sleep state, and
+// break-even time xi runs a job set (r_i, d_i, w_i) preemptively. The
+// classical "critical speed method":
+//
+//   1. compute the YDS optimal speed-scaling schedule (no sleep),
+//   2. raise every speed below the critical speed s_m up to s_m, shrinking
+//      each segment toward its start (feasibility is preserved: work per
+//      segment is unchanged and nothing moves later),
+//   3. sleep through the resulting gaps when they beat idling (>= xi).
+//
+// This is Irani et al.'s 2-approximation for the general problem and
+// optimal whenever YDS never dips below s_m or the instance is a single
+// busy batch — both covered in the tests, along with the invariant that it
+// never loses to either pure YDS-with-naps or pure race-to-idle.
+//
+// It also serves as the per-core ingredient for a "memory-oblivious
+// multi-core" comparison: run each core's queue with this scheme and see
+// what ignoring the *shared* memory (the paper's whole point) costs.
+#pragma once
+
+#include <vector>
+
+#include "baseline/yds.hpp"
+#include "model/power.hpp"
+#include "sched/schedule.hpp"
+
+namespace sdem {
+
+struct SssResult {
+  bool feasible = false;
+  Schedule schedule;
+  double energy = 0.0;      ///< core energy incl. idle/sleep decisions
+  double sleep_time = 0.0;  ///< time spent asleep inside the busy span
+  int sleeps = 0;           ///< sleep cycles taken (each costs alpha * xi)
+};
+
+/// Critical-speed schedule for one core. `core` tags the emitted segments.
+SssResult solve_single_core_sleep(const std::vector<YdsJob>& jobs,
+                                  const CorePower& power, int core = 0);
+
+/// Core-only energy of an arbitrary single-core schedule under the same
+/// gap accounting (idle vs sleep, break-even xi), horizon = busy span.
+double single_core_energy(const Schedule& sched, const CorePower& power);
+
+}  // namespace sdem

@@ -1,0 +1,36 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// Every bench binary prints its figure/table as an aligned ASCII table plus
+// a machine-readable CSV block, so EXPERIMENTS.md rows can be pasted
+// directly from bench output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sdem {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must match the header arity.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string fmt(double v, int precision = 4);
+
+  /// Aligned, human-readable rendering.
+  std::string to_text() const;
+
+  /// CSV rendering (header + rows).
+  std::string to_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sdem

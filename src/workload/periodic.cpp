@@ -1,0 +1,71 @@
+#include "workload/periodic.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+
+#include "support/rng.hpp"
+
+namespace sdem {
+
+double PeriodicSystem::demand_mhz() const {
+  double d = 0.0;
+  for (const auto& t : tasks_) {
+    if (t.period > 0.0) d += t.wcet / t.period;
+  }
+  return d;
+}
+
+double PeriodicSystem::hyperperiod() const {
+  // Work on a 1 us integer grid.
+  std::uint64_t l = 1;
+  for (const auto& t : tasks_) {
+    const double us = t.period * 1e6;
+    const auto p = static_cast<std::uint64_t>(std::llround(us));
+    if (p == 0 || std::abs(us - static_cast<double>(p)) > 1e-6) return 0.0;
+    const std::uint64_t g = std::gcd(l, p);
+    if (l / g > (100000000000000ULL / p)) return 0.0;  // ~3 years in us
+    l = l / g * p;
+  }
+  return tasks_.empty() ? 0.0 : static_cast<double>(l) * 1e-6;
+}
+
+TaskSet PeriodicSystem::expand(double until) const {
+  TaskSet out;
+  int id = 0;
+  for (const auto& t : tasks_) {
+    if (t.period <= 0.0 || t.wcet <= 0.0) continue;
+    for (double r = t.offset; r < until; r += t.period) {
+      Task job;
+      job.id = id++;
+      job.release = r;
+      job.deadline = r + t.relative_deadline();
+      job.work = t.wcet;
+      out.add(job);
+    }
+  }
+  return out.sorted_by_release();
+}
+
+TaskSet PeriodicSystem::expand_sporadic(double until, double jitter,
+                                        std::uint64_t seed) const {
+  TaskSet out;
+  Xoshiro256 rng(seed);
+  int id = 0;
+  for (const auto& t : tasks_) {
+    if (t.period <= 0.0 || t.wcet <= 0.0) continue;
+    double r = t.offset;
+    while (r < until) {
+      Task job;
+      job.id = id++;
+      job.release = r;
+      job.deadline = r + t.relative_deadline();
+      job.work = t.wcet;
+      out.add(job);
+      r += t.period * rng.uniform(1.0, 1.0 + jitter);
+    }
+  }
+  return out.sorted_by_release();
+}
+
+}  // namespace sdem

@@ -1,0 +1,56 @@
+// Periodic / sporadic real-time task systems (paper §2's periodic-jobs
+// setting, and the sporadic releases of §8.1.1).
+//
+// A PeriodicTask releases a job every `period` seconds starting at
+// `offset`; each job carries `wcet` megacycles and a relative deadline
+// (implicit — equal to the period — unless given). The expander turns a
+// task system into the concrete TaskSet (job list) the schedulers and the
+// simulator consume, either strictly periodic or sporadic with bounded
+// release jitter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/task.hpp"
+
+namespace sdem {
+
+struct PeriodicTask {
+  int id = 0;
+  double wcet = 0.0;      ///< megacycles per job
+  double period = 0.0;    ///< seconds
+  double deadline = 0.0;  ///< relative; 0 => implicit (= period)
+  double offset = 0.0;    ///< first release
+
+  double relative_deadline() const { return deadline > 0.0 ? deadline : period; }
+};
+
+class PeriodicSystem {
+ public:
+  void add(PeriodicTask t) { tasks_.push_back(t); }
+  const std::vector<PeriodicTask>& tasks() const { return tasks_; }
+  bool empty() const { return tasks_.empty(); }
+
+  /// Processor demand per second in megacycles/s (MHz): sum of wcet/period.
+  /// Divide by a core speed for a classical utilization number.
+  double demand_mhz() const;
+
+  /// Hyperperiod (lcm of the periods) computed on a 1 microsecond grid;
+  /// returns 0 if some period is not representable on that grid or the lcm
+  /// overflows ~3 years.
+  double hyperperiod() const;
+
+  /// All jobs released in [0, until): strictly periodic releases.
+  TaskSet expand(double until) const;
+
+  /// Sporadic variant: job k+1 of a task releases period * U(1, 1+jitter)
+  /// after job k (deterministic under `seed`).
+  TaskSet expand_sporadic(double until, double jitter,
+                          std::uint64_t seed) const;
+
+ private:
+  std::vector<PeriodicTask> tasks_;
+};
+
+}  // namespace sdem

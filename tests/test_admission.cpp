@@ -1,0 +1,80 @@
+// Tests for admission / schedulability analysis.
+#include <gtest/gtest.h>
+
+#include "sched/admission.hpp"
+#include "test_util.hpp"
+#include "workload/generator.hpp"
+
+namespace sdem {
+namespace {
+
+using test::make_cfg;
+using test::task;
+
+TEST(Admission, DemandBoundCountsContainedTasksOnly) {
+  TaskSet ts;
+  ts.add(task(0, 0.0, 1.0, 5.0));
+  ts.add(task(1, 0.5, 2.0, 3.0));
+  EXPECT_DOUBLE_EQ(demand_bound(ts, 0.0, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(demand_bound(ts, 0.0, 2.0), 8.0);
+  EXPECT_DOUBLE_EQ(demand_bound(ts, 0.4, 2.0), 3.0);
+  EXPECT_DOUBLE_EQ(demand_bound(ts, 1.5, 1.8), 0.0);
+}
+
+TEST(Admission, SingleCoreEdfExactness) {
+  // Two unit jobs with a shared deadline window: feasible iff
+  // total work fits the window at s_up.
+  TaskSet ts;
+  ts.add(task(0, 0.0, 1.0, 60.0));
+  ts.add(task(1, 0.0, 1.0, 50.0));
+  EXPECT_TRUE(edf_schedulable_single_core(ts, 110.0));
+  EXPECT_FALSE(edf_schedulable_single_core(ts, 100.0));
+}
+
+TEST(Admission, SingleCoreNestedWindows) {
+  // An inner dense job can break an otherwise-fine set.
+  TaskSet ts;
+  ts.add(task(0, 0.0, 10.0, 100.0));
+  ts.add(task(1, 4.0, 5.0, 200.0));
+  EXPECT_FALSE(edf_schedulable_single_core(ts, 150.0));
+  EXPECT_TRUE(edf_schedulable_single_core(ts, 250.0));
+}
+
+TEST(Admission, UnboundedCoresPerTaskOnly) {
+  TaskSet ts;
+  ts.add(task(0, 0.0, 0.010, 5.0));  // 500 MHz
+  ts.add(task(1, 0.0, 0.010, 5.0));
+  EXPECT_TRUE(schedulable_unbounded(ts, 500.0));
+  EXPECT_FALSE(schedulable_unbounded(ts, 400.0));
+}
+
+TEST(Admission, ReportIdentifiesBottleneck) {
+  const auto cfg = make_cfg(0.31, 4.0, 1900.0);
+  TaskSet ts;
+  ts.add(task(7, 0.0, 0.010, 5.0));   // 500 MHz — the bottleneck
+  ts.add(task(8, 0.0, 0.100, 5.0));   // 50 MHz
+  const auto r = admit(ts, cfg);
+  EXPECT_TRUE(r.schedulable);
+  EXPECT_EQ(r.bottleneck_task, 7);
+  EXPECT_NEAR(r.max_filled_speed, 500.0, 1e-9);
+  EXPECT_GT(r.peak_density, 0.0);
+  EXPECT_LE(r.peak_density, 1.0);  // normalized by s_up
+}
+
+TEST(Admission, GeneratedWorkloadsAdmissible) {
+  const auto cfg = make_cfg(0.31, 4.0, 1900.0);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    SyntheticParams p;
+    p.num_tasks = 50;
+    const TaskSet ts = make_synthetic(p, seed);
+    EXPECT_TRUE(admit(ts, cfg).schedulable) << "seed " << seed;
+  }
+}
+
+TEST(Admission, EmptySetSchedulable) {
+  EXPECT_TRUE(edf_schedulable_single_core(TaskSet{}, 100.0));
+  EXPECT_TRUE(schedulable_unbounded(TaskSet{}, 100.0));
+}
+
+}  // namespace
+}  // namespace sdem

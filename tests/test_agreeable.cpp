@@ -1,0 +1,129 @@
+// Tests for the Section 5 DP schemes over agreeable-deadline tasks.
+#include <gtest/gtest.h>
+
+#include "core/agreeable.hpp"
+#include "core/common_release_alpha.hpp"
+#include "core/common_release_alpha0.hpp"
+#include "core/reference.hpp"
+#include "sched/validate.hpp"
+#include "test_util.hpp"
+#include "workload/generator.hpp"
+
+namespace sdem {
+namespace {
+
+using test::expect_near_rel;
+using test::make_cfg;
+using test::task;
+
+TEST(Agreeable, MatchesExhaustivePartitionReferenceAlpha0) {
+  const auto cfg = make_cfg(0.0, 4.0, 1900.0);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const TaskSet ts = make_agreeable(2 + seed % 5, seed * 3, 0.060);
+    const auto res = solve_agreeable(ts, cfg);
+    ASSERT_TRUE(res.feasible) << "seed " << seed;
+    const double ref = reference_agreeable(ts, cfg);
+    expect_near_rel(ref, res.energy, 1e-5, "vs partition reference");
+  }
+}
+
+TEST(Agreeable, MatchesExhaustivePartitionReferenceAlpha) {
+  const auto cfg = make_cfg(0.31, 4.0, 1900.0);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const TaskSet ts = make_agreeable(2 + seed % 5, seed * 11, 0.060);
+    const auto res = solve_agreeable(ts, cfg);
+    ASSERT_TRUE(res.feasible) << "seed " << seed;
+    const double ref = reference_agreeable(ts, cfg);
+    expect_near_rel(ref, res.energy, 1e-5, "vs partition reference");
+  }
+}
+
+TEST(Agreeable, CommonReleaseSpecialCaseMatchesSection4) {
+  // Common-release sets are agreeable; the DP must land on the Section 4
+  // optimum (one busy interval anchored at the release).
+  for (double alpha : {0.0, 0.31}) {
+    const auto cfg = make_cfg(alpha, 4.0, 1900.0);
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      const TaskSet ts = make_common_release(2 + seed % 5, 0.0, seed * 17);
+      const auto dp = solve_agreeable(ts, cfg);
+      const auto s4 = alpha > 0.0 ? solve_common_release_alpha(ts, cfg)
+                                  : solve_common_release_alpha0(ts, cfg);
+      ASSERT_TRUE(dp.feasible && s4.feasible) << "seed " << seed;
+      expect_near_rel(s4.energy, dp.energy, 1e-6, "DP vs Section 4");
+    }
+  }
+}
+
+TEST(Agreeable, SplitsFarApartTasksIntoBlocks) {
+  const auto cfg = make_cfg(0.0, 4.0, 0.0);
+  TaskSet ts;
+  ts.add(task(0, 0.0, 0.020, 3.0));
+  ts.add(task(1, 5.0, 5.020, 3.0));  // far in the future
+  const auto res = solve_agreeable(ts, cfg);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_EQ(res.case_index, 2) << "two blocks expected";
+  // Memory sleeps nearly the whole 5 s between the blocks.
+  EXPECT_GT(res.sleep_time, 4.5);
+}
+
+TEST(Agreeable, MergesOverlappingTasksIntoOneBlock) {
+  const auto cfg = make_cfg(0.0, 4.0, 0.0);
+  TaskSet ts;
+  ts.add(task(0, 0.000, 0.100, 3.0));
+  ts.add(task(1, 0.001, 0.101, 3.0));
+  ts.add(task(2, 0.002, 0.102, 3.0));
+  const auto res = solve_agreeable(ts, cfg);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_EQ(res.case_index, 1) << "one block expected";
+}
+
+TEST(Agreeable, SchedulesAreFeasible) {
+  for (double alpha : {0.0, 0.31}) {
+    const auto cfg = make_cfg(alpha, 4.0, 1900.0);
+    for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+      const TaskSet ts = make_agreeable(1 + seed % 8, seed * 29, 0.080);
+      const auto res = solve_agreeable(ts, cfg);
+      ASSERT_TRUE(res.feasible) << "seed " << seed;
+      const auto v = validate_schedule(res.schedule, ts, cfg);
+      EXPECT_TRUE(v.ok) << v.error << " seed " << seed << " alpha " << alpha;
+    }
+  }
+}
+
+TEST(Agreeable, TransitionChargeMakesMergingAttractive) {
+  // With a large xi_m, two nearby blocks pay 2 alpha_m xi_m; merging pays
+  // the dead time instead. The DP must pick whichever is cheaper, and a
+  // bigger xi_m can only reduce the optimal block count.
+  TaskSet ts;
+  ts.add(task(0, 0.000, 0.020, 3.0));
+  ts.add(task(1, 0.060, 0.080, 3.0));
+  auto cfg = make_cfg(0.0, 4.0, 0.0);
+  cfg.memory.xi_m = 0.0;
+  const auto free_transitions = solve_agreeable(ts, cfg);
+  cfg.memory.xi_m = 0.200;  // prohibitive: merging must win
+  const auto costly = solve_agreeable(ts, cfg);
+  ASSERT_TRUE(free_transitions.feasible && costly.feasible);
+  EXPECT_EQ(free_transitions.case_index, 2);
+  EXPECT_EQ(costly.case_index, 1);
+}
+
+TEST(Agreeable, RejectsNonAgreeable) {
+  const auto cfg = make_cfg(0.0, 4.0);
+  TaskSet ts;
+  ts.add(task(0, 0.0, 1.0, 1.0));
+  ts.add(task(1, 0.1, 0.5, 1.0));  // nested: later release, earlier deadline
+  EXPECT_FALSE(solve_agreeable(ts, cfg).feasible);
+}
+
+TEST(Agreeable, SingleTaskMatchesBlockSolver) {
+  const auto cfg = make_cfg(0.31, 4.0, 1900.0);
+  TaskSet ts;
+  ts.add(task(0, 0.5, 0.6, 4.0));
+  const auto dp = solve_agreeable(ts, cfg);
+  const auto blk = solve_block(ts.tasks(), cfg);
+  ASSERT_TRUE(dp.feasible && blk.feasible);
+  expect_near_rel(blk.energy, dp.energy, 1e-9, "single block");
+}
+
+}  // namespace
+}  // namespace sdem

@@ -1,0 +1,75 @@
+// Tests that the literal Algorithm 1 (§5.2) agrees with the direct convex
+// block optimizer — they compute the same fixpoint by different routes.
+#include <gtest/gtest.h>
+
+#include "core/algorithm1.hpp"
+#include "core/block.hpp"
+#include "test_util.hpp"
+#include "workload/generator.hpp"
+
+namespace sdem {
+namespace {
+
+using test::expect_near_rel;
+using test::make_cfg;
+using test::task;
+
+TEST(Algorithm1, AgreesWithDirectOptimizerSingleTask) {
+  const auto cfg = make_cfg(0.31, 4.0, 1900.0);
+  std::vector<Task> ts{task(0, 0.0, 0.100, 3.0)};
+  const auto a1 = solve_block_algorithm1(ts, cfg);
+  const auto direct = solve_block(ts, cfg);
+  ASSERT_TRUE(a1.feasible && direct.feasible);
+  expect_near_rel(direct.energy, a1.energy, 1e-6, "single task");
+}
+
+TEST(Algorithm1, AgreesWithDirectOptimizerRandomBlocks) {
+  const auto cfg = make_cfg(0.31, 4.0, 1900.0);
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const TaskSet ts = make_agreeable(2 + seed % 4, seed * 5, 0.040);
+    const auto sorted = ts.sorted_by_deadline().tasks();
+    const auto a1 = solve_block_algorithm1(sorted, cfg);
+    const auto direct = solve_block(sorted, cfg);
+    ASSERT_TRUE(direct.feasible) << "seed " << seed;
+    ASSERT_TRUE(a1.feasible) << "seed " << seed;
+    expect_near_rel(direct.energy, a1.energy, 1e-5, "seed block");
+  }
+}
+
+TEST(Algorithm1, AgreesAcrossStaticPowerRatios) {
+  // Sweep alpha vs alpha_m: exercises both phases of the algorithm — heavy
+  // memory pushes tasks to align (Type-II, capped by s_1), heavy core power
+  // evicts them to race at s_0 (Type-I).
+  for (double alpha : {0.05, 0.31, 2.0}) {
+    for (double alpha_m : {0.2, 4.0, 20.0}) {
+      const auto cfg = make_cfg(alpha, alpha_m, 1900.0);
+      const TaskSet ts = make_agreeable(4, 1234, 0.040);
+      const auto sorted = ts.sorted_by_deadline().tasks();
+      const auto a1 = solve_block_algorithm1(sorted, cfg);
+      const auto direct = solve_block(sorted, cfg);
+      ASSERT_TRUE(direct.feasible);
+      ASSERT_TRUE(a1.feasible) << alpha << " " << alpha_m;
+      expect_near_rel(direct.energy, a1.energy, 1e-5, "config block");
+    }
+  }
+}
+
+TEST(Algorithm1, TypeIITaskSpeedsWithinCriticalBand) {
+  // Lemma/Table 2: aligned (window-filling) tasks end up with speeds in
+  // [s_0, s_1]; evicted tasks run exactly at s_0.
+  const auto cfg = make_cfg(0.31, 4.0, 0.0);
+  const TaskSet ts = make_agreeable(5, 777, 0.030);
+  const auto sorted = ts.sorted_by_deadline().tasks();
+  const auto a1 = solve_block_algorithm1(sorted, cfg);
+  ASSERT_TRUE(a1.feasible);
+  for (std::size_t k = 0; k < sorted.size(); ++k) {
+    const auto& p = a1.placements[k];
+    const double s0 = cfg.core.critical_speed(sorted[k].filled_speed());
+    const double s1 = cfg.memory_critical_speed(sorted[k].filled_speed());
+    EXPECT_GE(p.speed, s0 * (1.0 - 1e-6)) << "task " << k;
+    EXPECT_LE(p.speed, s1 * (1.0 + 1e-6)) << "task " << k;
+  }
+}
+
+}  // namespace
+}  // namespace sdem

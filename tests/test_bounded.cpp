@@ -1,0 +1,121 @@
+// Tests for the bounded-core PARTITION substrate (Theorem 1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bounded/partition.hpp"
+#include "test_util.hpp"
+#include "workload/generator.hpp"
+
+namespace sdem {
+namespace {
+
+using test::expect_near_rel;
+using test::make_cfg;
+using test::task;
+
+TaskSet common_deadline_set(int n, std::uint64_t seed) {
+  // Common release 0 / deadline D, random workloads.
+  return make_common_release(n, 0.0, seed, 2.0, 5.0, 0.100, 0.100);
+}
+
+TEST(Bounded, EnergyFormulaMatchesEq2And3) {
+  // Two cores, loads 3 and 5, alpha = 0: |I_b| per Eq. (2), E per Eq. (3).
+  const auto cfg = make_cfg(0.0, 4.0, 0.0);
+  double interval = 0.0;
+  const double e = bounded_energy({3.0, 5.0}, cfg, 1.0, &interval);
+  const double lambda = 3.0, beta = cfg.core.beta;
+  const double sum_wl = 27.0 + 125.0;
+  const double ib = std::pow((lambda - 1.0) * beta * sum_wl / 4.0, 1.0 / 3.0);
+  expect_near_rel(ib, interval, 1e-12, "Eq. 2");
+  expect_near_rel(beta * sum_wl / (ib * ib) + 4.0 * ib, e, 1e-12, "Eq. 3");
+}
+
+TEST(Bounded, IntervalClampedToDeadline) {
+  const auto cfg = make_cfg(0.0, 1e-9, 0.0);  // almost-free memory: stretch
+  double interval = 0.0;
+  bounded_energy({3.0, 5.0}, cfg, 0.050, &interval);
+  EXPECT_DOUBLE_EQ(interval, 0.050);
+}
+
+TEST(Bounded, IntervalClampedToSpeedCap) {
+  const auto cfg = make_cfg(0.0, 1e9, 100.0);  // memory wants T -> 0
+  double interval = 0.0;
+  bounded_energy({3.0, 5.0}, cfg, 1.0, &interval);
+  EXPECT_NEAR(interval, 5.0 / 100.0, 1e-12);
+}
+
+TEST(Bounded, BalancedSplitMinimizesEnergy) {
+  // E is monotone in imbalance: {4,4} beats {3,5} beats {2,6}.
+  const auto cfg = make_cfg(0.0, 4.0, 0.0);
+  const double e44 = bounded_energy({4.0, 4.0}, cfg, 1.0);
+  const double e35 = bounded_energy({3.0, 5.0}, cfg, 1.0);
+  const double e26 = bounded_energy({2.0, 6.0}, cfg, 1.0);
+  EXPECT_LT(e44, e35);
+  EXPECT_LT(e35, e26);
+}
+
+TEST(Bounded, Exact2MatchesExhaustive) {
+  const auto cfg = make_cfg(0.0, 4.0, 0.0);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const TaskSet ts = common_deadline_set(8, seed);
+    const auto mm = solve_bounded_exact2(ts, cfg, 0.100);
+    const auto ex = solve_bounded_exact(ts, cfg, 0.100, 2);
+    ASSERT_TRUE(mm.feasible && ex.feasible);
+    expect_near_rel(ex.energy, mm.energy, 1e-9, "meet-in-middle vs C^n");
+  }
+}
+
+TEST(Bounded, PerfectPartitionFound) {
+  // Workloads engineered to split exactly: {8, 7, 5, 4, 3, 1} -> 14/14.
+  const auto cfg = make_cfg(0.0, 4.0, 0.0);
+  TaskSet ts;
+  const double w[] = {8, 7, 5, 4, 3, 1};
+  for (int i = 0; i < 6; ++i) ts.add(task(i, 0.0, 1.0, w[i]));
+  const auto res = solve_bounded_exact2(ts, cfg, 1.0);
+  ASSERT_TRUE(res.feasible);
+  double load0 = 0.0;
+  for (int i = 0; i < 6; ++i) {
+    if (res.assignment[i] == 0) load0 += w[i];
+  }
+  EXPECT_DOUBLE_EQ(load0, 14.0);
+}
+
+TEST(Bounded, LptNeverBeatsExactAndIsClose) {
+  const auto cfg = make_cfg(0.0, 4.0, 0.0);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const TaskSet ts = common_deadline_set(9, seed * 13);
+    const auto ex = solve_bounded_exact(ts, cfg, 0.100, 3);
+    const auto lpt = solve_bounded_lpt(ts, cfg, 0.100, 3);
+    ASSERT_TRUE(ex.feasible && lpt.feasible);
+    EXPECT_GE(lpt.energy, ex.energy - 1e-9);
+    EXPECT_LE(lpt.energy, ex.energy * 1.05) << "LPT+local search way off";
+  }
+}
+
+TEST(Bounded, MoreCoresNeverHurt) {
+  const auto cfg = make_cfg(0.0, 4.0, 0.0);
+  const TaskSet ts = common_deadline_set(8, 3);
+  double prev = 1e18;
+  for (int c : {1, 2, 4, 8}) {
+    const auto res = solve_bounded_lpt(ts, cfg, 0.100, c);
+    ASSERT_TRUE(res.feasible);
+    EXPECT_LE(res.energy, prev + 1e-9) << c << " cores";
+    prev = res.energy;
+  }
+}
+
+TEST(Bounded, AssignmentsComplete) {
+  const auto cfg = make_cfg(0.0, 4.0, 0.0);
+  const TaskSet ts = common_deadline_set(12, 77);
+  const auto res = solve_bounded_lpt(ts, cfg, 0.100, 4);
+  ASSERT_TRUE(res.feasible);
+  ASSERT_EQ(res.assignment.size(), ts.size());
+  for (int c : res.assignment) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 4);
+  }
+}
+
+}  // namespace
+}  // namespace sdem

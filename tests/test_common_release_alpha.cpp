@@ -1,0 +1,133 @@
+// Tests for the Section 4.2 optimal scheme (common release, alpha != 0).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/common_release_alpha.hpp"
+#include "core/common_release_alpha0.hpp"
+#include "core/reference.hpp"
+#include "sched/energy.hpp"
+#include "sched/validate.hpp"
+#include "test_util.hpp"
+#include "workload/generator.hpp"
+
+namespace sdem {
+namespace {
+
+using test::expect_near_rel;
+using test::make_cfg;
+using test::task;
+
+TEST(CommonReleaseAlpha, ReducesToAlpha0WhenStaticPowerVanishes) {
+  const auto cfg = make_cfg(0.0, 4.0, 1900.0);
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const TaskSet ts = make_common_release(1 + seed % 9, 0.0, seed);
+    const auto a = solve_common_release_alpha(ts, cfg);
+    const auto b = solve_common_release_alpha0(ts, cfg);
+    ASSERT_EQ(a.feasible, b.feasible) << "seed " << seed;
+    if (a.feasible) expect_near_rel(b.energy, a.energy, 1e-9, "energies");
+  }
+}
+
+TEST(CommonReleaseAlpha, MatchesReferenceAcrossConfigs) {
+  for (double alpha : {0.05, 0.31, 1.0}) {
+    for (double alpha_m : {1.0, 4.0, 8.0}) {
+      const auto cfg = make_cfg(alpha, alpha_m, 1900.0);
+      for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        const TaskSet ts = make_common_release(1 + seed % 7, 0.0, seed * 37);
+        const auto res = solve_common_release_alpha(ts, cfg);
+        ASSERT_TRUE(res.feasible);
+        const double ref = reference_common_release(ts, cfg);
+        expect_near_rel(ref, res.energy, 1e-6, "vs reference");
+      }
+    }
+  }
+}
+
+TEST(CommonReleaseAlpha, CriticalSpeedSingleTask) {
+  // With a single task and wide deadline, the task runs at
+  // s_cm-like balance: the memory is on exactly while the task runs, so the
+  // optimal speed solves min (beta s^3 + alpha + alpha_m) w / s, i.e. the
+  // memory-associated critical speed s_1.
+  const auto cfg = make_cfg(0.31, 4.0, 0.0);
+  TaskSet ts;
+  ts.add(task(0, 0.0, 10.0, 3.0));
+  const auto res = solve_common_release_alpha(ts, cfg);
+  ASSERT_TRUE(res.feasible);
+  ASSERT_EQ(res.schedule.size(), 1u);
+  const double s_cm = cfg.memory_critical_speed_raw();
+  expect_near_rel(s_cm, res.schedule.segments()[0].speed, 1e-6,
+                  "single-task speed = s_cm");
+}
+
+TEST(CommonReleaseAlpha, EarlyTasksKeepCriticalSpeed) {
+  // A short-deadline-but-small task and a big task: the small one should
+  // race at its critical speed while the big one aligns with the memory.
+  const auto cfg = make_cfg(0.31, 4.0, 0.0);
+  TaskSet ts;
+  ts.add(task(0, 0.0, 1.0, 0.5));   // small
+  ts.add(task(1, 0.0, 1.0, 40.0));  // large
+  const auto res = solve_common_release_alpha(ts, cfg);
+  ASSERT_TRUE(res.feasible);
+  const auto by_task = res.schedule.by_task();
+  const double s0_small = cfg.core.critical_speed(0.5 / 1.0);
+  if (res.case_index == 2) {
+    expect_near_rel(s0_small, by_task.at(0)[0].speed, 1e-9,
+                    "early task at s0");
+  }
+  // The large task defines the memory busy interval end.
+  const double t_end = by_task.at(1)[0].end;
+  EXPECT_GE(t_end, by_task.at(0)[0].end - 1e-12);
+}
+
+TEST(CommonReleaseAlpha, ScheduleFeasibleAndConsistent) {
+  const auto cfg = make_cfg(0.31, 4.0, 1900.0);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const TaskSet ts = make_common_release(1 + seed % 12, 0.0, seed * 101);
+    const auto res = solve_common_release_alpha(ts, cfg);
+    ASSERT_TRUE(res.feasible) << "seed " << seed;
+    const auto v = validate_schedule(res.schedule, ts, cfg);
+    ASSERT_TRUE(v.ok) << v.error << " seed " << seed;
+    const auto e = compute_energy(res.schedule, cfg);
+    expect_near_rel(res.energy, e.system_total(), 1e-9, "accounting");
+  }
+}
+
+TEST(CommonReleaseAlpha, HigherStaticPowerShrinksBusyInterval) {
+  // More expensive cores/memory => stronger race-to-idle: the busy interval
+  // shrinks monotonically with alpha_m.
+  TaskSet ts = make_common_release(6, 0.0, 7);
+  double prev_busy = 1e9;
+  for (double alpha_m : {0.5, 2.0, 8.0, 32.0}) {
+    const auto cfg = make_cfg(0.31, alpha_m, 0.0);
+    const auto res = solve_common_release_alpha(ts, cfg);
+    ASSERT_TRUE(res.feasible);
+    const double busy = res.schedule.memory_busy_time();
+    EXPECT_LE(busy, prev_busy + 1e-12) << "alpha_m " << alpha_m;
+    prev_busy = busy;
+  }
+}
+
+TEST(CommonReleaseAlpha, CommonDeadlineClosedForm) {
+  // Common release AND deadline: all tasks align; the optimum follows
+  // Eqs. (7)/(8) with i = 1.
+  const auto cfg = make_cfg(0.31, 4.0, 0.0);
+  TaskSet ts;
+  const double d = 0.100;
+  ts.add(task(0, 0.0, d, 2.0));
+  ts.add(task(1, 0.0, d, 3.0));
+  ts.add(task(2, 0.0, d, 4.0));
+  const auto res = solve_common_release_alpha(ts, cfg);
+  ASSERT_TRUE(res.feasible);
+  const double lambda = cfg.core.lambda;
+  const double sum_wl = std::pow(2.0, 3) + std::pow(3.0, 3) + std::pow(4.0, 3);
+  const double devices = 3 * cfg.core.alpha + cfg.memory.alpha_m;
+  const double t_star = std::pow(
+      cfg.core.beta * (lambda - 1.0) * sum_wl / devices, 1.0 / lambda);
+  const double e_star = devices * t_star +
+                        cfg.core.beta * sum_wl / (t_star * t_star);
+  expect_near_rel(e_star, res.energy, 1e-9, "Eq.7/8 closed form");
+}
+
+}  // namespace
+}  // namespace sdem

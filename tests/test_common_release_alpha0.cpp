@@ -1,0 +1,159 @@
+// Tests for the Section 4.1 optimal scheme (common release, alpha == 0).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/common_release_alpha0.hpp"
+#include "core/reference.hpp"
+#include "sched/energy.hpp"
+#include "sched/validate.hpp"
+#include "test_util.hpp"
+#include "workload/generator.hpp"
+
+namespace sdem {
+namespace {
+
+using test::expect_near_rel;
+using test::make_cfg;
+using test::task;
+
+TEST(CommonReleaseAlpha0, SingleTaskBalancesMemoryAgainstDynamic) {
+  // One task, alpha_m chosen so the interior optimum is strictly inside:
+  // E(T) = alpha_m T + beta w^3 / T^2, minimized at T = (2 beta w^3 /
+  // alpha_m)^(1/3).
+  const auto cfg = make_cfg(0.0, 4.0, 0.0);
+  TaskSet ts;
+  ts.add(task(0, 0.0, 0.100, 3.0));
+  const auto res = solve_common_release_alpha0(ts, cfg);
+  ASSERT_TRUE(res.feasible);
+  const double t_opt =
+      std::cbrt(2.0 * cfg.core.beta * 27.0 / cfg.memory.alpha_m);
+  ASSERT_LT(t_opt, 0.100);  // interior
+  expect_near_rel(0.100 - t_opt, res.sleep_time, 1e-9, "sleep time");
+  const double e_opt = cfg.memory.alpha_m * t_opt +
+                       cfg.core.beta * 27.0 / (t_opt * t_opt);
+  expect_near_rel(e_opt, res.energy, 1e-9, "energy");
+}
+
+TEST(CommonReleaseAlpha0, SingleTaskPinnedAtDeadlineWhenMemoryCheap) {
+  // Tiny alpha_m: stretching to the whole region wins, Delta = 0.
+  const auto cfg = make_cfg(0.0, 1e-6, 0.0);
+  TaskSet ts;
+  ts.add(task(0, 0.0, 0.050, 4.0));
+  const auto res = solve_common_release_alpha0(ts, cfg);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_NEAR(res.sleep_time, 0.0, 1e-9);
+}
+
+TEST(CommonReleaseAlpha0, SpeedCapLimitsSleep) {
+  // Huge alpha_m wants T -> 0, but s_up bounds the compression.
+  const auto cfg = make_cfg(0.0, 1e4, 100.0);
+  TaskSet ts;
+  ts.add(task(0, 0.0, 0.100, 5.0));  // w/s_up = 50 ms
+  const auto res = solve_common_release_alpha0(ts, cfg);
+  ASSERT_TRUE(res.feasible);
+  expect_near_rel(0.050, res.sleep_time, 1e-9, "sleep capped by s_up");
+  const auto v = validate_schedule(res.schedule, ts, cfg);
+  EXPECT_TRUE(v.ok) << v.error;
+}
+
+TEST(CommonReleaseAlpha0, MatchesReferenceOnMixedDeadlines) {
+  const auto cfg = make_cfg(0.0, 4.0, 0.0);
+  TaskSet ts;
+  ts.add(task(0, 0.0, 0.020, 2.5));
+  ts.add(task(1, 0.0, 0.060, 4.0));
+  ts.add(task(2, 0.0, 0.120, 3.0));
+  const auto res = solve_common_release_alpha0(ts, cfg);
+  ASSERT_TRUE(res.feasible);
+  const double ref = reference_common_release(ts, cfg);
+  expect_near_rel(ref, res.energy, 1e-6, "vs reference");
+}
+
+TEST(CommonReleaseAlpha0, ScheduleEnergyMatchesAnalytic) {
+  const auto cfg = make_cfg(0.0, 3.0, 1900.0);
+  const TaskSet ts = make_common_release(8, 0.0, /*seed=*/42);
+  const auto res = solve_common_release_alpha0(ts, cfg);
+  ASSERT_TRUE(res.feasible);
+  const auto v = validate_schedule(res.schedule, ts, cfg);
+  ASSERT_TRUE(v.ok) << v.error;
+  // Recompute from segments: memory busy + dynamic. With alpha == 0 the
+  // accounting model charges exactly the analytic terms.
+  const auto e = compute_energy(res.schedule, cfg);
+  expect_near_rel(res.energy, e.system_total(), 1e-9, "accounting");
+}
+
+TEST(CommonReleaseAlpha0, BinarySearchAgreesWithScan) {
+  const auto cfg = make_cfg(0.0, 4.0, 1900.0);
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const TaskSet ts = make_common_release(1 + seed % 17, 0.0, seed);
+    const auto scan = solve_common_release_alpha0(ts, cfg);
+    const auto bin = solve_common_release_alpha0_binary(ts, cfg);
+    ASSERT_EQ(scan.feasible, bin.feasible) << "seed " << seed;
+    if (scan.feasible) {
+      expect_near_rel(scan.energy, bin.energy, 1e-9, "seed energy");
+    }
+  }
+}
+
+TEST(CommonReleaseAlpha0, DeltaMiMonotoneInCaseIndex) {
+  // Eq. (5): Delta_mi increases with i. Probe it through local optima of a
+  // deadline-spread instance: the winning case's Delta must lie in-domain.
+  const auto cfg = make_cfg(0.0, 4.0, 0.0);
+  TaskSet ts;
+  ts.add(task(0, 0.0, 0.010, 2.0));
+  ts.add(task(1, 0.0, 0.030, 2.0));
+  ts.add(task(2, 0.0, 0.070, 2.0));
+  ts.add(task(3, 0.0, 0.120, 2.0));
+  const auto res = solve_common_release_alpha0(ts, cfg);
+  ASSERT_TRUE(res.feasible);
+  ASSERT_GE(res.case_index, 1);
+  // Every stretched task ends exactly at |I| - Delta.
+  const double t_end = 0.120 - res.sleep_time;
+  for (const auto& seg : res.schedule.segments()) {
+    EXPECT_LE(seg.end, t_end + 1e-12);
+  }
+}
+
+TEST(CommonReleaseAlpha0, RejectsNonCommonRelease) {
+  const auto cfg = make_cfg(0.0, 4.0);
+  TaskSet ts;
+  ts.add(task(0, 0.0, 0.1, 1.0));
+  ts.add(task(1, 0.01, 0.1, 1.0));
+  EXPECT_FALSE(solve_common_release_alpha0(ts, cfg).feasible);
+}
+
+TEST(CommonReleaseAlpha0, RejectsInfeasibleSpeed) {
+  const auto cfg = make_cfg(0.0, 4.0, 100.0);
+  TaskSet ts;
+  ts.add(task(0, 0.0, 0.010, 5.0));  // filled speed 500 MHz > 100
+  EXPECT_FALSE(solve_common_release_alpha0(ts, cfg).feasible);
+}
+
+TEST(CommonReleaseAlpha0, ZeroWorkTasksAreFree) {
+  const auto cfg = make_cfg(0.0, 4.0);
+  TaskSet ts;
+  ts.add(task(0, 0.0, 0.1, 0.0));
+  ts.add(task(1, 0.0, 0.1, 3.0));
+  const auto res = solve_common_release_alpha0(ts, cfg);
+  ASSERT_TRUE(res.feasible);
+  for (const auto& seg : res.schedule.segments()) {
+    EXPECT_EQ(seg.task_id, 1);
+  }
+}
+
+TEST(CommonReleaseAlpha0, NonZeroReleaseShiftsSchedule) {
+  const auto cfg = make_cfg(0.0, 4.0);
+  TaskSet a, b;
+  a.add(task(0, 0.0, 0.080, 3.0));
+  a.add(task(1, 0.0, 0.040, 2.0));
+  b.add(task(0, 1.0, 1.080, 3.0));
+  b.add(task(1, 1.0, 1.040, 2.0));
+  const auto ra = solve_common_release_alpha0(a, cfg);
+  const auto rb = solve_common_release_alpha0(b, cfg);
+  ASSERT_TRUE(ra.feasible && rb.feasible);
+  expect_near_rel(ra.energy, rb.energy, 1e-12, "shift invariance");
+  expect_near_rel(ra.sleep_time, rb.sleep_time, 1e-12, "shift invariance");
+}
+
+}  // namespace
+}  // namespace sdem

@@ -1,0 +1,132 @@
+// Tests for the discrete-DVFS-aware common-release solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/common_release_alpha.hpp"
+#include "core/discrete_solver.hpp"
+#include "core/discretize.hpp"
+#include "sched/energy.hpp"
+#include "sched/validate.hpp"
+#include "test_util.hpp"
+#include "workload/generator.hpp"
+
+namespace sdem {
+namespace {
+
+using test::expect_near_rel;
+using test::make_cfg;
+using test::task;
+
+TEST(DiscreteWindow, RaceBranchUsesCheapestLevel) {
+  const auto cfg = make_cfg(0.31, 4.0, 1900.0);
+  const auto ladder = FrequencyLadder::a57_opps();
+  const Task t = task(0, 0.0, 1.0, 3.0);  // very loose window
+  double hi = 0, lo = 0, t_hi = 0;
+  const double e = discrete_window_energy(t, cfg.core, ladder, 1.0, &hi, &lo,
+                                          &t_hi);
+  EXPECT_EQ(hi, lo);
+  // Cheapest level: the one with the lowest energy-per-cycle (closest to
+  // s_m ~ 849 in cost — that's 1000 on the A57 ladder; verify by direct
+  // comparison).
+  double best = 1e18, best_level = 0;
+  for (double s : ladder.levels()) {
+    const double epc = cfg.core.exec_energy(3.0, s);
+    if (epc < best) {
+      best = epc;
+      best_level = s;
+    }
+  }
+  EXPECT_EQ(hi, best_level);
+  expect_near_rel(best, e, 1e-12, "race energy");
+}
+
+TEST(DiscreteWindow, TightBranchFillsWithAdjacentPair) {
+  const auto cfg = make_cfg(0.31, 4.0, 1900.0);
+  const auto ladder = FrequencyLadder::a57_opps();
+  const Task t = task(0, 0.0, 1.0, 3.0);
+  const double window = 3.0 / 1100.0;  // fill speed 1100: between 1000/1200
+  double hi = 0, lo = 0, t_hi = 0;
+  const double e =
+      discrete_window_energy(t, cfg.core, ladder, window, &hi, &lo, &t_hi);
+  EXPECT_EQ(lo, 1000.0);
+  EXPECT_EQ(hi, 1200.0);
+  // Work conservation: hi*t_hi + lo*(window-t_hi) == 3.0.
+  expect_near_rel(3.0, hi * t_hi + lo * (window - t_hi), 1e-9, "work");
+  EXPECT_GT(e, 0.0);
+}
+
+TEST(DiscreteWindow, InfeasibleBeyondTopLevel) {
+  const auto cfg = make_cfg(0.31, 4.0, 1900.0);
+  const auto ladder = FrequencyLadder::a57_opps();
+  const Task t = task(0, 0.0, 1.0, 3.0);
+  EXPECT_TRUE(std::isinf(
+      discrete_window_energy(t, cfg.core, ladder, 3.0 / 2500.0)));
+}
+
+TEST(DiscreteSolver, BracketsContinuousAndPostHoc) {
+  // continuous optimum <= discrete-aware <= post-hoc discretization.
+  auto cfg = make_cfg(0.31, 4.0, 1900.0);
+  cfg.memory.xi_m = 0.0;
+  for (int levels : {3, 6, 12}) {
+    const auto ladder = FrequencyLadder::uniform(levels, 700.0, 1900.0);
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      const TaskSet ts = make_common_release(8, 0.0, seed * 97);
+      const auto cont = solve_common_release_alpha(ts, cfg);
+      const auto aware = solve_common_release_discrete(ts, cfg, ladder);
+      ASSERT_TRUE(cont.feasible && aware.feasible);
+      const auto posthoc = discretize_schedule(cont.schedule, ladder);
+      ASSERT_TRUE(posthoc.feasible);
+      const double e_post = system_energy(posthoc.schedule, cfg);
+      EXPECT_GE(aware.energy, cont.energy - 1e-9) << levels << " levels";
+      EXPECT_LE(aware.energy, e_post + 1e-9) << levels << " levels";
+      const auto v = validate_schedule(aware.schedule, ts, cfg);
+      EXPECT_TRUE(v.ok) << v.error;
+      // Analytic energy equals the schedule's accounted energy.
+      expect_near_rel(aware.energy, system_energy(aware.schedule, cfg), 1e-9,
+                      "accounting");
+    }
+  }
+}
+
+TEST(DiscreteSolver, DenseLadderConvergesToContinuous) {
+  auto cfg = make_cfg(0.31, 4.0, 1900.0);
+  cfg.memory.xi_m = 0.0;
+  const TaskSet ts = make_common_release(6, 0.0, 5);
+  const auto cont = solve_common_release_alpha(ts, cfg);
+  const auto aware = solve_common_release_discrete(
+      ts, cfg, FrequencyLadder::uniform(257, 700.0, 1900.0));
+  ASSERT_TRUE(cont.feasible && aware.feasible);
+  expect_near_rel(cont.energy, aware.energy, 1e-3, "dense ladder");
+}
+
+TEST(DiscreteSolver, MatchesBruteForceTinyInstance) {
+  // One task, two levels: enumerate the memory end T on a dense grid with
+  // the same discrete window cost.
+  auto cfg = make_cfg(0.31, 4.0, 1900.0);
+  cfg.memory.xi_m = 0.0;
+  const FrequencyLadder ladder({800.0, 1600.0});
+  TaskSet ts;
+  ts.add(task(0, 0.0, 0.010, 6.0));
+  const auto res = solve_common_release_discrete(ts, cfg, ladder);
+  ASSERT_TRUE(res.feasible);
+  double best = 1e18;
+  for (int i = 1; i <= 400000; ++i) {
+    const double T = 0.010 * i / 400000.0;
+    const double e = cfg.memory.alpha_m * T +
+                     discrete_window_energy(ts[0], cfg.core, ladder, T);
+    best = std::min(best, e);
+  }
+  expect_near_rel(best, res.energy, 1e-6, "vs dense T grid");
+}
+
+TEST(DiscreteSolver, RejectsOverloaded) {
+  const auto cfg = make_cfg(0.31, 4.0, 1900.0);
+  const FrequencyLadder ladder({700.0, 1000.0});
+  TaskSet ts;
+  ts.add(task(0, 0.0, 0.001, 3.0));  // needs 3000 MHz
+  EXPECT_FALSE(solve_common_release_discrete(ts, cfg, ladder).feasible);
+}
+
+}  // namespace
+}  // namespace sdem

@@ -1,0 +1,113 @@
+// Tests for the Ishihara-Yasuura discrete-frequency realization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/common_release_alpha.hpp"
+#include "core/discretize.hpp"
+#include "sched/energy.hpp"
+#include "sched/validate.hpp"
+#include "test_util.hpp"
+#include "workload/generator.hpp"
+
+namespace sdem {
+namespace {
+
+using test::expect_near_rel;
+using test::make_cfg;
+using test::task;
+
+TEST(FrequencyLadder, BracketSemantics) {
+  const auto l = FrequencyLadder::a57_opps();
+  EXPECT_EQ(l.bracket(1000.0), std::make_pair(1000.0, 1000.0));  // exact
+  EXPECT_EQ(l.bracket(1100.0), std::make_pair(1000.0, 1200.0));  // interior
+  EXPECT_EQ(l.bracket(100.0), std::make_pair(700.0, 700.0));     // below
+  EXPECT_EQ(l.bracket(9999.0), std::make_pair(1900.0, 1900.0));  // above
+}
+
+TEST(FrequencyLadder, UniformConstruction) {
+  const auto l = FrequencyLadder::uniform(4, 400.0, 1000.0);
+  ASSERT_EQ(l.levels().size(), 4u);
+  EXPECT_DOUBLE_EQ(l.levels()[1], 600.0);
+  EXPECT_THROW(FrequencyLadder({}), std::invalid_argument);
+  EXPECT_THROW(FrequencyLadder({-1.0}), std::invalid_argument);
+}
+
+TEST(Discretize, SplitPreservesWorkAndDuration) {
+  Schedule s;
+  s.add(Segment{0, 0, 0.0, 1.0, 1100.0});  // between 1000 and 1200
+  const auto d = discretize_schedule(s, FrequencyLadder::a57_opps());
+  EXPECT_TRUE(d.feasible);
+  EXPECT_EQ(d.splits, 1);
+  ASSERT_EQ(d.schedule.size(), 2u);
+  expect_near_rel(1100.0, d.schedule.task_work(0), 1e-12, "work preserved");
+  expect_near_rel(1.0, d.schedule.end_time(), 1e-12, "duration preserved");
+  // The exact Ishihara-Yasuura weights: t_hi = (1100-1000)/200 = 0.5.
+  EXPECT_NEAR(d.schedule.segments()[0].duration(), 0.5, 1e-12);
+  EXPECT_NEAR(d.schedule.segments()[0].speed, 1200.0, 1e-12);
+}
+
+TEST(Discretize, ExactLevelUntouched) {
+  Schedule s;
+  s.add(Segment{0, 0, 0.0, 1.0, 1200.0});
+  const auto d = discretize_schedule(s, FrequencyLadder::a57_opps());
+  EXPECT_EQ(d.splits, 0);
+  ASSERT_EQ(d.schedule.size(), 1u);
+  EXPECT_EQ(d.schedule.segments()[0].speed, 1200.0);
+}
+
+TEST(Discretize, BelowBottomRacesAtBottom) {
+  Schedule s;
+  s.add(Segment{0, 0, 0.0, 1.0, 350.0});
+  const auto d = discretize_schedule(s, FrequencyLadder::a57_opps());
+  EXPECT_TRUE(d.feasible);
+  ASSERT_EQ(d.schedule.size(), 1u);
+  EXPECT_EQ(d.schedule.segments()[0].speed, 700.0);
+  EXPECT_NEAR(d.schedule.segments()[0].end, 0.5, 1e-12);  // finishes early
+  expect_near_rel(350.0, d.schedule.task_work(0), 1e-12, "work preserved");
+}
+
+TEST(Discretize, AboveTopIsFlagged) {
+  Schedule s;
+  s.add(Segment{0, 0, 0.0, 1.0, 2500.0});
+  const auto d = discretize_schedule(s, FrequencyLadder::a57_opps());
+  EXPECT_FALSE(d.feasible);
+}
+
+TEST(Discretize, EnergyPenaltyNonNegativeAndShrinksWithLevels) {
+  // Realizing a continuous optimum on a ladder can only cost extra energy
+  // (convexity), and denser ladders cost less.
+  const auto cfg = make_cfg(0.31, 4.0, 1900.0);
+  const TaskSet ts = make_common_release(8, 0.0, 5);
+  const auto cont = solve_common_release_alpha(ts, cfg);
+  ASSERT_TRUE(cont.feasible);
+  const double base = system_energy(cont.schedule, cfg);
+  double prev = 1e18;
+  for (int levels : {2, 3, 5, 9, 17, 65}) {
+    const auto ladder = FrequencyLadder::uniform(levels, 700.0, 1900.0);
+    const auto d = discretize_schedule(cont.schedule, ladder);
+    ASSERT_TRUE(d.feasible) << levels << " levels";
+    const double e = system_energy(d.schedule, cfg);
+    EXPECT_GE(e, base - 1e-9) << levels;
+    EXPECT_LE(e, prev + 1e-9) << levels << " levels should not cost more";
+    prev = e;
+    // Discretized schedule must still be feasible against the tasks.
+    const auto v = validate_schedule(d.schedule, ts, cfg);
+    EXPECT_TRUE(v.ok) << v.error;
+  }
+  expect_near_rel(base, prev, 1e-3, "dense ladder converges to continuous");
+}
+
+TEST(Discretize, FastFirstDominatesProgress) {
+  // The fast sub-segment runs first, so cumulative work at any time is >=
+  // the continuous schedule's.
+  Schedule s;
+  s.add(Segment{0, 0, 0.0, 2.0, 900.0});
+  const auto d =
+      discretize_schedule(s, FrequencyLadder::uniform(2, 700.0, 1900.0));
+  ASSERT_EQ(d.schedule.size(), 2u);
+  EXPECT_GT(d.schedule.segments()[0].speed, d.schedule.segments()[1].speed);
+}
+
+}  // namespace
+}  // namespace sdem

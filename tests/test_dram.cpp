@@ -1,0 +1,131 @@
+// Tests for the DRAM power-state machine and its paper-model abstraction.
+#include <gtest/gtest.h>
+
+#include "mem/dram.hpp"
+#include "sched/energy.hpp"
+#include "test_util.hpp"
+
+namespace sdem {
+namespace {
+
+using test::make_cfg;
+
+Schedule gap_schedule(double gap) {
+  Schedule s;
+  s.add(Segment{0, 0, 0.0, 1.0, 1000.0});
+  s.add(Segment{1, 0, 1.0 + gap, 2.0 + gap, 1000.0});
+  return s;
+}
+
+TEST(Dram, NoPowerDownBurnsActiveEverywhere) {
+  const auto p = DramPowerParams::paper_50nm();
+  NoPowerDownPolicy pol;
+  const auto r = replay_dram(gap_schedule(1.0), p, pol, 0.0, 3.0);
+  EXPECT_NEAR(r.total(), p.p_active * 3.0, 1e-9);
+  EXPECT_EQ(r.powerdown_cycles, 0);
+  EXPECT_EQ(r.selfrefresh_cycles, 0);
+}
+
+TEST(Dram, ImmediatePowerDownUsesShallowState) {
+  const auto p = DramPowerParams::paper_50nm();
+  ImmediatePowerDownPolicy pol;
+  const auto r = replay_dram(gap_schedule(1.0), p, pol, 0.0, 3.0);
+  EXPECT_EQ(r.powerdown_cycles, 1);
+  EXPECT_NEAR(r.powerdown, p.p_powerdown * 1.0, 1e-9);
+  EXPECT_NEAR(r.transition, p.e_powerdown, 1e-12);
+}
+
+TEST(Dram, OraclePrefersSelfRefreshOnLongGaps) {
+  const auto p = DramPowerParams::paper_50nm();
+  OracleDramPolicy pol;
+  const auto long_gap = replay_dram(gap_schedule(2.0), p, pol, 0.0, 4.0);
+  EXPECT_EQ(long_gap.selfrefresh_cycles, 1);
+  // Short gap (1 ms): self refresh's pair energy cannot amortize; power-down
+  // can (tiny pair energy, fits easily).
+  const auto short_gap = replay_dram(gap_schedule(0.001), p, pol, 0.0, 2.001);
+  EXPECT_EQ(short_gap.selfrefresh_cycles, 0);
+  EXPECT_EQ(short_gap.powerdown_cycles, 1);
+}
+
+TEST(Dram, LatencyGateClampsIllegalChoices) {
+  auto p = DramPowerParams::paper_50nm();
+  p.t_selfrefresh = 10.0;  // cannot fit any gap here
+  OracleDramPolicy pol;
+  const auto r = replay_dram(gap_schedule(2.0), p, pol, 0.0, 4.0);
+  EXPECT_EQ(r.selfrefresh_cycles, 0);
+}
+
+TEST(Dram, OracleNeverWorseThanOtherPolicies) {
+  const auto p = DramPowerParams::paper_50nm();
+  for (double gap : {1e-7, 1e-4, 0.003, 0.040, 0.5, 5.0}) {
+    OracleDramPolicy oracle;
+    NoPowerDownPolicy never;
+    ImmediatePowerDownPolicy imm;
+    const auto sched = gap_schedule(gap);
+    const double hi = 2.0 + gap;
+    const double e_o = replay_dram(sched, p, oracle, 0.0, hi).total();
+    EXPECT_LE(e_o, replay_dram(sched, p, never, 0.0, hi).total() + 1e-12);
+    EXPECT_LE(e_o, replay_dram(sched, p, imm, 0.0, hi).total() + 1e-12);
+  }
+}
+
+TEST(Dram, AbstractionMatchesPaperDefaults) {
+  const auto p = DramPowerParams::paper_50nm();
+  const auto a = abstraction_for(p);
+  EXPECT_NEAR(a.alpha_m, 4.0, 1e-9);   // p_active - p_selfrefresh
+  EXPECT_NEAR(a.xi_m, 0.040, 1e-9);    // pair / alpha_m
+  EXPECT_NEAR(a.floor_power, 0.25, 1e-12);
+}
+
+TEST(Dram, AbstractionTracksTheMachine) {
+  // For gaps where self refresh dominates, machine energy equals the
+  // abstract accounting plus the constant floor: replay = (alpha_m model
+  // with xi_m) + p_floor * horizon, within the shallow-state error.
+  const auto p = DramPowerParams::paper_50nm();
+  const auto a = abstraction_for(p);
+  auto cfg = make_cfg(0.0, a.alpha_m);
+  cfg.memory.xi_m = a.xi_m;
+  for (double gap : {0.200, 0.500, 1.0}) {  // self refresh dominates here
+    const auto sched = gap_schedule(gap);
+    const double hi = 2.0 + gap;
+    OracleDramPolicy oracle;
+    const double machine = replay_dram(sched, p, oracle, 0.0, hi).total();
+    EnergyOptions opts;
+    opts.horizon_lo = 0.0;
+    opts.horizon_hi = hi;
+    const double abstract =
+        compute_energy(sched, cfg, opts).memory_total() + a.floor_power * hi;
+    EXPECT_NEAR(machine, abstract, 0.01 * machine) << "gap " << gap;
+  }
+  // Mid-length gaps (40..137 ms here) are where the richer ladder beats the
+  // two-state abstraction: the oracle drops to power-down, which the
+  // abstraction cannot express — machine <= abstraction always.
+  for (double gap : {0.001, 0.060, 0.100, 0.200, 2.0}) {
+    const auto sched = gap_schedule(gap);
+    const double hi = 2.0 + gap;
+    OracleDramPolicy oracle;
+    const double machine = replay_dram(sched, p, oracle, 0.0, hi).total();
+    EnergyOptions opts;
+    opts.horizon_lo = 0.0;
+    opts.horizon_hi = hi;
+    const double abstract =
+        compute_energy(sched, cfg, opts).memory_total() + a.floor_power * hi;
+    EXPECT_LE(machine, abstract + 1e-9) << "gap " << gap;
+  }
+}
+
+TEST(Dram, EmptyScheduleSleepsWholeHorizon) {
+  const auto p = DramPowerParams::paper_50nm();
+  OracleDramPolicy pol;
+  const auto r = replay_dram(Schedule{}, p, pol, 0.0, 10.0);
+  EXPECT_EQ(r.selfrefresh_cycles, 1);
+  EXPECT_NEAR(r.selfrefresh, p.p_selfrefresh * 10.0, 1e-9);
+}
+
+TEST(Dram, StateNames) {
+  EXPECT_EQ(to_string(DramState::kActive), "active");
+  EXPECT_EQ(to_string(DramState::kSelfRefresh), "self-refresh");
+}
+
+}  // namespace
+}  // namespace sdem

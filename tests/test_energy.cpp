@@ -1,0 +1,134 @@
+// Tests for the energy accounting model (sched/energy.hpp).
+#include <gtest/gtest.h>
+
+#include "sched/energy.hpp"
+#include "test_util.hpp"
+
+namespace sdem {
+namespace {
+
+using test::make_cfg;
+
+Schedule gap_schedule() {
+  // One core, two bursts with a 1 s gap; memory follows.
+  Schedule s;
+  s.add(Segment{0, 0, 0.0, 1.0, 1000.0});
+  s.add(Segment{1, 0, 2.0, 3.0, 1000.0});
+  return s;
+}
+
+TEST(Energy, DynamicEnergyIsBetaS3T) {
+  const auto cfg = make_cfg(0.0, 0.0);
+  const auto e = compute_energy(gap_schedule(), cfg);
+  EXPECT_NEAR(e.core_dynamic, 2.0 * cfg.core.beta * 1e9, 1e-9);
+  EXPECT_EQ(e.core_static, 0.0);
+  EXPECT_EQ(e.memory_total(), 0.0);
+}
+
+TEST(Energy, MemoryActiveTracksBusyUnion) {
+  const auto cfg = make_cfg(0.0, 4.0);
+  const auto e = compute_energy(gap_schedule(), cfg);
+  EXPECT_NEAR(e.memory_active, 4.0 * 2.0, 1e-12);
+  // xi_m == 0: the gap sleeps for free.
+  EXPECT_EQ(e.memory_idle, 0.0);
+  EXPECT_EQ(e.memory_transition, 0.0);
+  EXPECT_NEAR(e.memory_sleep_time, 1.0, 1e-12);
+}
+
+TEST(Energy, NeverSleepChargesGapAndHorizon) {
+  const auto cfg = make_cfg(0.0, 4.0);
+  EnergyOptions opts;
+  opts.memory_gaps = SleepDiscipline::kNever;
+  opts.horizon_lo = 0.0;
+  opts.horizon_hi = 5.0;
+  const auto e = compute_energy(gap_schedule(), cfg, opts);
+  // Busy 2 s active; idle = 1 s interior gap + 2 s trailing.
+  EXPECT_NEAR(e.memory_active, 8.0, 1e-12);
+  EXPECT_NEAR(e.memory_idle, 4.0 * 3.0, 1e-12);
+  EXPECT_EQ(e.memory_sleep_time, 0.0);
+}
+
+TEST(Energy, OptimalRespectsBreakEven) {
+  auto cfg = make_cfg(0.0, 4.0);
+  cfg.memory.xi_m = 2.0;  // gap of 1 s is below break-even: idle through it
+  const auto e = compute_energy(gap_schedule(), cfg);
+  EXPECT_NEAR(e.memory_idle, 4.0 * 1.0, 1e-12);
+  EXPECT_EQ(e.memory_transition, 0.0);
+
+  cfg.memory.xi_m = 0.5;  // now sleeping pays
+  const auto e2 = compute_energy(gap_schedule(), cfg);
+  EXPECT_EQ(e2.memory_idle, 0.0);
+  EXPECT_NEAR(e2.memory_transition, 4.0 * 0.5, 1e-12);
+  EXPECT_NEAR(e2.memory_sleep_time, 1.0, 1e-12);
+}
+
+TEST(Energy, AlwaysSleepPaysPairEvenForTinyGaps) {
+  auto cfg = make_cfg(0.0, 4.0);
+  cfg.memory.xi_m = 2.0;
+  EnergyOptions opts;
+  opts.memory_gaps = SleepDiscipline::kAlways;
+  const auto e = compute_energy(gap_schedule(), cfg, opts);
+  // The naive sleeper pays a full pair (4 W * 2 s) for a 1 s gap: worse
+  // than idling (4 J).
+  EXPECT_NEAR(e.memory_transition, 8.0, 1e-12);
+  EXPECT_GT(e.memory_total(),
+            compute_energy(gap_schedule(), cfg).memory_total());
+}
+
+TEST(Energy, CoreStaticAndTransitions) {
+  auto cfg = make_cfg(0.5, 0.0);
+  cfg.core.xi = 0.5;
+  const auto e = compute_energy(gap_schedule(), cfg);
+  EXPECT_NEAR(e.core_static, 0.5 * 2.0, 1e-12);
+  // 1 s gap >= 0.5 s break-even: sleep, one pair at alpha * xi.
+  EXPECT_NEAR(e.core_transition, 0.5 * 0.5, 1e-12);
+  EXPECT_EQ(e.core_idle, 0.0);
+}
+
+TEST(Energy, CoreShortGapIdles) {
+  auto cfg = make_cfg(0.5, 0.0);
+  cfg.core.xi = 3.0;
+  const auto e = compute_energy(gap_schedule(), cfg);
+  EXPECT_NEAR(e.core_idle, 0.5 * 1.0, 1e-12);
+  EXPECT_EQ(e.core_transition, 0.0);
+}
+
+TEST(Energy, PerCoreGapsIndependent) {
+  // Two cores with interleaved bursts: memory has no gap, cores do.
+  Schedule s;
+  s.add(Segment{0, 0, 0.0, 1.0, 1000.0});
+  s.add(Segment{1, 1, 1.0, 2.0, 1000.0});
+  s.add(Segment{2, 0, 2.0, 3.0, 1000.0});
+  auto cfg = make_cfg(0.5, 4.0);
+  cfg.core.xi = 0.1;
+  const auto e = compute_energy(s, cfg);
+  EXPECT_NEAR(e.memory_active, 4.0 * 3.0, 1e-12);
+  EXPECT_EQ(e.memory_transition, 0.0);  // no memory gap at all
+  // Core 0 has a 1 s gap: one pair. Core 1 has none.
+  EXPECT_NEAR(e.core_transition, 0.5 * 0.1, 1e-12);
+}
+
+TEST(Energy, EmptyScheduleUnderHorizon) {
+  const auto cfg = make_cfg(0.31, 4.0);
+  EnergyOptions opts;
+  opts.memory_gaps = SleepDiscipline::kNever;
+  opts.horizon_lo = 0.0;
+  opts.horizon_hi = 10.0;
+  const auto e = compute_energy(Schedule{}, cfg, opts);
+  EXPECT_NEAR(e.memory_idle, 40.0, 1e-12);  // always-on memory burns leakage
+  EXPECT_EQ(e.core_total(), 0.0);           // no core was ever used
+}
+
+TEST(Energy, SystemTotalIsSumOfParts) {
+  auto cfg = make_cfg(0.31, 4.0);
+  cfg.core.xi = 0.2;
+  cfg.memory.xi_m = 0.3;
+  const auto e = compute_energy(gap_schedule(), cfg);
+  EXPECT_NEAR(e.system_total(), e.core_total() + e.memory_total(), 1e-12);
+  EXPECT_NEAR(e.core_total(),
+              e.core_dynamic + e.core_static + e.core_idle + e.core_transition,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace sdem

@@ -1,0 +1,104 @@
+// Figure-shape tests: the paper's qualitative evaluation claims, asserted
+// (small versions of the bench sweeps — the benches print the full tables,
+// these keep the shapes from regressing).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "workload/dspstone.hpp"
+#include "workload/generator.hpp"
+
+namespace sdem {
+namespace {
+
+SystemConfig paper_cfg() { return SystemConfig::paper_default(); }
+
+double dspstone_saving(double u, bool memory_only, bool mbkps,
+                       int seeds = 4) {
+  double acc = 0.0;
+  for (int s = 1; s <= seeds; ++s) {
+    DspstoneParams p;
+    p.num_tasks = 120;
+    p.utilization_u = u;
+    const auto cmp = run_comparison(make_dspstone(p, s * 977), paper_cfg());
+    if (memory_only) {
+      acc += mbkps ? cmp.memory_saving_mbkps() : cmp.memory_saving_sdem();
+    } else {
+      acc += mbkps ? cmp.system_saving_mbkps() : cmp.system_saving_sdem();
+    }
+  }
+  return acc / seeds;
+}
+
+TEST(Fig6aShape, SdemAboveMbkpsAtEveryU) {
+  for (double u : {2.0, 5.0, 9.0}) {
+    EXPECT_GT(dspstone_saving(u, true, false),
+              dspstone_saving(u, true, true) - 1e-9)
+        << "U " << u;
+  }
+}
+
+TEST(Fig6aShape, MemorySavingGrowsAsSystemIdles) {
+  EXPECT_LT(dspstone_saving(2.0, true, false),
+            dspstone_saving(9.0, true, false));
+}
+
+TEST(Fig6bShape, MbkpsDegeneratesToMbkpWhenBusy) {
+  // "MBKPS can barely idle the memory" at U = 2.
+  EXPECT_LT(dspstone_saving(2.0, false, true), 0.08);
+  EXPECT_GT(dspstone_saving(9.0, false, true), 0.15);
+}
+
+TEST(Fig6bShape, SdemEdgePeaksAwayFromIdle) {
+  // The SDEM-ON - MBKPS gap at mid utilization exceeds the gap when idle.
+  const double gap_mid = dspstone_saving(4.0, false, false) -
+                         dspstone_saving(4.0, false, true);
+  const double gap_idle = dspstone_saving(9.0, false, false) -
+                          dspstone_saving(9.0, false, true);
+  EXPECT_GT(gap_mid, gap_idle);
+  EXPECT_GT(gap_idle, 0.0);
+}
+
+TEST(Fig7Shape, ImprovementPositiveAcrossTheGrid) {
+  for (double x : {0.100, 0.400, 0.800}) {
+    for (double alpha_m : {1.0, 8.0}) {
+      auto cfg = paper_cfg();
+      cfg.memory.alpha_m = alpha_m;
+      double improvement = 0.0;
+      for (int s = 1; s <= 4; ++s) {
+        SyntheticParams p;
+        p.num_tasks = 100;
+        p.max_interarrival = x;
+        improvement +=
+            run_comparison(make_synthetic(p, s * 31), cfg).improvement();
+      }
+      EXPECT_GT(improvement / 4, -0.002)
+          << "x " << x << " alpha_m " << alpha_m;
+    }
+  }
+}
+
+TEST(Fig7bShape, ImprovementRoughlyFlatInXim) {
+  // "basically no difference with the varying of break-even time" at the
+  // default x.
+  std::vector<double> imp;
+  for (double xim : {0.015, 0.040, 0.070}) {
+    auto cfg = paper_cfg();
+    cfg.memory.xi_m = xim;
+    double acc = 0.0;
+    for (int s = 1; s <= 4; ++s) {
+      SyntheticParams p;
+      p.num_tasks = 100;
+      p.max_interarrival = 0.400;
+      acc += run_comparison(make_synthetic(p, s * 53), cfg).improvement();
+    }
+    imp.push_back(acc / 4);
+  }
+  for (double v : imp) {
+    EXPECT_NEAR(v, imp[0], 0.03) << "flat within 3 pp";
+  }
+}
+
+}  // namespace
+}  // namespace sdem

@@ -1,0 +1,128 @@
+// Tests for the heterogeneous-core common-release scheme.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/block.hpp"
+#include "core/common_release_alpha.hpp"
+#include "core/common_release_hetero.hpp"
+#include "core/reference.hpp"
+#include "sched/energy.hpp"
+#include "sched/validate.hpp"
+#include "test_util.hpp"
+#include "workload/generator.hpp"
+
+namespace sdem {
+namespace {
+
+using test::expect_near_rel;
+using test::make_cfg;
+using test::task;
+
+CorePower big_core() {
+  CorePower c;
+  c.alpha = 0.31;
+  c.beta = 2.53e-10;
+  c.lambda = 3.0;
+  c.s_up = 1900.0;
+  return c;
+}
+
+CorePower little_core() {
+  // A53-like: much less static power, a bit more dynamic per MHz^3, lower
+  // top frequency.
+  CorePower c;
+  c.alpha = 0.06;
+  c.beta = 4.0e-10;
+  c.lambda = 3.0;
+  c.s_up = 1300.0;
+  return c;
+}
+
+TEST(Hetero, HomogeneousSpecialCaseMatchesSection4) {
+  const auto cfg = make_cfg(0.31, 4.0, 1900.0);
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const TaskSet ts = make_common_release(1 + seed % 7, 0.0, seed * 19);
+    std::vector<CorePower> cores(ts.size(), cfg.core);
+    const auto het = solve_common_release_hetero(ts, cores, cfg.memory);
+    const auto hom = solve_common_release_alpha(ts, cfg);
+    ASSERT_TRUE(het.feasible && hom.feasible) << "seed " << seed;
+    expect_near_rel(hom.energy, het.energy, 1e-6, "hetero == homo");
+  }
+}
+
+TEST(Hetero, BigLittleSchedulesAreFeasible) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const TaskSet ts = make_common_release(6, 0.0, seed * 7);
+    std::vector<CorePower> cores;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      cores.push_back(i % 2 ? little_core() : big_core());
+    }
+    MemoryPower mem{4.0, 0.0};
+    const auto res = solve_common_release_hetero(ts, cores, mem);
+    ASSERT_TRUE(res.feasible) << "seed " << seed;
+    // Validate manually: per-task window containment and speed bound
+    // against each task's own core.
+    for (const auto& seg : res.schedule.segments()) {
+      const auto& core = cores[seg.core];
+      EXPECT_LE(seg.speed, core.max_speed() * (1.0 + 1e-6));
+      EXPECT_LE(seg.end, ts[seg.core].deadline + 1e-9);
+      expect_near_rel(ts[seg.core].work, seg.work(), 1e-9, "work done");
+    }
+  }
+}
+
+TEST(Hetero, MatchesDenseGridReference) {
+  // Independent check: dense search over the memory busy end with per-task
+  // window-optimal energies.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const TaskSet ts = make_common_release(5, 0.0, seed * 43);
+    std::vector<CorePower> cores;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      cores.push_back(i % 2 ? little_core() : big_core());
+    }
+    MemoryPower mem{4.0, 0.0};
+    const auto res = solve_common_release_hetero(ts, cores, mem);
+    ASSERT_TRUE(res.feasible);
+
+    double best = 1e300;
+    const double horizon = ts.max_deadline();
+    for (int i = 1; i <= 200000; ++i) {
+      const double T = horizon * i / 200000.0;
+      double e = mem.alpha_m * T;
+      for (std::size_t k = 0; k < ts.size(); ++k) {
+        e += task_window_energy(ts[k], cores[k],
+                                std::min(T, ts[k].deadline));
+        if (!std::isfinite(e)) break;
+      }
+      best = std::min(best, e);
+    }
+    expect_near_rel(best, res.energy, 5e-5, "vs dense grid");  // grid step
+  }
+}
+
+TEST(Hetero, LittleCoresPreferLowerSpeeds) {
+  // Same task on a big vs little core: the little core's lower alpha gives
+  // it a lower critical speed.
+  TaskSet ts;
+  ts.add(task(0, 0.0, 1.0, 3.0));
+  MemoryPower mem{0.0, 0.0};  // isolate the core effect
+  const auto on_big =
+      solve_common_release_hetero(ts, {big_core()}, mem);
+  const auto on_little =
+      solve_common_release_hetero(ts, {little_core()}, mem);
+  ASSERT_TRUE(on_big.feasible && on_little.feasible);
+  EXPECT_LT(on_little.schedule.segments()[0].speed,
+            on_big.schedule.segments()[0].speed);
+}
+
+TEST(Hetero, RejectsMismatchedSizes) {
+  TaskSet ts;
+  ts.add(task(0, 0.0, 1.0, 1.0));
+  ts.add(task(1, 0.0, 1.0, 1.0));
+  MemoryPower mem{4.0, 0.0};
+  EXPECT_FALSE(solve_common_release_hetero(ts, {big_core()}, mem).feasible);
+}
+
+}  // namespace
+}  // namespace sdem

@@ -1,0 +1,119 @@
+// End-to-end integration tests: full pipelines under the paper's default
+// configuration, crossing module boundaries.
+#include <gtest/gtest.h>
+
+#include "core/agreeable.hpp"
+#include "core/common_release_alpha.hpp"
+#include "core/online_sdem.hpp"
+#include "core/reference.hpp"
+#include "sched/energy.hpp"
+#include "sched/validate.hpp"
+#include "sim/metrics.hpp"
+#include "test_util.hpp"
+#include "workload/dspstone.hpp"
+#include "workload/generator.hpp"
+
+namespace sdem {
+namespace {
+
+using test::expect_near_rel;
+
+SystemConfig paper_cfg() {
+  auto cfg = SystemConfig::paper_default();
+  cfg.core.s_min = 0.0;
+  return cfg;
+}
+
+TEST(Integration, OfflinePipelineCommonRelease) {
+  // Generate -> solve -> validate -> account, all under paper defaults
+  // (ignoring transition overheads for the Section 4 scheme).
+  auto cfg = paper_cfg();
+  cfg.memory.xi_m = 0.0;
+  cfg.num_cores = 0;
+  const TaskSet ts = make_common_release(16, 0.0, 2024);
+  const auto res = solve_common_release_alpha(ts, cfg);
+  ASSERT_TRUE(res.feasible);
+  const auto v = validate_schedule(res.schedule, ts, cfg);
+  ASSERT_TRUE(v.ok) << v.error;
+  const auto e = compute_energy(res.schedule, cfg);
+  expect_near_rel(res.energy, e.system_total(), 1e-9, "energy agreement");
+  const double ref = reference_common_release(ts, cfg);
+  expect_near_rel(ref, res.energy, 1e-6, "optimality");
+}
+
+TEST(Integration, OfflinePipelineAgreeable) {
+  auto cfg = paper_cfg();
+  cfg.memory.xi_m = 0.0;
+  cfg.num_cores = 0;
+  const TaskSet ts = make_agreeable(8, 555, 0.100);
+  const auto res = solve_agreeable(ts, cfg);
+  ASSERT_TRUE(res.feasible);
+  const auto v = validate_schedule(res.schedule, ts, cfg);
+  ASSERT_TRUE(v.ok) << v.error;
+  const double ref = reference_agreeable(ts, cfg);
+  expect_near_rel(ref, res.energy, 1e-5, "optimality");
+}
+
+TEST(Integration, OnlineOfflineConsistency) {
+  // A burst of simultaneous arrivals with no later tasks: SDEM-ON's single
+  // replan is the offline common-release optimum, so the realized system
+  // energy (with the same accounting) matches it closely.
+  auto cfg = paper_cfg();
+  cfg.memory.xi_m = 0.0;
+  cfg.num_cores = 0;  // unbounded: each task its own core
+  const TaskSet ts = make_common_release(8, 0.0, 31);
+  SdemOnPolicy pol;
+  const auto sim = simulate(ts, cfg, pol);
+  EXPECT_EQ(sim.deadline_misses, 0);
+  const auto offline = solve_common_release_alpha(ts, cfg);
+  EnergyOptions opts;  // same horizon-free accounting as the offline scheme
+  const auto e = compute_energy(sim.schedule, cfg, opts);
+  // The online run procrastinates (shifts right) but the busy-interval
+  // structure and speeds are the offline optimum's.
+  expect_near_rel(offline.energy, e.system_total(), 1e-6,
+                  "online burst = offline optimum");
+}
+
+TEST(Integration, FullComparisonOrderingHolds) {
+  // SDEM-ON <= MBKPS <= MBKP in system energy on both workload families.
+  auto cfg = paper_cfg();
+  {
+    SyntheticParams p;
+    p.num_tasks = 120;
+    p.max_interarrival = 0.400;
+    const auto cmp = run_comparison(make_synthetic(p, 1), cfg);
+    EXPECT_LE(cmp.mbkps.energy.system_total(),
+              cmp.mbkp.energy.system_total() + 1e-9);
+    EXPECT_LE(cmp.sdem.energy.system_total(),
+              cmp.mbkps.energy.system_total() * 1.02);
+  }
+  {
+    DspstoneParams p;
+    p.num_tasks = 120;
+    p.utilization_u = 5.0;
+    const auto cmp = run_comparison(make_dspstone(p, 1), cfg);
+    EXPECT_LE(cmp.mbkps.energy.system_total(),
+              cmp.mbkp.energy.system_total() + 1e-9);
+  }
+}
+
+TEST(Integration, EnergyBreakdownComponentsConsistent) {
+  auto cfg = paper_cfg();
+  SyntheticParams p;
+  p.num_tasks = 60;
+  p.max_interarrival = 0.300;
+  const auto cmp = run_comparison(make_synthetic(p, 8), cfg);
+  for (const auto* ev : {&cmp.mbkp, &cmp.mbkps, &cmp.sdem}) {
+    EXPECT_GT(ev->energy.core_dynamic, 0.0) << ev->policy;
+    EXPECT_GT(ev->energy.memory_total(), 0.0) << ev->policy;
+    EXPECT_NEAR(ev->energy.system_total(),
+                ev->energy.core_total() + ev->energy.memory_total(), 1e-9)
+        << ev->policy;
+  }
+  // MBKP burns memory leakage across the whole horizon.
+  const double horizon = cmp.mbkp.energy.memory_total() / cfg.memory.alpha_m;
+  EXPECT_GT(horizon, 0.0);
+}
+
+}  // namespace
+}  // namespace sdem

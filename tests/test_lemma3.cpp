@@ -1,0 +1,82 @@
+// Tests that the literal Lemma 3 bisection solver agrees with the other
+// two Section 5.1 implementations (direct convex optimizer, grid reference).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/lemma3.hpp"
+#include "core/reference.hpp"
+#include "test_util.hpp"
+#include "workload/generator.hpp"
+
+namespace sdem {
+namespace {
+
+using test::expect_near_rel;
+using test::make_cfg;
+using test::task;
+
+TEST(Lemma3, SingleTaskInteriorOptimum) {
+  const auto cfg = make_cfg(0.0, 4.0, 0.0);
+  std::vector<Task> ts{task(0, 0.0, 0.100, 3.0)};
+  const auto l3 = solve_block_lemma3(ts, cfg);
+  const auto direct = solve_block(ts, cfg);
+  ASSERT_TRUE(l3.feasible && direct.feasible);
+  expect_near_rel(direct.energy, l3.energy, 1e-9, "single task");
+}
+
+TEST(Lemma3, AgreesWithDirectOptimizerRandom) {
+  const auto cfg = make_cfg(0.0, 4.0, 1900.0);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const TaskSet ts = make_agreeable(2 + seed % 5, seed * 3, 0.050);
+    const auto sorted = ts.sorted_by_deadline().tasks();
+    const auto l3 = solve_block_lemma3(sorted, cfg);
+    const auto direct = solve_block(sorted, cfg);
+    ASSERT_TRUE(direct.feasible) << "seed " << seed;
+    ASSERT_TRUE(l3.feasible) << "seed " << seed;
+    expect_near_rel(direct.energy, l3.energy, 1e-6, "seed block");
+  }
+}
+
+TEST(Lemma3, AgreesWithGridReference) {
+  const auto cfg = make_cfg(0.0, 4.0, 1900.0);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const TaskSet ts = make_agreeable(3 + seed % 3, seed * 17, 0.040);
+    const auto sorted = ts.sorted_by_deadline().tasks();
+    const auto l3 = solve_block_lemma3(sorted, cfg);
+    ASSERT_TRUE(l3.feasible);
+    const double ref = reference_block(sorted, cfg);
+    expect_near_rel(ref, l3.energy, 1e-5, "vs reference");
+  }
+}
+
+TEST(Lemma3, StationarityConditionHoldsAtInteriorOptimum) {
+  // At an interior optimum the paper's first-order condition must hold:
+  // sum_L (w / (d - s'))^lambda == alpha_m / (beta (lambda - 1)).
+  const auto cfg = make_cfg(0.0, 4.0, 0.0);
+  std::vector<Task> ts{task(0, 0.0, 0.080, 3.0), task(1, 0.010, 0.090, 3.0)};
+  const auto l3 = solve_block_lemma3(ts, cfg);
+  ASSERT_TRUE(l3.feasible);
+  const double target =
+      cfg.memory.alpha_m / (cfg.core.beta * (cfg.core.lambda - 1.0));
+  double lhs = 0.0;
+  for (const auto& t : ts) {
+    if (t.release < l3.s - 1e-12 || t.release <= l3.s + 1e-12) {
+      if (t.release <= l3.s) {
+        lhs += std::pow(t.work / (t.deadline - l3.s), cfg.core.lambda);
+      }
+    }
+  }
+  if (l3.s > ts[0].release + 1e-9 && l3.s < ts[1].release - 1e-9) {
+    expect_near_rel(target, lhs, 1e-6, "Lemma 3 stationarity");
+  }
+}
+
+TEST(Lemma3, RejectsNonZeroAlpha) {
+  const auto cfg = make_cfg(0.31, 4.0, 1900.0);
+  std::vector<Task> ts{task(0, 0.0, 0.1, 3.0)};
+  EXPECT_FALSE(solve_block_lemma3(ts, cfg).feasible);
+}
+
+}  // namespace
+}  // namespace sdem

@@ -1,0 +1,101 @@
+// Tests for the comparison harness invariants (§8).
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hpp"
+#include "test_util.hpp"
+#include "workload/dspstone.hpp"
+#include "workload/generator.hpp"
+
+namespace sdem {
+namespace {
+
+SystemConfig paper_cfg() {
+  auto cfg = SystemConfig::paper_default();
+  cfg.core.s_min = 0.0;  // the theory treats speeds as continuous below s_up
+  return cfg;
+}
+
+TEST(Metrics, MbkpsNeverWorseThanMbkp) {
+  // Same schedule, optimal gap discipline vs never-sleep: MBKPS <= MBKP.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SyntheticParams p;
+    p.num_tasks = 80;
+    p.max_interarrival = 0.400;
+    const auto cmp = run_comparison(make_synthetic(p, seed), paper_cfg());
+    EXPECT_LE(cmp.mbkps.energy.system_total(),
+              cmp.mbkp.energy.system_total() + 1e-9)
+        << "seed " << seed;
+    EXPECT_GE(cmp.system_saving_mbkps(), -1e-12);
+  }
+}
+
+TEST(Metrics, SdemOnBeatsMbkpsOnSyntheticDefaults) {
+  // The paper's headline: SDEM-ON saves more than MBKPS at the default
+  // operating point. Averaged over seeds to avoid flakiness.
+  double sdem = 0.0, mbkps = 0.0;
+  constexpr int kSeeds = 6;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    SyntheticParams p;
+    p.num_tasks = 100;
+    p.max_interarrival = 0.400;
+    const auto cmp = run_comparison(make_synthetic(p, seed * 7), paper_cfg());
+    sdem += cmp.system_saving_sdem();
+    mbkps += cmp.system_saving_mbkps();
+  }
+  EXPECT_GT(sdem / kSeeds, mbkps / kSeeds);
+}
+
+TEST(Metrics, MemorySleepLongerUnderSdemOn) {
+  double sdem_sleep = 0.0, mbkps_sleep = 0.0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    SyntheticParams p;
+    p.num_tasks = 100;
+    p.max_interarrival = 0.400;
+    const auto cmp = run_comparison(make_synthetic(p, seed * 3), paper_cfg());
+    sdem_sleep += cmp.sdem.memory_sleep_time;
+    mbkps_sleep += cmp.mbkps.memory_sleep_time;
+    EXPECT_EQ(cmp.mbkp.memory_sleep_time, 0.0);  // never sleeps by def.
+  }
+  EXPECT_GT(sdem_sleep, mbkps_sleep);
+}
+
+TEST(Metrics, NoMissesAcrossThePaperGrid) {
+  // Spot-check the Table 4 corners for schedulability.
+  for (double x : {0.100, 0.800}) {
+    for (double alpha_m : {1.0, 8.0}) {
+      auto cfg = paper_cfg();
+      cfg.memory.alpha_m = alpha_m;
+      SyntheticParams p;
+      p.num_tasks = 80;
+      p.max_interarrival = x;
+      const auto cmp = run_comparison(make_synthetic(p, 42), cfg);
+      EXPECT_EQ(cmp.sdem.deadline_misses, 0) << x << " " << alpha_m;
+      EXPECT_EQ(cmp.mbkp.deadline_misses, 0) << x << " " << alpha_m;
+      EXPECT_EQ(cmp.sdem.unfinished, 0);
+    }
+  }
+}
+
+TEST(Metrics, DspstoneWorkloadRuns) {
+  DspstoneParams p;
+  p.num_tasks = 80;
+  p.utilization_u = 5.0;
+  const auto cmp = run_comparison(make_dspstone(p, 9), paper_cfg());
+  EXPECT_EQ(cmp.sdem.unfinished, 0);
+  EXPECT_EQ(cmp.mbkp.unfinished, 0);
+  EXPECT_GE(cmp.system_saving_sdem(), cmp.system_saving_mbkps() - 0.05);
+}
+
+TEST(Metrics, SavingRatiosAreSane) {
+  SyntheticParams p;
+  p.num_tasks = 60;
+  p.max_interarrival = 0.500;
+  const auto cmp = run_comparison(make_synthetic(p, 17), paper_cfg());
+  EXPECT_GE(cmp.system_saving_sdem(), 0.0);
+  EXPECT_LT(cmp.system_saving_sdem(), 1.0);
+  EXPECT_GE(cmp.memory_saving_sdem(), 0.0);
+  EXPECT_LT(cmp.memory_saving_sdem(), 1.0);
+}
+
+}  // namespace
+}  // namespace sdem

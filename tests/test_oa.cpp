@@ -1,0 +1,76 @@
+// Tests for the Optimal Available per-core plan.
+#include <gtest/gtest.h>
+
+#include "baseline/oa.hpp"
+
+namespace sdem {
+namespace {
+
+TEST(Oa, SpeedIsMaxPrefixDensity) {
+  // Jobs: 4 due at t=2, 10 more due at t=4 (from now = 0).
+  const std::vector<OaJob> jobs{{0, 2.0, 4.0}, {1, 4.0, 10.0}};
+  // Prefix densities: 4/2 = 2, 14/4 = 3.5 -> OA speed 3.5.
+  EXPECT_NEAR(oa_speed(0.0, jobs), 3.5, 1e-12);
+}
+
+TEST(Oa, PlanRunsEdfAtStaircaseSpeeds) {
+  const std::vector<OaJob> jobs{{0, 2.0, 4.0}, {1, 4.0, 10.0}};
+  const auto plan = oa_plan(0.0, jobs, 0);
+  ASSERT_EQ(plan.size(), 2u);
+  // Both jobs in the steepest prefix: run back to back at 3.5.
+  EXPECT_NEAR(plan[0].speed, 3.5, 1e-12);
+  EXPECT_NEAR(plan[1].speed, 3.5, 1e-12);
+  EXPECT_EQ(plan[0].task_id, 0);
+  EXPECT_NEAR(plan[1].end, 4.0, 1e-12);
+}
+
+TEST(Oa, StaircaseDropsAfterSteepPrefix) {
+  // Steep early job, shallow late job.
+  const std::vector<OaJob> jobs{{0, 1.0, 10.0}, {1, 100.0, 1.0}};
+  const auto plan = oa_plan(0.0, jobs, 0);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_NEAR(plan[0].speed, 10.0, 1e-12);
+  EXPECT_LT(plan[1].speed, 1.0);  // (1+10)/100 vs 1/100 staircase
+}
+
+TEST(Oa, DeadlinesMet) {
+  const std::vector<OaJob> jobs{
+      {0, 0.010, 3.0}, {1, 0.030, 4.0}, {2, 0.100, 2.0}};
+  const auto plan = oa_plan(0.0, jobs, 0);
+  double done[3] = {0, 0, 0};
+  for (const auto& seg : plan) {
+    done[seg.task_id] += seg.work();
+    for (const auto& j : jobs) {
+      if (j.id == seg.task_id) EXPECT_LE(seg.end, j.deadline + 1e-9);
+    }
+  }
+  EXPECT_NEAR(done[0], 3.0, 1e-9);
+  EXPECT_NEAR(done[1], 4.0, 1e-9);
+  EXPECT_NEAR(done[2], 2.0, 1e-9);
+}
+
+TEST(Oa, CapAtSup) {
+  const std::vector<OaJob> jobs{{0, 1.0, 100.0}};
+  const auto plan = oa_plan(0.0, jobs, 0, 50.0);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_NEAR(plan[0].speed, 50.0, 1e-12);  // overloaded: races at s_up
+  EXPECT_NEAR(plan[0].end, 2.0, 1e-12);     // finishes late (miss recorded
+                                            // by the caller's validator)
+}
+
+TEST(Oa, EmptyAndZeroWork) {
+  EXPECT_TRUE(oa_plan(0.0, {}, 0).empty());
+  EXPECT_TRUE(oa_plan(0.0, {{0, 1.0, 0.0}}, 0).empty());
+}
+
+TEST(Oa, NonZeroNow) {
+  const std::vector<OaJob> jobs{{0, 5.0, 8.0}};
+  const auto plan = oa_plan(3.0, jobs, 2);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_NEAR(plan[0].start, 3.0, 1e-12);
+  EXPECT_NEAR(plan[0].speed, 4.0, 1e-12);  // 8 work / 2 s
+  EXPECT_EQ(plan[0].core, 2);
+}
+
+}  // namespace
+}  // namespace sdem

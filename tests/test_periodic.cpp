@@ -1,0 +1,96 @@
+// Tests for periodic/sporadic task-system expansion.
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hpp"
+#include "workload/periodic.hpp"
+
+namespace sdem {
+namespace {
+
+PeriodicSystem sample_system() {
+  PeriodicSystem sys;
+  sys.add(PeriodicTask{0, 2.0, 0.050, 0.0, 0.0});   // 40 MHz demand
+  sys.add(PeriodicTask{1, 3.0, 0.100, 0.0, 0.010}); // 30 MHz demand
+  return sys;
+}
+
+TEST(Periodic, DemandMhz) {
+  EXPECT_NEAR(sample_system().demand_mhz(), 40.0 + 30.0, 1e-12);
+}
+
+TEST(Periodic, Hyperperiod) {
+  EXPECT_NEAR(sample_system().hyperperiod(), 0.100, 1e-12);
+  PeriodicSystem sys;
+  sys.add(PeriodicTask{0, 1.0, 0.030});
+  sys.add(PeriodicTask{1, 1.0, 0.050});
+  EXPECT_NEAR(sys.hyperperiod(), 0.150, 1e-9);
+}
+
+TEST(Periodic, ExpandCountsAndDeadlines) {
+  const TaskSet jobs = sample_system().expand(0.200);
+  // Task 0: releases at 0,50,100,150 -> 4 jobs; task 1: 10,110 -> 2 jobs.
+  ASSERT_EQ(jobs.size(), 6u);
+  EXPECT_TRUE(jobs.validate().empty());
+  int early = 0;
+  for (const auto& j : jobs.tasks()) {
+    if (j.work == 2.0) {
+      EXPECT_NEAR(j.deadline - j.release, 0.050, 1e-12);
+      ++early;
+    } else {
+      EXPECT_NEAR(j.deadline - j.release, 0.100, 1e-12);
+    }
+  }
+  EXPECT_EQ(early, 4);
+}
+
+TEST(Periodic, ExplicitDeadlineRespected) {
+  PeriodicSystem sys;
+  sys.add(PeriodicTask{0, 1.0, 0.100, 0.030, 0.0});  // constrained deadline
+  const TaskSet jobs = sys.expand(0.100);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_NEAR(jobs[0].deadline, 0.030, 1e-12);
+}
+
+TEST(Periodic, SporadicJitterBoundsAndDeterminism) {
+  const auto a = sample_system().expand_sporadic(0.500, 0.2, 9);
+  const auto b = sample_system().expand_sporadic(0.500, 0.2, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].release, b[i].release);
+  }
+  // Inter-release gaps per stream within [period, 1.2 period].
+  double prev = -1.0;
+  for (const auto& j : a.tasks()) {
+    if (j.work != 2.0) continue;  // stream 0 only
+    if (prev >= 0.0) {
+      const double gap = j.release - prev;
+      EXPECT_GE(gap, 0.050 - 1e-12);
+      EXPECT_LE(gap, 0.060 + 1e-12);
+    }
+    prev = j.release;
+  }
+}
+
+TEST(Periodic, ExpandedJobsScheduleEndToEnd) {
+  // The expansion feeds the online harness directly.
+  auto cfg = SystemConfig::paper_default();
+  PeriodicSystem sys;
+  for (int i = 0; i < 4; ++i) {
+    sys.add(PeriodicTask{i, 3.0, 0.080 + 0.020 * i, 0.0, 0.005 * i});
+  }
+  const TaskSet jobs = sys.expand(1.0);
+  const auto cmp = run_comparison(jobs, cfg);
+  EXPECT_EQ(cmp.sdem.deadline_misses, 0);
+  EXPECT_EQ(cmp.sdem.unfinished, 0);
+  EXPECT_LE(cmp.sdem.energy.system_total(),
+            cmp.mbkp.energy.system_total() + 1e-9);
+}
+
+TEST(Periodic, HyperperiodUnrepresentable) {
+  PeriodicSystem sys;
+  sys.add(PeriodicTask{0, 1.0, 1e-9});  // below the 1 us grid
+  EXPECT_EQ(sys.hyperperiod(), 0.0);
+}
+
+}  // namespace
+}  // namespace sdem

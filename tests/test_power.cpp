@@ -1,0 +1,111 @@
+// Tests for the power model and derived critical speeds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/power.hpp"
+#include "test_util.hpp"
+
+namespace sdem {
+namespace {
+
+using test::make_cfg;
+using test::task;
+
+TEST(CorePower, PowerAndEnergy) {
+  CorePower c;
+  c.alpha = 0.3;
+  c.beta = 1e-9;
+  c.lambda = 3.0;
+  EXPECT_NEAR(c.dynamic_power(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(c.power(1000.0), 1.3, 1e-12);
+  // exec_energy: P(s) * w / s.
+  EXPECT_NEAR(c.exec_energy(500.0, 1000.0), 1.3 * 0.5, 1e-12);
+  EXPECT_EQ(c.exec_energy(0.0, 1000.0), 0.0);
+  EXPECT_TRUE(std::isinf(c.exec_energy(1.0, 0.0)));
+}
+
+TEST(CorePower, CriticalSpeedFormula) {
+  // s_m = (alpha / (beta (lambda-1)))^(1/lambda).
+  CorePower c;
+  c.alpha = 0.31;
+  c.beta = 2.53e-10;
+  c.lambda = 3.0;
+  const double s_m = c.critical_speed_raw();
+  EXPECT_NEAR(s_m, std::cbrt(0.31 / (2.53e-10 * 2.0)), 1e-9);
+  // At s_m the energy-per-cycle derivative vanishes: probe numerically.
+  auto epc = [&](double s) { return c.power(s) / s; };
+  EXPECT_LT(epc(s_m), epc(s_m * 0.9));
+  EXPECT_LT(epc(s_m), epc(s_m * 1.1));
+}
+
+TEST(CorePower, CriticalSpeedClamped) {
+  CorePower c;
+  c.alpha = 0.31;
+  c.beta = 2.53e-10;
+  c.lambda = 3.0;
+  c.s_up = 800.0;  // below raw s_m (~849)
+  EXPECT_DOUBLE_EQ(c.critical_speed(100.0), 800.0);
+  c.s_up = 1900.0;
+  EXPECT_NEAR(c.critical_speed(100.0), c.critical_speed_raw(), 1e-9);
+  // Filled speed above s_m wins.
+  EXPECT_DOUBLE_EQ(c.critical_speed(1500.0), 1500.0);
+}
+
+TEST(CorePower, AlphaZeroMeansZeroCriticalSpeed) {
+  CorePower c;
+  c.alpha = 0.0;
+  c.beta = 1e-9;
+  EXPECT_EQ(c.critical_speed_raw(), 0.0);
+}
+
+TEST(SystemConfig, MemoryCriticalSpeedOrdering) {
+  // s_1 >= s_0 always (the memory adds static power to shed).
+  const auto cfg = make_cfg(0.31, 4.0, 0.0);
+  EXPECT_GT(cfg.memory_critical_speed_raw(), cfg.core.critical_speed_raw());
+  EXPECT_GE(cfg.memory_critical_speed(100.0), cfg.core.critical_speed(100.0));
+}
+
+TEST(SystemConfig, PaperDefaults) {
+  const auto cfg = SystemConfig::paper_default();
+  EXPECT_DOUBLE_EQ(cfg.core.alpha, 0.31);
+  EXPECT_DOUBLE_EQ(cfg.core.s_up, 1900.0);
+  EXPECT_DOUBLE_EQ(cfg.memory.alpha_m, 4.0);
+  EXPECT_DOUBLE_EQ(cfg.memory.xi_m, 0.040);
+  EXPECT_EQ(cfg.num_cores, 8);
+  // The A57-like critical speed lands inside the DVFS range.
+  const double s_m = cfg.core.critical_speed_raw();
+  EXPECT_GT(s_m, cfg.core.s_min);
+  EXPECT_LT(s_m, cfg.core.s_up);
+  EXPECT_EQ(SystemConfig::paper_default_alpha0().core.alpha, 0.0);
+}
+
+TEST(SystemConfig, ConstrainedCriticalSpeed) {
+  auto cfg = make_cfg(0.31, 0.0, 1900.0);
+  cfg.core.xi = 0.010;
+  const double s_m = cfg.core.critical_speed_raw();
+  // Plenty of slack: race at s_m.
+  EXPECT_NEAR(cfg.constrained_critical_speed(task(0, 0.0, 1.0, 4.0), 1.0), s_m,
+              1e-9);
+  // No slack: stretch to the filled speed.
+  const Task tight = task(0, 0.0, 0.006, 4.0);
+  EXPECT_NEAR(cfg.constrained_critical_speed(tight, 0.006),
+              tight.filled_speed(), 1e-9);
+}
+
+TEST(MemoryPower, TransitionEnergy) {
+  MemoryPower m;
+  m.alpha_m = 4.0;
+  m.xi_m = 0.040;
+  EXPECT_NEAR(m.transition_energy(), 0.16, 1e-12);
+}
+
+TEST(CorePower, MaxSpeedUnbounded) {
+  CorePower c;
+  c.s_up = 0.0;
+  EXPECT_TRUE(std::isinf(c.max_speed()));
+  EXPECT_DOUBLE_EQ(c.clamp_speed(1e9), 1e9);
+}
+
+}  // namespace
+}  // namespace sdem

@@ -1,0 +1,194 @@
+// Parameterized property sweeps: optimality certification of every offline
+// scheme against the brute-force references across a grid of configurations
+// and random instances, plus cross-scheme consistency properties.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/agreeable.hpp"
+#include "core/common_release_alpha.hpp"
+#include "core/common_release_alpha0.hpp"
+#include "core/reference.hpp"
+#include "core/transition.hpp"
+#include "sched/validate.hpp"
+#include "test_util.hpp"
+#include "workload/generator.hpp"
+
+namespace sdem {
+namespace {
+
+using test::expect_near_rel;
+using test::make_cfg;
+
+// ---------------------------------------------------------------------------
+// Common-release optimality: (alpha, alpha_m, n) x seeds.
+
+using CrParam = std::tuple<double, double, int>;
+
+class CommonReleaseOptimality : public ::testing::TestWithParam<CrParam> {};
+
+TEST_P(CommonReleaseOptimality, SolverMatchesReference) {
+  const auto [alpha, alpha_m, n] = GetParam();
+  const auto cfg = make_cfg(alpha, alpha_m, 1900.0);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const TaskSet ts = make_common_release(n, 0.0, seed * 1009 + n);
+    const auto res = alpha > 0.0 ? solve_common_release_alpha(ts, cfg)
+                                 : solve_common_release_alpha0(ts, cfg);
+    ASSERT_TRUE(res.feasible) << "seed " << seed;
+    const double ref = reference_common_release(ts, cfg);
+    expect_near_rel(ref, res.energy, 2e-6, "optimality");
+    const auto v = validate_schedule(res.schedule, ts, cfg);
+    ASSERT_TRUE(v.ok) << v.error;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CommonReleaseOptimality,
+    ::testing::Combine(::testing::Values(0.0, 0.05, 0.31, 1.2),
+                       ::testing::Values(0.5, 4.0, 8.0),
+                       ::testing::Values(1, 3, 8, 17)));
+
+// ---------------------------------------------------------------------------
+// Binary search agrees with the linear scan on large sweeps.
+
+class BinarySearchEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(BinarySearchEquivalence, MatchesScan) {
+  const int n = GetParam();
+  const auto cfg = make_cfg(0.0, 4.0, 1900.0);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const TaskSet ts = make_common_release(n, 0.0, seed * 7919);
+    const auto scan = solve_common_release_alpha0(ts, cfg);
+    const auto bin = solve_common_release_alpha0_binary(ts, cfg);
+    ASSERT_EQ(scan.feasible, bin.feasible);
+    if (scan.feasible) {
+      expect_near_rel(scan.energy, bin.energy, 1e-9, "binary == scan");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BinarySearchEquivalence,
+                         ::testing::Values(1, 2, 5, 16, 64, 256));
+
+// ---------------------------------------------------------------------------
+// Agreeable DP optimality across alpha and spread.
+
+using AgParam = std::tuple<double, double, int>;  // alpha, spread, n
+
+class AgreeableOptimality : public ::testing::TestWithParam<AgParam> {};
+
+TEST_P(AgreeableOptimality, DpMatchesExhaustivePartitions) {
+  const auto [alpha, spread, n] = GetParam();
+  const auto cfg = make_cfg(alpha, 4.0, 1900.0);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const TaskSet ts = make_agreeable(n, seed * 271 + n, spread);
+    const auto res = solve_agreeable(ts, cfg);
+    ASSERT_TRUE(res.feasible) << "seed " << seed;
+    const double ref = reference_agreeable(ts, cfg);
+    expect_near_rel(ref, res.energy, 2e-5, "optimality");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AgreeableOptimality,
+    ::testing::Combine(::testing::Values(0.0, 0.31),
+                       ::testing::Values(0.020, 0.150),
+                       ::testing::Values(2, 4, 6)));
+
+// ---------------------------------------------------------------------------
+// Transition-overhead optimality across (xi, xi_m).
+
+using TrParam = std::tuple<double, double>;
+
+class TransitionOptimality : public ::testing::TestWithParam<TrParam> {};
+
+TEST_P(TransitionOptimality, SolverMatchesDenseReference) {
+  const auto [xi, xi_m] = GetParam();
+  auto cfg = make_cfg(0.31, 4.0, 1900.0);
+  cfg.core.xi = xi;
+  cfg.memory.xi_m = xi_m;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const TaskSet ts = make_common_release(1 + int(seed) % 7, 0.0,
+                                           seed * 31 + int(xi_m * 1e5));
+    const auto res = solve_common_release_transition(ts, cfg);
+    ASSERT_TRUE(res.feasible);
+    const double ref = reference_common_release_transition(ts, cfg);
+    expect_near_rel(ref, res.energy, 1e-5, "optimality");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TransitionOptimality,
+    ::testing::Combine(::testing::Values(0.0, 0.001, 0.015),
+                       ::testing::Values(0.0, 0.015, 0.040, 0.070)));
+
+// ---------------------------------------------------------------------------
+// Structural invariants.
+
+TEST(Invariants, MoreMemoryPowerNeverLengthensBusyInterval) {
+  // Race-to-idle monotonicity: as alpha_m grows, the optimal busy interval
+  // shrinks (common release).
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const TaskSet ts = make_common_release(6, 0.0, seed * 11);
+    double prev_busy = 1e18;
+    for (double alpha_m : {0.25, 1.0, 4.0, 16.0, 64.0}) {
+      const auto cfg = make_cfg(0.31, alpha_m, 1900.0);
+      const auto res = solve_common_release_alpha(ts, cfg);
+      ASSERT_TRUE(res.feasible);
+      const double busy = res.schedule.memory_busy_time();
+      EXPECT_LE(busy, prev_busy + 1e-9) << "alpha_m " << alpha_m;
+      prev_busy = busy;
+    }
+  }
+}
+
+TEST(Invariants, OptimalEnergyMonotoneInWorkload) {
+  // Scaling every workload up scales energy up.
+  const auto cfg = make_cfg(0.31, 4.0, 0.0);
+  const TaskSet base = make_common_release(5, 0.0, 3);
+  double prev = 0.0;
+  for (double scale : {0.5, 1.0, 2.0, 4.0}) {
+    TaskSet scaled;
+    for (const auto& t : base.tasks()) {
+      Task s = t;
+      s.work *= scale;
+      scaled.add(s);
+    }
+    const auto res = solve_common_release_alpha(scaled, cfg);
+    ASSERT_TRUE(res.feasible);
+    EXPECT_GT(res.energy, prev);
+    prev = res.energy;
+  }
+}
+
+TEST(Invariants, LooserDeadlinesNeverIncreaseEnergy) {
+  const auto cfg = make_cfg(0.0, 4.0, 1900.0);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const TaskSet base = make_common_release(6, 0.0, seed * 5);
+    const auto tight = solve_common_release_alpha0(base, cfg);
+    TaskSet loose;
+    for (const auto& t : base.tasks()) {
+      Task s = t;
+      s.deadline = t.release + t.region() * 2.0;
+      loose.add(s);
+    }
+    const auto relaxed = solve_common_release_alpha0(loose, cfg);
+    ASSERT_TRUE(tight.feasible && relaxed.feasible);
+    EXPECT_LE(relaxed.energy, tight.energy + 1e-12) << "seed " << seed;
+  }
+}
+
+TEST(Invariants, AgreeableDpNeverBeatsItsOwnBlocks) {
+  // Subadditivity check: DP energy <= single-block energy (merging all).
+  const auto cfg = make_cfg(0.31, 4.0, 1900.0);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const TaskSet ts = make_agreeable(5, seed * 23, 0.120);
+    const auto dp = solve_agreeable(ts, cfg);
+    const auto one = solve_block(ts.sorted_by_deadline().tasks(), cfg);
+    ASSERT_TRUE(dp.feasible && one.feasible);
+    EXPECT_LE(dp.energy, one.energy + 1e-9) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace sdem

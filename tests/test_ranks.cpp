@@ -1,0 +1,97 @@
+// Tests for multi-rank memory accounting.
+#include <gtest/gtest.h>
+
+#include "mem/ranks.hpp"
+#include "sched/energy.hpp"
+#include "test_util.hpp"
+
+namespace sdem {
+namespace {
+
+Schedule interleaved() {
+  // Cores 0 and 1 alternate so the device-level memory never idles, but
+  // each core (rank) individually idles half the time.
+  Schedule s;
+  s.add(Segment{0, 0, 0.0, 1.0, 100.0});
+  s.add(Segment{1, 1, 1.0, 2.0, 100.0});
+  s.add(Segment{2, 0, 2.0, 3.0, 100.0});
+  s.add(Segment{3, 1, 3.0, 4.0, 100.0});
+  return s;
+}
+
+TEST(Ranks, SingleRankEqualsMonolithicAccounting) {
+  MemoryPower mem{4.0, 0.2};
+  const auto sched = interleaved();
+  const auto r = rank_memory_energy(sched, mem, 1, 2, 0.0, 4.0);
+  auto cfg = test::make_cfg(0.0, mem.alpha_m);
+  cfg.memory.xi_m = mem.xi_m;
+  EnergyOptions opts;
+  opts.horizon_lo = 0.0;
+  opts.horizon_hi = 4.0;
+  const auto e = compute_energy(sched, cfg, opts);
+  EXPECT_NEAR(r.total(), e.memory_total(), 1e-12);
+}
+
+TEST(Ranks, PerCoreRanksDecoupleIdleTime) {
+  MemoryPower mem{4.0, 0.0};  // free transitions to isolate the effect
+  const auto sched = interleaved();
+  const auto mono = rank_memory_energy(sched, mem, 1, 2, 0.0, 4.0);
+  const auto duo = rank_memory_energy(sched, mem, 2, 2, 0.0, 4.0);
+  // Monolithic: busy all 4 s at 4 W = 16 J. Two ranks: each 2 W, busy 2 s
+  // => 8 J total. The decoupling halves the leakage.
+  EXPECT_NEAR(mono.total(), 16.0, 1e-12);
+  EXPECT_NEAR(duo.total(), 8.0, 1e-12);
+  EXPECT_GT(duo.sleep_time, mono.sleep_time);
+}
+
+TEST(Ranks, LeakageConserved) {
+  // Fully busy schedule: rank count must not change the energy.
+  Schedule s;
+  s.add(Segment{0, 0, 0.0, 2.0, 100.0});
+  s.add(Segment{1, 1, 0.0, 2.0, 100.0});
+  MemoryPower mem{4.0, 0.0};
+  for (int ranks : {1, 2}) {
+    const auto r = rank_memory_energy(s, mem, ranks, 2, 0.0, 2.0);
+    EXPECT_NEAR(r.total(), 8.0, 1e-12) << ranks << " ranks";
+  }
+}
+
+TEST(Ranks, BreakEvenPerRank) {
+  // A 1 s gap on rank 0 only; xi_m above/below the gap flips its decision.
+  Schedule s;
+  s.add(Segment{0, 0, 0.0, 1.0, 100.0});
+  s.add(Segment{1, 0, 2.0, 3.0, 100.0});
+  s.add(Segment{2, 1, 0.0, 3.0, 100.0});
+  MemoryPower nap{4.0, 0.5};
+  const auto r1 = rank_memory_energy(s, nap, 2, 2, 0.0, 3.0);
+  EXPECT_NEAR(r1.transition, 2.0 * 0.5, 1e-12);  // rank power 2 W * xi_m
+  EXPECT_NEAR(r1.sleep_time, 1.0, 1e-12);
+  MemoryPower stay{4.0, 2.0};
+  const auto r2 = rank_memory_energy(s, stay, 2, 2, 0.0, 3.0);
+  EXPECT_NEAR(r2.idle, 2.0 * 1.0, 1e-12);
+  EXPECT_EQ(r2.sleep_time, 0.0);
+}
+
+TEST(Ranks, IdleRankSleepsWholeHorizon) {
+  Schedule s;
+  s.add(Segment{0, 0, 0.0, 1.0, 100.0});
+  MemoryPower mem{4.0, 0.0};
+  const auto r = rank_memory_energy(s, mem, 4, 4, 0.0, 1.0);
+  // Only rank 0 is ever busy: 1 W * 1 s; other ranks sleep free.
+  EXPECT_NEAR(r.total(), 1.0, 1e-12);
+  EXPECT_NEAR(r.sleep_time, 3.0, 1e-12);
+}
+
+TEST(Ranks, MoreRanksNeverCostMore) {
+  const auto sched = interleaved();
+  MemoryPower mem{4.0, 0.3};
+  double prev = 1e18;
+  for (int ranks : {1, 2, 4}) {
+    const auto r = rank_memory_energy(sched, mem, ranks, 2, 0.0, 4.0);
+    EXPECT_LE(r.total(), prev + 1e-9) << ranks;
+    prev = r.total();
+  }
+}
+
+}  // namespace
+}  // namespace sdem

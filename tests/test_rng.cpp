@@ -1,0 +1,61 @@
+// Tests for the deterministic RNG substrate.
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace sdem {
+namespace {
+
+TEST(SplitMix, Deterministic) {
+  SplitMix64 a(7), b(7);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro, Deterministic) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, UniformInUnitInterval) {
+  Xoshiro256 rng(99);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);  // mean of U(0,1)
+}
+
+TEST(Xoshiro, UniformRange) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 5.0);
+    ASSERT_GE(v, 2.0);
+    ASSERT_LT(v, 5.0);
+  }
+}
+
+TEST(Xoshiro, UniformIntInclusive) {
+  Xoshiro256 rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(3, 6);
+    ASSERT_GE(v, 3u);
+    ASSERT_LE(v, 6u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+}  // namespace
+}  // namespace sdem

@@ -1,0 +1,94 @@
+// Tests for the schedule representation and interval arithmetic.
+#include <gtest/gtest.h>
+
+#include "sched/schedule.hpp"
+
+namespace sdem {
+namespace {
+
+TEST(MergeIntervals, MergesOverlapsAndTouching) {
+  auto m = merge_intervals({{0.0, 1.0}, {0.5, 2.0}, {2.0, 3.0}, {5.0, 6.0}});
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_DOUBLE_EQ(m[0].lo, 0.0);
+  EXPECT_DOUBLE_EQ(m[0].hi, 3.0);
+  EXPECT_DOUBLE_EQ(m[1].lo, 5.0);
+}
+
+TEST(MergeIntervals, DropsEmpty) {
+  auto m = merge_intervals({{1.0, 1.0}, {2.0, 1.5}});
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MergeIntervals, UnsortedInput) {
+  auto m = merge_intervals({{5.0, 6.0}, {0.0, 1.0}});
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_DOUBLE_EQ(m[0].lo, 0.0);
+}
+
+Schedule two_core_schedule() {
+  Schedule s;
+  s.add(Segment{0, 0, 0.0, 1.0, 100.0});
+  s.add(Segment{1, 1, 0.5, 2.0, 200.0});
+  s.add(Segment{0, 0, 3.0, 4.0, 100.0});  // second burst of task 0
+  return s;
+}
+
+TEST(Schedule, CoresUsed) {
+  EXPECT_EQ(two_core_schedule().cores_used(), 2);
+  EXPECT_EQ(Schedule{}.cores_used(), 0);
+}
+
+TEST(Schedule, CoreBusyIntervals) {
+  const auto s = two_core_schedule();
+  const auto b0 = s.core_busy(0);
+  ASSERT_EQ(b0.size(), 2u);
+  EXPECT_DOUBLE_EQ(b0[0].hi, 1.0);
+  EXPECT_DOUBLE_EQ(b0[1].lo, 3.0);
+  EXPECT_EQ(s.core_busy(1).size(), 1u);
+}
+
+TEST(Schedule, MemoryBusyIsUnion) {
+  const auto s = two_core_schedule();
+  const auto mb = s.memory_busy();
+  ASSERT_EQ(mb.size(), 2u);
+  EXPECT_DOUBLE_EQ(mb[0].lo, 0.0);
+  EXPECT_DOUBLE_EQ(mb[0].hi, 2.0);
+  EXPECT_DOUBLE_EQ(s.memory_busy_time(), 3.0);
+}
+
+TEST(Schedule, MemorySleepTimeWithinHorizon) {
+  const auto s = two_core_schedule();
+  // Horizon [0, 5]: busy 3 => sleep 2.
+  EXPECT_DOUBLE_EQ(s.memory_sleep_time(0.0, 5.0), 2.0);
+  // Clipped horizon [0.5, 3.5]: busy [0.5,2] + [3,3.5] = 2 => sleep 1.
+  EXPECT_DOUBLE_EQ(s.memory_sleep_time(0.5, 3.5), 1.0);
+}
+
+TEST(Schedule, TaskWorkAccumulates) {
+  const auto s = two_core_schedule();
+  EXPECT_DOUBLE_EQ(s.task_work(0), 100.0 * 1.0 + 100.0 * 1.0);
+  EXPECT_DOUBLE_EQ(s.task_work(1), 200.0 * 1.5);
+  EXPECT_DOUBLE_EQ(s.task_work(42), 0.0);
+}
+
+TEST(Schedule, StartEndTimes) {
+  const auto s = two_core_schedule();
+  EXPECT_DOUBLE_EQ(s.start_time(), 0.0);
+  EXPECT_DOUBLE_EQ(s.end_time(), 4.0);
+}
+
+TEST(Schedule, ByTaskSorted) {
+  const auto s = two_core_schedule();
+  const auto m = s.by_task();
+  ASSERT_EQ(m.at(0).size(), 2u);
+  EXPECT_LT(m.at(0)[0].start, m.at(0)[1].start);
+}
+
+TEST(Segment, WorkAndDuration) {
+  const Segment seg{0, 0, 1.0, 3.0, 50.0};
+  EXPECT_DOUBLE_EQ(seg.duration(), 2.0);
+  EXPECT_DOUBLE_EQ(seg.work(), 100.0);
+}
+
+}  // namespace
+}  // namespace sdem

@@ -1,0 +1,129 @@
+// Tests for the race-to-idle / stretch / critical-speed pole policies.
+#include <gtest/gtest.h>
+
+#include "baseline/simple_policies.hpp"
+#include "sched/validate.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/metrics.hpp"
+#include "test_util.hpp"
+#include "workload/generator.hpp"
+
+namespace sdem {
+namespace {
+
+using test::make_cfg;
+using test::task;
+
+SystemConfig sim_cfg() {
+  auto cfg = make_cfg(0.31, 4.0, 1900.0);
+  cfg.num_cores = 8;
+  return cfg;
+}
+
+TEST(SimplePolicies, RaceRunsAtSup) {
+  TaskSet ts;
+  ts.add(task(0, 0.0, 0.100, 3.0));
+  RaceToIdlePolicy pol;
+  const auto res = simulate(ts, sim_cfg(), pol);
+  ASSERT_EQ(res.schedule.size(), 1u);
+  EXPECT_NEAR(res.schedule.segments()[0].speed, 1900.0, 1e-9);
+  EXPECT_NEAR(res.schedule.segments()[0].start, 0.0, 1e-12);
+  EXPECT_EQ(res.deadline_misses, 0);
+}
+
+TEST(SimplePolicies, StretchFillsTheWindow) {
+  TaskSet ts;
+  ts.add(task(0, 0.0, 0.010, 3.0));  // filled speed 300 MHz
+  StretchPolicy pol;
+  auto cfg = sim_cfg();
+  cfg.core.s_min = 0.0;
+  const auto res = simulate(ts, cfg, pol);
+  ASSERT_EQ(res.schedule.size(), 1u);
+  EXPECT_NEAR(res.schedule.segments()[0].speed, 300.0, 1e-6);
+  EXPECT_NEAR(res.schedule.segments()[0].end, 0.010, 1e-9);
+}
+
+TEST(SimplePolicies, CriticalSpeedRunsAtS0) {
+  TaskSet ts;
+  ts.add(task(0, 0.0, 1.0, 3.0));  // loose deadline: s_0 = s_m
+  CriticalSpeedPolicy pol;
+  auto cfg = sim_cfg();
+  cfg.core.s_min = 0.0;
+  const auto res = simulate(ts, cfg, pol);
+  ASSERT_EQ(res.schedule.size(), 1u);
+  EXPECT_NEAR(res.schedule.segments()[0].speed,
+              cfg.core.critical_speed_raw(), 1e-6);
+}
+
+TEST(SimplePolicies, AllFeasibleOnGeneratedLoads) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SyntheticParams p;
+    p.num_tasks = 50;
+    p.max_interarrival = 0.300;
+    const TaskSet ts = make_synthetic(p, seed);
+    for (int which = 0; which < 3; ++which) {
+      RaceToIdlePolicy race;
+      StretchPolicy stretch;
+      CriticalSpeedPolicy crit;
+      OnlinePolicy* pol =
+          which == 0 ? static_cast<OnlinePolicy*>(&race)
+                     : which == 1 ? static_cast<OnlinePolicy*>(&stretch)
+                                  : static_cast<OnlinePolicy*>(&crit);
+      const auto res = simulate(ts, sim_cfg(), *pol);
+      EXPECT_EQ(res.unfinished, 0) << pol->name() << " seed " << seed;
+      EXPECT_EQ(res.deadline_misses, 0) << pol->name() << " seed " << seed;
+      const auto v = validate_schedule(res.schedule, ts, sim_cfg());
+      EXPECT_TRUE(v.ok) << pol->name() << ": " << v.error;
+    }
+  }
+}
+
+TEST(SimplePolicies, SdemOnBeatsBothPoles) {
+  // The paper's thesis: neither pole is right; the balance wins. Average
+  // over seeds at the default operating point.
+  auto cfg = sim_cfg();
+  double e_race = 0, e_stretch = 0, e_sdem = 0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    SyntheticParams p;
+    p.num_tasks = 80;
+    p.max_interarrival = 0.400;
+    const TaskSet ts = make_synthetic(p, seed * 11);
+    RaceToIdlePolicy race;
+    StretchPolicy stretch;
+    const auto race_sim = simulate(ts, cfg, race);
+    const auto stretch_sim = simulate(ts, cfg, stretch);
+    e_race += evaluate_policy(race_sim, cfg, SleepDiscipline::kOptimal, "r")
+                  .energy.system_total();
+    e_stretch +=
+        evaluate_policy(stretch_sim, cfg, SleepDiscipline::kOptimal, "s")
+            .energy.system_total();
+    const auto cmp = run_comparison(ts, cfg);
+    e_sdem += cmp.sdem.energy.system_total();
+  }
+  EXPECT_LT(e_sdem, e_race);
+  EXPECT_LT(e_sdem, e_stretch);
+}
+
+TEST(SimplePolicies, PolesOrderFlipsWithMemoryPower) {
+  // Cheap memory favors stretch; expensive memory favors race. The
+  // crossover is the paper's motivation.
+  TaskSet ts;
+  ts.add(task(0, 0.0, 0.050, 20.0));
+  auto cheap = sim_cfg();
+  cheap.core.s_min = 0.0;
+  cheap.memory.alpha_m = 0.05;
+  auto dear = cheap;
+  dear.memory.alpha_m = 50.0;
+  RaceToIdlePolicy race;
+  StretchPolicy stretch;
+  auto energy = [&](OnlinePolicy& p, const SystemConfig& c) {
+    const auto sim = simulate(ts, c, p);
+    return evaluate_policy(sim, c, SleepDiscipline::kOptimal, "x")
+        .energy.system_total();
+  };
+  EXPECT_LT(energy(stretch, cheap), energy(race, cheap));
+  EXPECT_LT(energy(race, dear), energy(stretch, dear));
+}
+
+}  // namespace
+}  // namespace sdem

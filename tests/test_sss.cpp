@@ -1,0 +1,145 @@
+// Tests for single-core speed scaling with sleep (critical-speed method).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "single/sss.hpp"
+#include "sched/validate.hpp"
+#include "test_util.hpp"
+#include "workload/generator.hpp"
+
+namespace sdem {
+namespace {
+
+using test::make_cfg;
+
+CorePower a57_core(double xi = 0.0) {
+  CorePower c;
+  c.alpha = 0.31;
+  c.beta = 2.53e-10;
+  c.lambda = 3.0;
+  c.s_up = 1900.0;
+  c.xi = xi;
+  return c;
+}
+
+std::vector<YdsJob> to_jobs(const TaskSet& ts) {
+  std::vector<YdsJob> jobs;
+  for (const auto& t : ts.tasks()) {
+    jobs.push_back({t.id, t.release, t.deadline, t.work});
+  }
+  return jobs;
+}
+
+TEST(Sss, SingleLooseJobRunsAtCriticalSpeed) {
+  const auto core = a57_core();
+  const auto res = solve_single_core_sleep({{0, 0.0, 10.0, 5.0}}, core);
+  ASSERT_TRUE(res.feasible);
+  ASSERT_EQ(res.schedule.size(), 1u);
+  EXPECT_NEAR(res.schedule.segments()[0].speed, core.critical_speed_raw(),
+              1e-9);
+  // Energy matches the closed form (beta s_m^3 + alpha) w / s_m.
+  EXPECT_NEAR(res.energy, core.exec_energy(5.0, core.critical_speed_raw()),
+              1e-12);
+}
+
+TEST(Sss, TightJobKeepsYdsSpeed) {
+  const auto core = a57_core();
+  // Density 1500 MHz > s_m: YDS speed stands.
+  const auto res = solve_single_core_sleep({{0, 0.0, 0.002, 3.0}}, core);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_NEAR(res.schedule.segments()[0].speed, 1500.0, 1e-9);
+}
+
+TEST(Sss, FeasibleOnRandomSets) {
+  const auto core = a57_core(0.005);
+  auto cfg = make_cfg(core.alpha, 0.0, core.s_up);
+  cfg.core.xi = core.xi;
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    SyntheticParams p;
+    p.num_tasks = 10;
+    p.max_interarrival = 0.050;
+    const TaskSet ts = make_synthetic(p, seed);
+    const auto res = solve_single_core_sleep(to_jobs(ts), core);
+    ASSERT_TRUE(res.feasible) << "seed " << seed;
+    ValidateOptions opts;
+    opts.require_non_migrating = true;
+    const auto v = validate_schedule(res.schedule, ts, cfg, opts);
+    EXPECT_TRUE(v.ok) << v.error << " seed " << seed;
+  }
+}
+
+TEST(Sss, NeverWorseThanPlainYdsOrRace) {
+  const auto core = a57_core(0.002);
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    SyntheticParams p;
+    p.num_tasks = 8;
+    p.max_interarrival = 0.060;
+    const TaskSet ts = make_synthetic(p, seed * 3);
+    const auto jobs = to_jobs(ts);
+    const auto res = solve_single_core_sleep(jobs, core);
+    ASSERT_TRUE(res.feasible);
+
+    // Plain YDS (stretchy speeds) under the same accounting.
+    const double e_yds = single_core_energy(yds_schedule(jobs, 0), core);
+    EXPECT_LE(res.energy, e_yds + 1e-9) << "seed " << seed;
+
+    // Race-to-idle: everything at s_up as soon as possible (EDF order).
+    Schedule race;
+    auto sorted = jobs;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const YdsJob& x, const YdsJob& y) {
+                return x.release < y.release;
+              });
+    double cur = 0.0;
+    for (const auto& j : sorted) {
+      const double start = std::max(cur, j.release);
+      race.add(Segment{j.id, 0, start, start + j.work / core.s_up,
+                       core.s_up});
+      cur = start + j.work / core.s_up;
+    }
+    EXPECT_LE(res.energy, single_core_energy(race, core) + 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(Sss, SleepsOnlyPastBreakEven) {
+  auto core = a57_core(1.0);  // huge break-even: never sleep
+  const auto res = solve_single_core_sleep(
+      {{0, 0.0, 0.010, 4.0}, {1, 0.200, 0.210, 4.0}}, core);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_EQ(res.sleeps, 0);
+  core.xi = 0.010;  // now the ~190 ms gap sleeps
+  const auto res2 = solve_single_core_sleep(
+      {{0, 0.0, 0.010, 4.0}, {1, 0.200, 0.210, 4.0}}, core);
+  EXPECT_EQ(res2.sleeps, 1);
+  EXPECT_GT(res2.sleep_time, 0.150);
+  EXPECT_LT(res2.energy, res.energy);
+}
+
+TEST(Sss, InfeasibleAboveSup) {
+  const auto core = a57_core();
+  EXPECT_FALSE(
+      solve_single_core_sleep({{0, 0.0, 0.001, 4.0}}, core).feasible);
+}
+
+TEST(Sss, MatchesBruteForceOnSingleBatch) {
+  // One common-release batch: the optimum runs each task at
+  // max(s_m, staircase speed); cross-check against a dense scan over a
+  // uniform batch speed (valid because the staircase is flat here).
+  const auto core = a57_core();
+  const std::vector<YdsJob> jobs{
+      {0, 0.0, 0.100, 3.0}, {1, 0.0, 0.100, 2.0}, {2, 0.0, 0.100, 4.0}};
+  const auto res = solve_single_core_sleep(jobs, core);
+  ASSERT_TRUE(res.feasible);
+  double best = 1e18;
+  for (int i = 1; i <= 200000; ++i) {
+    const double s = 1900.0 * i / 200000.0;
+    if (9.0 / s > 0.100) continue;  // misses the common deadline
+    best = std::min(best, core.exec_energy(9.0, s));
+  }
+  EXPECT_NEAR(res.energy, best, 1e-6 * best);
+}
+
+}  // namespace
+}  // namespace sdem

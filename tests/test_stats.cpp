@@ -1,0 +1,52 @@
+// Tests for the streaming statistics accumulator.
+#include <gtest/gtest.h>
+
+#include "support/stats.hpp"
+
+namespace sdem {
+namespace {
+
+TEST(Stats, Empty) {
+  Stats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sem(), 0.0);
+}
+
+TEST(Stats, KnownSample) {
+  Stats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, SingleValue) {
+  Stats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(Stats, NumericallyStableOnOffset) {
+  // Classic catastrophic-cancellation check: huge offset, small variance.
+  Stats s;
+  for (double x : {1e9 + 4.0, 1e9 + 7.0, 1e9 + 13.0, 1e9 + 16.0}) s.add(x);
+  EXPECT_NEAR(s.mean(), 1e9 + 10.0, 1e-3);
+  EXPECT_NEAR(s.variance(), 30.0, 1e-6);
+}
+
+TEST(Stats, SemShrinksWithN) {
+  Stats a, b;
+  for (int i = 0; i < 10; ++i) a.add(i % 2);
+  for (int i = 0; i < 1000; ++i) b.add(i % 2);
+  EXPECT_GT(a.sem(), b.sem());
+}
+
+}  // namespace
+}  // namespace sdem

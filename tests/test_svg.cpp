@@ -1,0 +1,67 @@
+// Tests for the SVG Gantt exporter.
+#include <gtest/gtest.h>
+
+#include "sched/svg.hpp"
+
+namespace sdem {
+namespace {
+
+Schedule sample() {
+  Schedule s;
+  s.add(Segment{0, 0, 0.0, 0.5, 800.0});
+  s.add(Segment{1, 1, 0.2, 0.8, 1200.0});
+  return s;
+}
+
+int count(const std::string& hay, const std::string& needle) {
+  int n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(Svg, WellFormedDocument) {
+  const auto svg = render_svg(sample());
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_EQ(count(svg, "<svg"), 1);
+}
+
+TEST(Svg, LanesAndSegmentsPresent) {
+  const auto svg = render_svg(sample());
+  EXPECT_NE(svg.find("core 0"), std::string::npos);
+  EXPECT_NE(svg.find("core 1"), std::string::npos);
+  EXPECT_NE(svg.find("MEM"), std::string::npos);
+  // 2 lane backgrounds + 2 segments + 1 memory background + 1 memory busy.
+  EXPECT_GE(count(svg, "<rect"), 6);
+  // Tooltips carry the task metadata.
+  EXPECT_NE(svg.find("task 0:"), std::string::npos);
+  EXPECT_NE(svg.find("800 MHz"), std::string::npos);
+}
+
+TEST(Svg, DeterministicColors) {
+  const auto a = render_svg(sample());
+  const auto b = render_svg(sample());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("hsl("), std::string::npos);
+}
+
+TEST(Svg, TitleAndOptions) {
+  SvgOptions opts;
+  opts.title = "my schedule";
+  opts.show_memory = false;
+  const auto svg = render_svg(sample(), opts);
+  EXPECT_NE(svg.find("my schedule"), std::string::npos);
+  EXPECT_EQ(svg.find("MEM"), std::string::npos);
+}
+
+TEST(Svg, EmptyScheduleStillRenders) {
+  const auto svg = render_svg(Schedule{});
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdem

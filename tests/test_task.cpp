@@ -1,0 +1,122 @@
+// Tests for the task model and task-set classification.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/task.hpp"
+#include "test_util.hpp"
+
+namespace sdem {
+namespace {
+
+using test::task;
+
+TEST(Task, FilledSpeed) {
+  EXPECT_DOUBLE_EQ(task(0, 0.0, 2.0, 10.0).filled_speed(), 5.0);
+  EXPECT_DOUBLE_EQ(task(0, 1.0, 3.0, 1.0).filled_speed(), 0.5);
+  EXPECT_TRUE(std::isinf(task(0, 1.0, 1.0, 1.0).filled_speed()));
+}
+
+TEST(TaskSet, ClassifyCommonReleaseDeadline) {
+  TaskSet ts;
+  ts.add(task(0, 0.0, 1.0, 1.0));
+  ts.add(task(1, 0.0, 1.0, 2.0));
+  EXPECT_EQ(ts.classify(), TaskModel::kCommonReleaseDeadline);
+  EXPECT_TRUE(ts.is_common_release());
+  EXPECT_TRUE(ts.is_agreeable());
+}
+
+TEST(TaskSet, ClassifyCommonRelease) {
+  TaskSet ts;
+  ts.add(task(0, 0.0, 1.0, 1.0));
+  ts.add(task(1, 0.0, 2.0, 2.0));
+  EXPECT_EQ(ts.classify(), TaskModel::kCommonRelease);
+}
+
+TEST(TaskSet, ClassifyAgreeable) {
+  TaskSet ts;
+  ts.add(task(0, 0.0, 1.0, 1.0));
+  ts.add(task(1, 0.5, 1.5, 2.0));
+  EXPECT_EQ(ts.classify(), TaskModel::kAgreeable);
+  EXPECT_FALSE(ts.is_common_release());
+}
+
+TEST(TaskSet, ClassifyGeneral) {
+  TaskSet ts;
+  ts.add(task(0, 0.0, 2.0, 1.0));
+  ts.add(task(1, 0.5, 1.0, 2.0));  // nested
+  EXPECT_EQ(ts.classify(), TaskModel::kGeneral);
+  EXPECT_FALSE(ts.is_agreeable());
+}
+
+TEST(TaskSet, EqualReleasesAnyDeadlineOrderIsAgreeable) {
+  TaskSet ts;
+  ts.add(task(0, 0.0, 2.0, 1.0));
+  ts.add(task(1, 0.0, 1.0, 1.0));  // same release, earlier deadline: fine
+  EXPECT_TRUE(ts.is_agreeable());
+}
+
+TEST(TaskSet, EmptySetProperties) {
+  TaskSet ts;
+  EXPECT_TRUE(ts.empty());
+  EXPECT_TRUE(ts.is_common_release());
+  EXPECT_TRUE(ts.is_agreeable());
+  EXPECT_EQ(ts.total_work(), 0.0);
+  EXPECT_TRUE(ts.validate().empty());
+}
+
+TEST(TaskSet, SortedByDeadlineStable) {
+  TaskSet ts;
+  ts.add(task(2, 0.0, 3.0, 1.0));
+  ts.add(task(0, 0.0, 1.0, 1.0));
+  ts.add(task(1, 0.0, 2.0, 1.0));
+  const auto sorted = ts.sorted_by_deadline();
+  EXPECT_EQ(sorted[0].id, 0);
+  EXPECT_EQ(sorted[1].id, 1);
+  EXPECT_EQ(sorted[2].id, 2);
+}
+
+TEST(TaskSet, SortedByRelease) {
+  TaskSet ts;
+  ts.add(task(1, 2.0, 3.0, 1.0));
+  ts.add(task(0, 1.0, 4.0, 1.0));
+  const auto sorted = ts.sorted_by_release();
+  EXPECT_EQ(sorted[0].id, 0);
+}
+
+TEST(TaskSet, ValidateCatchesBadTasks) {
+  {
+    TaskSet ts;
+    ts.add(task(0, 0.0, 1.0, -1.0));
+    EXPECT_NE(ts.validate().find("negative workload"), std::string::npos);
+  }
+  {
+    TaskSet ts;
+    ts.add(task(0, 1.0, 1.0, 1.0));
+    EXPECT_NE(ts.validate().find("empty feasible region"), std::string::npos);
+  }
+  {
+    TaskSet ts;
+    ts.add(task(0, 0.0, 1.0, 1.0));
+    ts.add(task(0, 0.0, 2.0, 1.0));
+    EXPECT_NE(ts.validate().find("duplicate"), std::string::npos);
+  }
+}
+
+TEST(TaskSet, Aggregates) {
+  TaskSet ts;
+  ts.add(task(0, 1.0, 2.0, 3.0));
+  ts.add(task(1, 0.5, 4.0, 7.0));
+  EXPECT_DOUBLE_EQ(ts.min_release(), 0.5);
+  EXPECT_DOUBLE_EQ(ts.max_deadline(), 4.0);
+  EXPECT_DOUBLE_EQ(ts.total_work(), 10.0);
+  EXPECT_DOUBLE_EQ(ts.max_filled_speed(), 3.0);  // 3/1 vs 2
+}
+
+TEST(TaskModel, ToString) {
+  EXPECT_EQ(to_string(TaskModel::kAgreeable), "agreeable");
+  EXPECT_EQ(to_string(TaskModel::kGeneral), "general");
+}
+
+}  // namespace
+}  // namespace sdem

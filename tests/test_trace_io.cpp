@@ -1,0 +1,91 @@
+// Tests for schedule CSV round-trip and the ASCII Gantt renderer.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sched/trace_io.hpp"
+
+namespace sdem {
+namespace {
+
+Schedule sample() {
+  Schedule s;
+  s.add(Segment{0, 0, 0.0, 0.5, 849.123456789});
+  s.add(Segment{1, 1, 0.25, 1.0, 1900.0});
+  s.add(Segment{2, 0, 2.0, 2.5, 700.0});
+  return s;
+}
+
+TEST(TraceIo, CsvRoundTripExact) {
+  const auto s = sample();
+  const auto csv = schedule_to_csv(s);
+  const auto back = schedule_from_csv(csv);
+  ASSERT_EQ(back.size(), s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(back.segments()[i].task_id, s.segments()[i].task_id);
+    EXPECT_EQ(back.segments()[i].core, s.segments()[i].core);
+    EXPECT_EQ(back.segments()[i].start, s.segments()[i].start);
+    EXPECT_EQ(back.segments()[i].end, s.segments()[i].end);
+    EXPECT_EQ(back.segments()[i].speed, s.segments()[i].speed);
+  }
+}
+
+TEST(TraceIo, CsvHeaderRequired) {
+  EXPECT_THROW(schedule_from_csv("nope\n1,2,3,4,5\n"), std::invalid_argument);
+}
+
+TEST(TraceIo, CsvBadRowRejected) {
+  EXPECT_THROW(schedule_from_csv("task,core,start,end,speed\n1,2,oops\n"),
+               std::invalid_argument);
+}
+
+TEST(TraceIo, CsvEmptySchedule) {
+  const auto back = schedule_from_csv(schedule_to_csv(Schedule{}));
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(TraceIo, TaskSetCsvRoundTrip) {
+  TaskSet ts;
+  ts.add(Task{3, 0.25, 1.5, 4.125});
+  ts.add(Task{7, 1.0, 2.0, 0.5});
+  const auto back = task_set_from_csv(task_set_to_csv(ts));
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].id, 3);
+  EXPECT_EQ(back[0].release, 0.25);
+  EXPECT_EQ(back[1].work, 0.5);
+}
+
+TEST(TraceIo, TaskSetCsvRejectsGarbage) {
+  EXPECT_THROW(task_set_from_csv("bogus"), std::invalid_argument);
+  EXPECT_THROW(task_set_from_csv("id,release,deadline,work\nx\n"),
+               std::invalid_argument);
+}
+
+TEST(Gantt, ShowsLanesAndMemory) {
+  const auto g = render_gantt(sample());
+  EXPECT_NE(g.find("core  0"), std::string::npos);
+  EXPECT_NE(g.find("core  1"), std::string::npos);
+  EXPECT_NE(g.find("MEM"), std::string::npos);
+  EXPECT_NE(g.find('#'), std::string::npos);
+  EXPECT_NE(g.find('='), std::string::npos);
+  // The gap between 1.0 and 2.0 must appear as memory idle (spaces between
+  // '=' runs on the MEM lane).
+  const auto mem_line = g.substr(g.find("MEM"));
+  EXPECT_NE(mem_line.find("= "), std::string::npos);
+}
+
+TEST(Gantt, EmptySchedule) {
+  EXPECT_EQ(render_gantt(Schedule{}), "(empty schedule)\n");
+}
+
+TEST(Gantt, WidthRespected) {
+  GanttOptions opts;
+  opts.width = 40;
+  const auto g = render_gantt(sample(), opts);
+  // Each lane line: "core NN |" + width + "|".
+  const auto first_line = g.substr(0, g.find('\n'));
+  EXPECT_EQ(first_line.size(), std::string("core  0 |").size() + 40 + 1);
+}
+
+}  // namespace
+}  // namespace sdem

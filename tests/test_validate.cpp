@@ -1,0 +1,134 @@
+// Tests for the schedule validator: one test per failure mode.
+#include <gtest/gtest.h>
+
+#include "sched/validate.hpp"
+#include "test_util.hpp"
+
+namespace sdem {
+namespace {
+
+using test::make_cfg;
+using test::task;
+
+TaskSet one_task() {
+  TaskSet ts;
+  ts.add(task(0, 0.0, 1.0, 100.0));
+  return ts;
+}
+
+TEST(Validate, AcceptsCorrectSchedule) {
+  Schedule s;
+  s.add(Segment{0, 0, 0.0, 1.0, 100.0});
+  const auto v = validate_schedule(s, one_task(), make_cfg(0.0, 4.0));
+  EXPECT_TRUE(v.ok) << v.error;
+}
+
+TEST(Validate, UnknownTask) {
+  Schedule s;
+  s.add(Segment{7, 0, 0.0, 1.0, 100.0});
+  const auto v = validate_schedule(s, one_task(), make_cfg(0.0, 4.0));
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("unknown task"), std::string::npos);
+}
+
+TEST(Validate, StartBeforeRelease) {
+  TaskSet ts;
+  ts.add(task(0, 0.5, 1.5, 100.0));
+  Schedule s;
+  s.add(Segment{0, 0, 0.0, 1.0, 100.0});
+  const auto v = validate_schedule(s, ts, make_cfg(0.0, 4.0));
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("before release"), std::string::npos);
+}
+
+TEST(Validate, EndAfterDeadline) {
+  Schedule s;
+  s.add(Segment{0, 0, 0.5, 1.5, 100.0});
+  const auto v = validate_schedule(s, one_task(), make_cfg(0.0, 4.0));
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("after deadline"), std::string::npos);
+}
+
+TEST(Validate, WorkloadMismatch) {
+  Schedule s;
+  s.add(Segment{0, 0, 0.0, 0.5, 100.0});  // only half the work
+  const auto v = validate_schedule(s, one_task(), make_cfg(0.0, 4.0));
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("executed"), std::string::npos);
+}
+
+TEST(Validate, SpeedAboveCap) {
+  TaskSet ts;
+  ts.add(task(0, 0.0, 1.0, 2000.0));
+  Schedule s;
+  s.add(Segment{0, 0, 0.0, 1.0, 2000.0});
+  const auto v = validate_schedule(s, ts, make_cfg(0.0, 4.0, 1900.0));
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("exceeds s_up"), std::string::npos);
+}
+
+TEST(Validate, CoreOverlap) {
+  TaskSet ts;
+  ts.add(task(0, 0.0, 1.0, 50.0));
+  ts.add(task(1, 0.0, 1.0, 50.0));
+  Schedule s;
+  s.add(Segment{0, 0, 0.0, 0.5, 100.0});
+  s.add(Segment{1, 0, 0.4, 0.9, 100.0});
+  const auto v = validate_schedule(s, ts, make_cfg(0.0, 4.0));
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("overlap"), std::string::npos);
+}
+
+TEST(Validate, Migration) {
+  TaskSet ts;
+  ts.add(task(0, 0.0, 1.0, 100.0));
+  Schedule s;
+  s.add(Segment{0, 0, 0.0, 0.5, 100.0});
+  s.add(Segment{0, 1, 0.5, 1.0, 100.0});
+  ValidateOptions opts;
+  opts.require_non_migrating = true;
+  const auto v = validate_schedule(s, ts, make_cfg(0.0, 4.0), opts);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("migrates"), std::string::npos);
+  opts.require_non_migrating = false;
+  EXPECT_TRUE(validate_schedule(s, ts, make_cfg(0.0, 4.0), opts).ok);
+}
+
+TEST(Validate, Preemption) {
+  TaskSet ts;
+  ts.add(task(0, 0.0, 2.0, 100.0));
+  Schedule s;
+  s.add(Segment{0, 0, 0.0, 0.5, 100.0});
+  s.add(Segment{0, 0, 1.0, 1.5, 100.0});
+  ValidateOptions opts;
+  opts.require_non_preemptive = true;
+  const auto v = validate_schedule(s, ts, make_cfg(0.0, 4.0), opts);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("preempted"), std::string::npos);
+}
+
+TEST(Validate, BoundedCoreCount) {
+  TaskSet ts;
+  ts.add(task(0, 0.0, 1.0, 50.0));
+  ts.add(task(1, 0.0, 1.0, 50.0));
+  Schedule s;
+  s.add(Segment{0, 0, 0.0, 1.0, 50.0});
+  s.add(Segment{1, 5, 0.0, 1.0, 50.0});  // core index 5
+  auto cfg = make_cfg(0.0, 4.0);
+  cfg.num_cores = 2;
+  const auto v = validate_schedule(s, ts, cfg);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("cores"), std::string::npos);
+}
+
+TEST(Validate, EmptySegmentAndBadSpeed) {
+  Schedule s1;
+  s1.add(Segment{0, 0, 1.0, 1.0, 100.0});
+  EXPECT_FALSE(validate_schedule(s1, one_task(), make_cfg(0.0, 4.0)).ok);
+  Schedule s2;
+  s2.add(Segment{0, 0, 0.0, 1.0, 0.0});
+  EXPECT_FALSE(validate_schedule(s2, one_task(), make_cfg(0.0, 4.0)).ok);
+}
+
+}  // namespace
+}  // namespace sdem

@@ -1,0 +1,89 @@
+// Tests for the physical voltage/frequency model and its polynomial fit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/voltage.hpp"
+
+namespace sdem {
+namespace {
+
+VoltageModel a57ish() {
+  VoltageModel m;
+  m.c_ef = 3.0e-10;
+  m.v_t = 0.35;
+  m.kappa = 2800.0;
+  return m;
+}
+
+TEST(Voltage, SpeedVoltageRoundTrip) {
+  const auto m = a57ish();
+  for (double s : {100.0, 700.0, 1200.0, 1900.0}) {
+    const double v = m.vdd_for(s);
+    EXPECT_GT(v, m.v_t);
+    EXPECT_NEAR(m.speed_at(v), s, 1e-6 * s);
+  }
+}
+
+TEST(Voltage, SpeedMonotoneInVoltage) {
+  const auto m = a57ish();
+  double prev = 0.0;
+  for (double v = 0.4; v <= 1.4; v += 0.05) {
+    const double s = m.speed_at(v);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+  EXPECT_EQ(m.speed_at(m.v_t), 0.0);
+  EXPECT_EQ(m.speed_at(0.1), 0.0);
+}
+
+TEST(Voltage, PowerConvexIncreasing) {
+  const auto m = a57ish();
+  // P(s) increasing and convex: second differences positive.
+  double p0 = m.dynamic_power(400.0);
+  double p1 = m.dynamic_power(800.0);
+  double p2 = m.dynamic_power(1200.0);
+  double p3 = m.dynamic_power(1600.0);
+  EXPECT_LT(p0, p1);
+  EXPECT_LT(p1, p2);
+  EXPECT_GT(p2 - p1, p1 - p0);
+  EXPECT_GT(p3 - p2, p2 - p1);
+}
+
+TEST(Voltage, EnergyPerCycleIncreasesWithSpeed) {
+  // Without static power, slower is always better per cycle — the physical
+  // model agrees with the polynomial abstraction's qualitative behavior.
+  const auto m = a57ish();
+  EXPECT_LT(m.exec_energy(1.0, 700.0), m.exec_energy(1.0, 1900.0));
+}
+
+TEST(Voltage, PowerLawFitIsNearCubic) {
+  // Over the A57's DVFS window the physical model is well approximated by
+  // beta * s^lambda with lambda close to 3 — the paper's abstraction.
+  const auto m = a57ish();
+  const PowerFit fit = fit_power_law(m, 700.0, 1900.0);
+  EXPECT_GT(fit.lambda, 1.5);
+  EXPECT_LT(fit.lambda, 3.5);
+  EXPECT_LT(fit.max_rel_error, 0.08) << "fit should be within 8% everywhere";
+  EXPECT_GT(fit.beta, 0.0);
+}
+
+TEST(Voltage, FitReproducesExactPowerLaw) {
+  // Sanity: fitting data that *is* a power law recovers it exactly.
+  // speed_at with v_t = 0 gives s = kappa * v, so P = c_ef s^3 / kappa^2.
+  VoltageModel m;
+  m.v_t = 0.0;
+  m.kappa = 1000.0;
+  m.c_ef = 2.0e-9;
+  const PowerFit fit = fit_power_law(m, 100.0, 2000.0);
+  EXPECT_NEAR(fit.lambda, 3.0, 1e-9);
+  EXPECT_NEAR(fit.beta, 2.0e-9 / 1e6, 1e-12);
+  EXPECT_LT(fit.max_rel_error, 1e-9);
+}
+
+TEST(Voltage, ZeroWorkCostsNothing) {
+  EXPECT_EQ(a57ish().exec_energy(0.0, 1000.0), 0.0);
+}
+
+}  // namespace
+}  // namespace sdem

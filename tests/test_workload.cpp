@@ -1,0 +1,139 @@
+// Tests for the workload generators (§8.1).
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hpp"
+#include "workload/dspstone.hpp"
+#include "workload/generator.hpp"
+
+namespace sdem {
+namespace {
+
+TEST(Synthetic, RangesMatchPaperSetup) {
+  SyntheticParams p;
+  p.num_tasks = 200;
+  p.max_interarrival = 0.400;
+  const TaskSet ts = make_synthetic(p, 1);
+  ASSERT_EQ(ts.size(), 200u);
+  double prev_release = 0.0;
+  for (const auto& t : ts.tasks()) {
+    EXPECT_GE(t.work, 2.0);
+    EXPECT_LE(t.work, 5.0);
+    EXPECT_GE(t.region(), 0.010 - 1e-12);
+    EXPECT_LE(t.region(), 0.120 + 1e-12);
+    EXPECT_GE(t.release - prev_release, 0.0);
+    EXPECT_LE(t.release - prev_release, 0.400);
+    prev_release = t.release;
+  }
+  EXPECT_TRUE(ts.validate().empty());
+}
+
+TEST(Synthetic, Deterministic) {
+  SyntheticParams p;
+  p.num_tasks = 50;
+  const TaskSet a = make_synthetic(p, 99);
+  const TaskSet b = make_synthetic(p, 99);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].release, b[i].release);
+    EXPECT_EQ(a[i].work, b[i].work);
+  }
+  const TaskSet c = make_synthetic(p, 100);
+  EXPECT_NE(a[0].work, c[0].work);
+}
+
+TEST(CommonReleaseGen, AllReleasedTogether) {
+  const TaskSet ts = make_common_release(20, 1.5, 3);
+  EXPECT_TRUE(ts.is_common_release());
+  for (const auto& t : ts.tasks()) EXPECT_EQ(t.release, 1.5);
+  EXPECT_EQ(ts.classify(), TaskModel::kCommonRelease);
+}
+
+TEST(AgreeableGen, ProducesAgreeableSets) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const TaskSet ts = make_agreeable(15, seed);
+    EXPECT_TRUE(ts.is_agreeable()) << "seed " << seed;
+    EXPECT_TRUE(ts.validate().empty());
+  }
+}
+
+TEST(Bursty, StructureAndDeterminism) {
+  BurstyParams p;
+  p.num_tasks = 32;
+  p.burst_size = 8;
+  const TaskSet a = make_bursty(p, 3);
+  const TaskSet b = make_bursty(p, 3);
+  ASSERT_EQ(a.size(), 32u);
+  EXPECT_TRUE(a.validate().empty());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].release, b[i].release);
+  }
+  // Bursts: within a burst spacing <= intra_spacing * burst_size, between
+  // bursts at least 0.5 * burst_gap.
+  int big_gaps = 0;
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    const double gap = a[i].release - a[i - 1].release;
+    if (gap > 0.25 * p.burst_gap) ++big_gaps;
+  }
+  EXPECT_EQ(big_gaps, 3);  // 32 tasks / 8 per burst -> 3 inter-burst gaps
+}
+
+TEST(Bursty, SdemOnShinesOnBursts) {
+  // Bursts are the best case for alignment: everything in a burst overlaps.
+  auto cfg = SystemConfig::paper_default();
+  BurstyParams p;
+  p.num_tasks = 80;
+  double sdem = 0.0, mbkps = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto cmp = run_comparison(make_bursty(p, seed * 7), cfg);
+    sdem += cmp.system_saving_sdem();
+    mbkps += cmp.system_saving_mbkps();
+    EXPECT_EQ(cmp.sdem.deadline_misses, 0);
+  }
+  EXPECT_GT(sdem, mbkps);
+}
+
+TEST(Dspstone, CycleCountFormulas) {
+  // FFT-1024: 5120 butterflies * 16 cycles = 81920 cycles per frame.
+  EXPECT_NEAR(fft1024_megacycles(1), 0.08192, 1e-12);
+  EXPECT_NEAR(fft1024_megacycles(16), 1.31072, 1e-12);
+  // Matmul: 2 X Y Z cycles.
+  EXPECT_NEAR(matmul_megacycles(10, 20, 30), 0.012, 1e-12);
+}
+
+TEST(Dspstone, TraceStructure) {
+  DspstoneParams p;
+  p.num_tasks = 64;
+  p.utilization_u = 4.0;
+  const TaskSet ts = make_dspstone(p, 7);
+  ASSERT_EQ(ts.size(), 64u);
+  EXPECT_TRUE(ts.validate().empty());
+  for (const auto& t : ts.tasks()) {
+    // Region equals the processing time at 16.5 MHz.
+    EXPECT_NEAR(t.region(), t.work / 16.5, 1e-9);
+  }
+}
+
+TEST(Dspstone, HigherUMeansSparser) {
+  DspstoneParams lo, hi;
+  lo.num_tasks = hi.num_tasks = 64;
+  lo.utilization_u = 2.0;
+  hi.utilization_u = 9.0;
+  const TaskSet dense = make_dspstone(lo, 5);
+  const TaskSet sparse = make_dspstone(hi, 5);
+  EXPECT_LT(dense.tasks().back().release, sparse.tasks().back().release);
+}
+
+TEST(Dspstone, FftInstancesShareWorkload) {
+  DspstoneParams p;
+  p.num_tasks = 32;
+  const TaskSet ts = make_dspstone(p, 11);
+  // Stream 0 is FFT: all its instances have the same cycle count.
+  double fft_mc = fft1024_megacycles(p.fft_batch);
+  int fft_count = 0;
+  for (const auto& t : ts.tasks()) {
+    if (std::abs(t.work - fft_mc) < 1e-12) ++fft_count;
+  }
+  EXPECT_GT(fft_count, 4);
+}
+
+}  // namespace
+}  // namespace sdem
