@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_discrete.dir/bench_ablation_discrete.cpp.o"
+  "CMakeFiles/bench_ablation_discrete.dir/bench_ablation_discrete.cpp.o.d"
+  "bench_ablation_discrete"
+  "bench_ablation_discrete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_discrete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_procrastination.dir/bench_ablation_procrastination.cpp.o"
+  "CMakeFiles/bench_ablation_procrastination.dir/bench_ablation_procrastination.cpp.o.d"
+  "bench_ablation_procrastination"
+  "bench_ablation_procrastination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_procrastination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sleep_discipline.dir/bench_ablation_sleep_discipline.cpp.o"
+  "CMakeFiles/bench_ablation_sleep_discipline.dir/bench_ablation_sleep_discipline.cpp.o.d"
+  "bench_ablation_sleep_discipline"
+  "bench_ablation_sleep_discipline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sleep_discipline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bounded_partition.dir/bench_bounded_partition.cpp.o"
+  "CMakeFiles/bench_bounded_partition.dir/bench_bounded_partition.cpp.o.d"
+  "bench_bounded_partition"
+  "bench_bounded_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bounded_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

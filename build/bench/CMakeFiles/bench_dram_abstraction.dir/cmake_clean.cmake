@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dram_abstraction.dir/bench_dram_abstraction.cpp.o"
+  "CMakeFiles/bench_dram_abstraction.dir/bench_dram_abstraction.cpp.o.d"
+  "bench_dram_abstraction"
+  "bench_dram_abstraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dram_abstraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

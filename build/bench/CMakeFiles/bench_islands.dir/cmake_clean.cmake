@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_islands.dir/bench_islands.cpp.o"
+  "CMakeFiles/bench_islands.dir/bench_islands.cpp.o.d"
+  "bench_islands"
+  "bench_islands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_islands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_online_vs_offline.dir/bench_online_vs_offline.cpp.o"
+  "CMakeFiles/bench_online_vs_offline.dir/bench_online_vs_offline.cpp.o.d"
+  "bench_online_vs_offline"
+  "bench_online_vs_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_online_vs_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_policy_poles.dir/bench_policy_poles.cpp.o"
+  "CMakeFiles/bench_policy_poles.dir/bench_policy_poles.cpp.o.d"
+  "bench_policy_poles"
+  "bench_policy_poles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_policy_poles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rank_granularity.dir/bench_rank_granularity.cpp.o"
+  "CMakeFiles/bench_rank_granularity.dir/bench_rank_granularity.cpp.o.d"
+  "bench_rank_granularity"
+  "bench_rank_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rank_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

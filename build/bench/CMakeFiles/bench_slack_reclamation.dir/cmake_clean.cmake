@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slack_reclamation.dir/bench_slack_reclamation.cpp.o"
+  "CMakeFiles/bench_slack_reclamation.dir/bench_slack_reclamation.cpp.o.d"
+  "bench_slack_reclamation"
+  "bench_slack_reclamation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slack_reclamation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_grid.dir/bench_table4_grid.cpp.o"
+  "CMakeFiles/bench_table4_grid.dir/bench_table4_grid.cpp.o.d"
+  "bench_table4_grid"
+  "bench_table4_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_agreeable.dir/batch_agreeable.cpp.o"
+  "CMakeFiles/batch_agreeable.dir/batch_agreeable.cpp.o.d"
+  "batch_agreeable"
+  "batch_agreeable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_agreeable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

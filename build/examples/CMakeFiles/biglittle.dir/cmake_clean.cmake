@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biglittle.dir/biglittle.cpp.o"
+  "CMakeFiles/biglittle.dir/biglittle.cpp.o.d"
+  "biglittle"
+  "biglittle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biglittle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

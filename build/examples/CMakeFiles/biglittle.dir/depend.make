@@ -1,0 +1,2 @@
+# Empty dependencies file for biglittle.
+# This may be replaced when dependencies are built.

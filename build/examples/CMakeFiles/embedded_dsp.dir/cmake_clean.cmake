@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedded_dsp.dir/embedded_dsp.cpp.o"
+  "CMakeFiles/embedded_dsp.dir/embedded_dsp.cpp.o.d"
+  "embedded_dsp"
+  "embedded_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedded_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

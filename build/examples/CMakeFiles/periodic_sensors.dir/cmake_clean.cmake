@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/periodic_sensors.dir/periodic_sensors.cpp.o"
+  "CMakeFiles/periodic_sensors.dir/periodic_sensors.cpp.o.d"
+  "periodic_sensors"
+  "periodic_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/periodic_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

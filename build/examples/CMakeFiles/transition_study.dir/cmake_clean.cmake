@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transition_study.dir/transition_study.cpp.o"
+  "CMakeFiles/transition_study.dir/transition_study.cpp.o.d"
+  "transition_study"
+  "transition_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transition_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/mbkp.cpp" "src/CMakeFiles/sdem.dir/baseline/mbkp.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/baseline/mbkp.cpp.o.d"
+  "/root/repo/src/baseline/oa.cpp" "src/CMakeFiles/sdem.dir/baseline/oa.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/baseline/oa.cpp.o.d"
+  "/root/repo/src/baseline/simple_policies.cpp" "src/CMakeFiles/sdem.dir/baseline/simple_policies.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/baseline/simple_policies.cpp.o.d"
+  "/root/repo/src/baseline/yds.cpp" "src/CMakeFiles/sdem.dir/baseline/yds.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/baseline/yds.cpp.o.d"
+  "/root/repo/src/bounded/bounded_scheduler.cpp" "src/CMakeFiles/sdem.dir/bounded/bounded_scheduler.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/bounded/bounded_scheduler.cpp.o.d"
+  "/root/repo/src/bounded/partition.cpp" "src/CMakeFiles/sdem.dir/bounded/partition.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/bounded/partition.cpp.o.d"
+  "/root/repo/src/core/agreeable.cpp" "src/CMakeFiles/sdem.dir/core/agreeable.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/core/agreeable.cpp.o.d"
+  "/root/repo/src/core/algorithm1.cpp" "src/CMakeFiles/sdem.dir/core/algorithm1.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/core/algorithm1.cpp.o.d"
+  "/root/repo/src/core/block.cpp" "src/CMakeFiles/sdem.dir/core/block.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/core/block.cpp.o.d"
+  "/root/repo/src/core/common_release_alpha.cpp" "src/CMakeFiles/sdem.dir/core/common_release_alpha.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/core/common_release_alpha.cpp.o.d"
+  "/root/repo/src/core/common_release_alpha0.cpp" "src/CMakeFiles/sdem.dir/core/common_release_alpha0.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/core/common_release_alpha0.cpp.o.d"
+  "/root/repo/src/core/common_release_hetero.cpp" "src/CMakeFiles/sdem.dir/core/common_release_hetero.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/core/common_release_hetero.cpp.o.d"
+  "/root/repo/src/core/discrete_solver.cpp" "src/CMakeFiles/sdem.dir/core/discrete_solver.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/core/discrete_solver.cpp.o.d"
+  "/root/repo/src/core/discretize.cpp" "src/CMakeFiles/sdem.dir/core/discretize.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/core/discretize.cpp.o.d"
+  "/root/repo/src/core/islands.cpp" "src/CMakeFiles/sdem.dir/core/islands.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/core/islands.cpp.o.d"
+  "/root/repo/src/core/lemma3.cpp" "src/CMakeFiles/sdem.dir/core/lemma3.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/core/lemma3.cpp.o.d"
+  "/root/repo/src/core/lower_bound.cpp" "src/CMakeFiles/sdem.dir/core/lower_bound.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/core/lower_bound.cpp.o.d"
+  "/root/repo/src/core/online_sdem.cpp" "src/CMakeFiles/sdem.dir/core/online_sdem.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/core/online_sdem.cpp.o.d"
+  "/root/repo/src/core/reference.cpp" "src/CMakeFiles/sdem.dir/core/reference.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/core/reference.cpp.o.d"
+  "/root/repo/src/core/transition.cpp" "src/CMakeFiles/sdem.dir/core/transition.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/core/transition.cpp.o.d"
+  "/root/repo/src/mem/contention.cpp" "src/CMakeFiles/sdem.dir/mem/contention.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/mem/contention.cpp.o.d"
+  "/root/repo/src/mem/dram.cpp" "src/CMakeFiles/sdem.dir/mem/dram.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/mem/dram.cpp.o.d"
+  "/root/repo/src/mem/ranks.cpp" "src/CMakeFiles/sdem.dir/mem/ranks.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/mem/ranks.cpp.o.d"
+  "/root/repo/src/model/access.cpp" "src/CMakeFiles/sdem.dir/model/access.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/model/access.cpp.o.d"
+  "/root/repo/src/model/power.cpp" "src/CMakeFiles/sdem.dir/model/power.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/model/power.cpp.o.d"
+  "/root/repo/src/model/task.cpp" "src/CMakeFiles/sdem.dir/model/task.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/model/task.cpp.o.d"
+  "/root/repo/src/model/voltage.cpp" "src/CMakeFiles/sdem.dir/model/voltage.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/model/voltage.cpp.o.d"
+  "/root/repo/src/sched/admission.cpp" "src/CMakeFiles/sdem.dir/sched/admission.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/sched/admission.cpp.o.d"
+  "/root/repo/src/sched/energy.cpp" "src/CMakeFiles/sdem.dir/sched/energy.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/sched/energy.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/CMakeFiles/sdem.dir/sched/schedule.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/sched/schedule.cpp.o.d"
+  "/root/repo/src/sched/svg.cpp" "src/CMakeFiles/sdem.dir/sched/svg.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/sched/svg.cpp.o.d"
+  "/root/repo/src/sched/trace_io.cpp" "src/CMakeFiles/sdem.dir/sched/trace_io.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/sched/trace_io.cpp.o.d"
+  "/root/repo/src/sched/validate.cpp" "src/CMakeFiles/sdem.dir/sched/validate.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/sched/validate.cpp.o.d"
+  "/root/repo/src/sim/event_sim.cpp" "src/CMakeFiles/sdem.dir/sim/event_sim.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/sim/event_sim.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/sdem.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/single/sss.cpp" "src/CMakeFiles/sdem.dir/single/sss.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/single/sss.cpp.o.d"
+  "/root/repo/src/support/numeric.cpp" "src/CMakeFiles/sdem.dir/support/numeric.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/support/numeric.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/sdem.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/support/table.cpp.o.d"
+  "/root/repo/src/workload/dspstone.cpp" "src/CMakeFiles/sdem.dir/workload/dspstone.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/workload/dspstone.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/CMakeFiles/sdem.dir/workload/generator.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/workload/generator.cpp.o.d"
+  "/root/repo/src/workload/periodic.cpp" "src/CMakeFiles/sdem.dir/workload/periodic.cpp.o" "gcc" "src/CMakeFiles/sdem.dir/workload/periodic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algorithm1.dir/test_algorithm1.cpp.o"
+  "CMakeFiles/test_algorithm1.dir/test_algorithm1.cpp.o.d"
+  "test_algorithm1"
+  "test_algorithm1.pdb"
+  "test_algorithm1[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algorithm1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_release_alpha.dir/test_common_release_alpha.cpp.o"
+  "CMakeFiles/test_common_release_alpha.dir/test_common_release_alpha.cpp.o.d"
+  "test_common_release_alpha"
+  "test_common_release_alpha.pdb"
+  "test_common_release_alpha[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_release_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_release_alpha0.dir/test_common_release_alpha0.cpp.o"
+  "CMakeFiles/test_common_release_alpha0.dir/test_common_release_alpha0.cpp.o.d"
+  "test_common_release_alpha0"
+  "test_common_release_alpha0.pdb"
+  "test_common_release_alpha0[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_release_alpha0.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

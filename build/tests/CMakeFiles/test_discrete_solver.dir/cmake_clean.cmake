@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_discrete_solver.dir/test_discrete_solver.cpp.o"
+  "CMakeFiles/test_discrete_solver.dir/test_discrete_solver.cpp.o.d"
+  "test_discrete_solver"
+  "test_discrete_solver.pdb"
+  "test_discrete_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_discrete_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_discretize.dir/test_discretize.cpp.o"
+  "CMakeFiles/test_discretize.dir/test_discretize.cpp.o.d"
+  "test_discretize"
+  "test_discretize.pdb"
+  "test_discretize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_discretize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lemma3.dir/test_lemma3.cpp.o"
+  "CMakeFiles/test_lemma3.dir/test_lemma3.cpp.o.d"
+  "test_lemma3"
+  "test_lemma3.pdb"
+  "test_lemma3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lemma3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

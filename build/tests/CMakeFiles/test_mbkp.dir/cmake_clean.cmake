@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mbkp.dir/test_mbkp.cpp.o"
+  "CMakeFiles/test_mbkp.dir/test_mbkp.cpp.o.d"
+  "test_mbkp"
+  "test_mbkp.pdb"
+  "test_mbkp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mbkp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

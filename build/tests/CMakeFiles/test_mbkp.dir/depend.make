@@ -1,0 +1,2 @@
+# Empty dependencies file for test_mbkp.
+# This may be replaced when dependencies are built.

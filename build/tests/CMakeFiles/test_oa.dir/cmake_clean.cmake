@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oa.dir/test_oa.cpp.o"
+  "CMakeFiles/test_oa.dir/test_oa.cpp.o.d"
+  "test_oa"
+  "test_oa.pdb"
+  "test_oa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

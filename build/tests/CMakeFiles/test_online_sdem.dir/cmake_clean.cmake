@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_online_sdem.dir/test_online_sdem.cpp.o"
+  "CMakeFiles/test_online_sdem.dir/test_online_sdem.cpp.o.d"
+  "test_online_sdem"
+  "test_online_sdem.pdb"
+  "test_online_sdem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_online_sdem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

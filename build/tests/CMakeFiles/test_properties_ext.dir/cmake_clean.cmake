@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_ext.dir/test_properties_ext.cpp.o"
+  "CMakeFiles/test_properties_ext.dir/test_properties_ext.cpp.o.d"
+  "test_properties_ext"
+  "test_properties_ext.pdb"
+  "test_properties_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

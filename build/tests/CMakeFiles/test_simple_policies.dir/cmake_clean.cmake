@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simple_policies.dir/test_simple_policies.cpp.o"
+  "CMakeFiles/test_simple_policies.dir/test_simple_policies.cpp.o.d"
+  "test_simple_policies"
+  "test_simple_policies.pdb"
+  "test_simple_policies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simple_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

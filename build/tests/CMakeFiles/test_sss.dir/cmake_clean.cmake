@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sss.dir/test_sss.cpp.o"
+  "CMakeFiles/test_sss.dir/test_sss.cpp.o.d"
+  "test_sss"
+  "test_sss.pdb"
+  "test_sss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdem_cli.dir/sdem_cli.cpp.o"
+  "CMakeFiles/sdem_cli.dir/sdem_cli.cpp.o.d"
+  "sdem_cli"
+  "sdem_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdem_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
