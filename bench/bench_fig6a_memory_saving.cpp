@@ -5,43 +5,11 @@
 // Paper shape to match: both curves positive, SDEM-ON above MBKPS at every
 // U, SDEM-ON's advantage growing as the system idles; paper reports an
 // average SDEM-ON-over-MBKPS memory saving around 10%.
-#include "bench_util.hpp"
-#include "workload/dspstone.hpp"
+//
+// The sweep itself lives in bench/bench_experiments.cpp as the registered
+// experiment "fig6a"; this binary prints its default run (same bytes as
+// the pre-registry standalone). `sdem_bench_runner --filter fig6a` adds
+// JSON output, seed/job control, and markdown rendering.
+#include "bench_registry.hpp"
 
-using namespace sdem;
-using namespace sdem::bench;
-
-int main() {
-  const auto cfg = paper_cfg();
-  constexpr int kSeeds = 10;
-  constexpr int kTasks = 160;
-
-  print_header("Fig 6a — memory static energy saving vs U (DSPstone)",
-               "saving(X) = (E_mem(MBKP) - E_mem(X)) / E_mem(MBKP); " +
-                   std::to_string(kSeeds) + " seeds x " +
-                   std::to_string(kTasks) + " task instances; alpha_m=4W, "
-                   "xi_m=40ms, 8 cores");
-
-  Table t({"U", "MBKPS mem saving %", "SDEM-ON mem saving %",
-           "SDEM-ON - MBKPS (pp)"});
-  double sum_gap = 0.0;
-  for (int u = 2; u <= 9; ++u) {
-    const SavingStats st = collect_comparison(
-        [&](std::uint64_t seed) {
-          DspstoneParams p;
-          p.num_tasks = kTasks;
-          p.utilization_u = static_cast<double>(u);
-          return make_dspstone(p, seed * 977 + u);
-        },
-        cfg, kSeeds);
-    const double s_mem = st.sdem_memory.mean();
-    const double m_mem = st.mbkps_memory.mean();
-    sum_gap += s_mem - m_mem;
-    t.add_row({std::to_string(u), pct(st.mbkps_memory), pct(st.sdem_memory),
-               Table::fmt(100.0 * (s_mem - m_mem), 2)});
-  }
-  print_table(t);
-  std::printf("average SDEM-ON memory saving over MBKPS: %.2f pp (paper: ~10.02%%)\n",
-              100.0 * sum_gap / 8.0);
-  return 0;
-}
+int main() { return sdem::bench::run_standalone("fig6a"); }

@@ -5,41 +5,10 @@
 // saving is largest when the system is busy (small U) and shrinks as the
 // system idles (both schemes then run slow and sleep); paper reports an
 // average SDEM-ON-over-MBKPS system saving around 23%.
-#include "bench_util.hpp"
-#include "workload/dspstone.hpp"
+//
+// The sweep is the registered experiment "fig6b" (bench_experiments.cpp);
+// this binary prints its default run, byte-compatible with the
+// pre-registry standalone.
+#include "bench_registry.hpp"
 
-using namespace sdem;
-using namespace sdem::bench;
-
-int main() {
-  const auto cfg = paper_cfg();
-  constexpr int kSeeds = 10;
-  constexpr int kTasks = 160;
-
-  print_header("Fig 6b — system-wide energy saving vs U (DSPstone)",
-               "saving(X) = (E_sys(MBKP) - E_sys(X)) / E_sys(MBKP); " +
-                   std::to_string(kSeeds) + " seeds x " +
-                   std::to_string(kTasks) + " instances; paper defaults");
-
-  Table t({"U", "MBKPS saving %", "SDEM-ON saving %", "SDEM-ON - MBKPS (pp)"});
-  double sum_gap = 0.0;
-  for (int u = 2; u <= 9; ++u) {
-    const SavingStats st = collect_comparison(
-        [&](std::uint64_t seed) {
-          DspstoneParams p;
-          p.num_tasks = kTasks;
-          p.utilization_u = static_cast<double>(u);
-          return make_dspstone(p, seed * 977 + u);
-        },
-        cfg, kSeeds);
-    const double s_sys = st.sdem_system.mean();
-    const double m_sys = st.mbkps_system.mean();
-    sum_gap += s_sys - m_sys;
-    t.add_row({std::to_string(u), pct(st.mbkps_system), pct(st.sdem_system),
-               Table::fmt(100.0 * (s_sys - m_sys), 2)});
-  }
-  print_table(t);
-  std::printf("average SDEM-ON system saving over MBKPS: %.2f pp (paper: ~23.45%%)\n",
-              100.0 * sum_gap / 8.0);
-  return 0;
-}
+int main() { return sdem::bench::run_standalone("fig6b"); }

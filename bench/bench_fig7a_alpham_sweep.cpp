@@ -6,49 +6,10 @@
 // Paper shape to match: improvement positive everywhere, growing with
 // alpha_m (more leakage to shed) and roughly flat-to-growing in x; paper
 // reports a ~9.74% average improvement.
-#include "bench_util.hpp"
-#include "workload/generator.hpp"
+//
+// The sweep is the registered experiment "fig7a" (bench_experiments.cpp);
+// this binary prints its default run, byte-compatible with the
+// pre-registry standalone.
+#include "bench_registry.hpp"
 
-using namespace sdem;
-using namespace sdem::bench;
-
-int main() {
-  constexpr int kSeeds = 10;
-  constexpr int kTasks = 120;
-
-  print_header(
-      "Fig 7a — saving improvement (SDEM-ON - MBKPS) over alpha_m x x",
-      "synthetic tasks (w in [2,5] Mc, regions [10,120] ms); entries are "
-      "percentage points of system-wide saving vs MBKP; xi_m = 40 ms");
-
-  std::vector<std::string> header{"alpha_m \\ x(ms)"};
-  for (int x = 100; x <= 800; x += 100) header.push_back(std::to_string(x));
-  Table t(header);
-
-  double sum = 0.0;
-  int cells = 0;
-  for (int am = 1; am <= 8; ++am) {
-    auto cfg = paper_cfg();
-    cfg.memory.alpha_m = static_cast<double>(am);
-    std::vector<std::string> row{std::to_string(am) + " W"};
-    for (int x = 100; x <= 800; x += 100) {
-      double s_sys = 0, m_sys = 0;
-      average_comparison(
-          [&](std::uint64_t seed) {
-            SyntheticParams p;
-            p.num_tasks = kTasks;
-            p.max_interarrival = x / 1000.0;
-            return make_synthetic(p, seed * 10007 + am * 31 + x);
-          },
-          cfg, kSeeds, &s_sys, &m_sys, nullptr, nullptr);
-      const double imp = 100.0 * (s_sys - m_sys);
-      sum += imp;
-      ++cells;
-      row.push_back(Table::fmt(imp, 2));
-    }
-    t.add_row(row);
-  }
-  print_table(t);
-  std::printf("average improvement: %.2f pp (paper: ~9.74%%)\n", sum / cells);
-  return 0;
-}
+int main() { return sdem::bench::run_standalone("fig7a"); }

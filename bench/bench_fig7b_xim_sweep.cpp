@@ -4,50 +4,10 @@
 //
 // Paper shape to match: improvement positive and essentially flat in xi_m
 // ("basically no difference with the varying of break-even time").
-#include "bench_util.hpp"
-#include "workload/generator.hpp"
+//
+// The sweep is the registered experiment "fig7b" (bench_experiments.cpp);
+// this binary prints its default run, byte-compatible with the
+// pre-registry standalone.
+#include "bench_registry.hpp"
 
-using namespace sdem;
-using namespace sdem::bench;
-
-int main() {
-  constexpr int kSeeds = 10;
-  constexpr int kTasks = 120;
-  const int xims[] = {15, 20, 25, 30, 40, 50, 60, 70};
-
-  print_header(
-      "Fig 7b — saving improvement (SDEM-ON - MBKPS) over xi_m x x",
-      "synthetic tasks; entries are percentage points of system-wide saving "
-      "vs MBKP; alpha_m = 4 W");
-
-  std::vector<std::string> header{"xi_m \\ x(ms)"};
-  for (int x = 100; x <= 800; x += 100) header.push_back(std::to_string(x));
-  Table t(header);
-
-  double sum = 0.0;
-  int cells = 0;
-  for (int xim : xims) {
-    auto cfg = paper_cfg();
-    cfg.memory.xi_m = xim / 1000.0;
-    std::vector<std::string> row{std::to_string(xim) + " ms"};
-    for (int x = 100; x <= 800; x += 100) {
-      double s_sys = 0, m_sys = 0;
-      average_comparison(
-          [&](std::uint64_t seed) {
-            SyntheticParams p;
-            p.num_tasks = kTasks;
-            p.max_interarrival = x / 1000.0;
-            return make_synthetic(p, seed * 7717 + xim * 13 + x);
-          },
-          cfg, kSeeds, &s_sys, &m_sys, nullptr, nullptr);
-      const double imp = 100.0 * (s_sys - m_sys);
-      sum += imp;
-      ++cells;
-      row.push_back(Table::fmt(imp, 2));
-    }
-    t.add_row(row);
-  }
-  print_table(t);
-  std::printf("average improvement: %.2f pp (paper: ~10.52%%)\n", sum / cells);
-  return 0;
-}
+int main() { return sdem::bench::run_standalone("fig7b"); }

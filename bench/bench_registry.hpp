@@ -1,0 +1,80 @@
+// Named-experiment registry for the paper's evaluation (§8).
+//
+// Each figure/table sweep that used to live only in a standalone bench
+// main registers here as an Experiment: a name ("fig6a"), the paper item
+// it reproduces, and a run() callback that executes the sweep — in
+// parallel across seeds when RunOptions.pool is set — and returns both the
+// human-readable tables (byte-compatible with the legacy bench stdout) and
+// a structured JSON payload with full-precision per-seed metrics.
+//
+// Consumers:
+//   * tools/sdem_bench_runner.cpp — runs any subset (--filter, --seeds,
+//     --jobs) and writes BENCH_<name>.json (schema in docs/benchmarks.md);
+//   * the legacy bench mains (bench_fig6a_memory_saving, ...) — call
+//     run_standalone(name) so `./bench_fig6a_memory_saving` prints exactly
+//     what it always printed.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "support/json.hpp"
+
+namespace sdem::bench {
+
+struct RunOptions {
+  int seeds = 0;               ///< 0 → the experiment's paper default
+  ThreadPool* pool = nullptr;  ///< null → serial reference execution
+};
+
+struct ExperimentResult {
+  std::string header_title;  ///< first print_header line
+  std::string header_what;   ///< second print_header line
+  std::vector<Table> tables;
+  std::vector<std::string> footers;  ///< lines printed after the tables
+  Json data;                         ///< experiment-specific JSON payload
+  double solver_seconds_total = 0.0;  ///< sum of per-seed run_comparison time
+};
+
+struct Experiment {
+  std::string name;         ///< registry key, e.g. "fig6a"
+  std::string paper_item;   ///< "Fig. 6a", "Table 4", ...
+  std::string binary;       ///< legacy standalone binary, for cross-reference
+  std::string description;  ///< one line, shown by --list
+  int default_seeds = 10;
+  std::function<ExperimentResult(const RunOptions&)> run;
+};
+
+/// All registered experiments, in registration (paper) order.
+const std::vector<Experiment>& all_experiments();
+
+/// Exact-name lookup; null when absent.
+const Experiment* find_experiment(const std::string& name);
+
+/// Comma-separated case-sensitive substring filter against the names;
+/// empty or "all" matches everything. Preserves registration order.
+std::vector<const Experiment*> match_experiments(const std::string& filter);
+
+/// Print exactly what the legacy standalone bench printed: header, tables
+/// (text + CSV), footers.
+void print_result(const ExperimentResult& r);
+
+/// Body of a legacy bench main: run `name` at its default seed count on a
+/// hardware-sized pool (the output is scheduling-independent) and print it.
+/// Returns the process exit code.
+int run_standalone(const std::string& name);
+
+/// printf-style formatting into a std::string (for footers).
+std::string strf(const char* fmt, ...);
+
+/// Full-precision JSON rendering of one seed's comparison — the
+/// bit-identical payload the determinism acceptance check diffs.
+Json seed_comparison_json(const SeedComparison& sc);
+
+/// Shared fold: per-seed array + total solver seconds onto `row`.
+void attach_seeds(Json& row, const std::vector<SeedComparison>& seeds,
+                  double* solver_seconds_total);
+
+}  // namespace sdem::bench

@@ -2,48 +2,10 @@
 // at the default operating point (x = 400 ms, alpha_m = 4 W, xi_m = 40 ms)
 // reporting the three comparators' absolute energies — the anchor row the
 // Fig. 7 sweeps move away from.
-#include "bench_util.hpp"
-#include "workload/generator.hpp"
+//
+// The sweep is the registered experiment "table4" (bench_experiments.cpp);
+// this binary prints its default run, byte-compatible with the
+// pre-registry standalone.
+#include "bench_registry.hpp"
 
-using namespace sdem;
-using namespace sdem::bench;
-
-int main() {
-  print_header("Table 4 — parameter grid and the default operating point",
-               "* marks the default used when sweeping other parameters");
-
-  {
-    Table t({"point", "1", "2", "3", "4", "5", "6", "7", "8"});
-    t.add_row({"x (ms)", "100", "200", "300", "400*", "500", "600", "700",
-               "800"});
-    t.add_row({"alpha_m (W)", "1", "2", "3", "4*", "5", "6", "7", "8"});
-    t.add_row({"xi_m (ms)", "15", "20", "25", "30", "40*", "50", "60", "70"});
-    print_table(t);
-  }
-
-  const auto cfg = paper_cfg();
-  constexpr int kSeeds = 10;
-  double e_mbkp = 0, e_mbkps = 0, e_sdem = 0, sleep_sdem = 0, sleep_mbkps = 0;
-  for (int seed = 1; seed <= kSeeds; ++seed) {
-    SyntheticParams p;
-    p.num_tasks = 120;
-    p.max_interarrival = 0.400;
-    const auto cmp = run_comparison(make_synthetic(p, seed * 97), cfg);
-    e_mbkp += cmp.mbkp.energy.system_total();
-    e_mbkps += cmp.mbkps.energy.system_total();
-    e_sdem += cmp.sdem.energy.system_total();
-    sleep_sdem += cmp.sdem.memory_sleep_time;
-    sleep_mbkps += cmp.mbkps.memory_sleep_time;
-  }
-  Table t({"metric", "MBKP", "MBKPS", "SDEM-ON"});
-  t.add_row({"system energy (J, avg)", Table::fmt(e_mbkp / kSeeds, 4),
-             Table::fmt(e_mbkps / kSeeds, 4), Table::fmt(e_sdem / kSeeds, 4)});
-  t.add_row({"saving vs MBKP (%)", "0.00",
-             Table::fmt(100.0 * (e_mbkp - e_mbkps) / e_mbkp, 2),
-             Table::fmt(100.0 * (e_mbkp - e_sdem) / e_mbkp, 2)});
-  t.add_row({"memory sleep (s, avg)", "0.0000",
-             Table::fmt(sleep_mbkps / kSeeds, 4),
-             Table::fmt(sleep_sdem / kSeeds, 4)});
-  print_table(t);
-  return 0;
-}
+int main() { return sdem::bench::run_standalone("table4"); }

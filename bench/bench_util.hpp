@@ -2,10 +2,18 @@
 //
 // Every bench prints (a) the experiment header with all parameters and
 // seeds, (b) an aligned table of the series the paper plots, and (c) the
-// same rows as CSV for downstream plotting. Rows can be pasted into
-// EXPERIMENTS.md directly.
+// same rows as CSV for downstream plotting. The same sweeps are registered
+// with bench/bench_registry.hpp, so `sdem_bench_runner --md` re-renders any
+// table as the markdown embedded in EXPERIMENTS.md and `--out` captures the
+// per-seed numbers as BENCH_<name>.json (see docs/benchmarks.md for the
+// schema and the regeneration commands).
+//
+// Seed sweeps run through support/thread_pool.hpp: seeds are computed in
+// parallel into per-seed slots, then folded in seed order, so the printed
+// statistics are bit-identical whatever the job count or scheduling.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -14,6 +22,7 @@
 #include "sim/metrics.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 
 namespace sdem::bench {
 
@@ -43,42 +52,92 @@ struct SavingStats {
   Stats mbkps_memory;
 };
 
+/// Everything one seed of a three-way comparison produces: the four savings
+/// the figures plot, the absolute energies Table 4 anchors on, and the
+/// wall-clock the seed's run_comparison took (simulate + account, i.e. the
+/// solver time the runner records per seed).
+struct SeedComparison {
+  std::uint64_t seed = 0;
+  double sdem_system = 0.0;   ///< system_saving_sdem()
+  double mbkps_system = 0.0;  ///< system_saving_mbkps()
+  double sdem_memory = 0.0;   ///< memory_saving_sdem()
+  double mbkps_memory = 0.0;  ///< memory_saving_mbkps()
+  double energy_mbkp = 0.0;   ///< absolute system energies, J
+  double energy_mbkps = 0.0;
+  double energy_sdem = 0.0;
+  double sleep_sdem = 0.0;  ///< memory sleep, s
+  double sleep_mbkps = 0.0;
+  double solver_seconds = 0.0;
+};
+
+/// Run `seeds` independent comparisons, in parallel when `pool` is given.
+/// Slot i holds seed i+1; the returned vector is always in seed order.
 template <typename MakeTrace>
-SavingStats collect_comparison(MakeTrace&& make_trace,
-                               const SystemConfig& cfg, int seeds) {
-  SavingStats out;
-  for (int s = 1; s <= seeds; ++s) {
-    const TaskSet trace = make_trace(static_cast<std::uint64_t>(s));
+std::vector<SeedComparison> collect_seed_comparisons(MakeTrace&& make_trace,
+                                                     const SystemConfig& cfg,
+                                                     int seeds,
+                                                     ThreadPool* pool = nullptr) {
+  std::vector<SeedComparison> out(static_cast<std::size_t>(seeds));
+  parallel_for_seeds(pool, seeds, [&](std::uint64_t seed, std::size_t i) {
+    const TaskSet trace = make_trace(seed);
+    const auto t0 = std::chrono::steady_clock::now();
     const Comparison cmp = run_comparison(trace, cfg);
-    out.sdem_system.add(cmp.system_saving_sdem());
-    out.mbkps_system.add(cmp.system_saving_mbkps());
-    out.sdem_memory.add(cmp.memory_saving_sdem());
-    out.mbkps_memory.add(cmp.memory_saving_mbkps());
+    const auto t1 = std::chrono::steady_clock::now();
+    SeedComparison& sc = out[i];
+    sc.seed = seed;
+    sc.sdem_system = cmp.system_saving_sdem();
+    sc.mbkps_system = cmp.system_saving_mbkps();
+    sc.sdem_memory = cmp.memory_saving_sdem();
+    sc.mbkps_memory = cmp.memory_saving_mbkps();
+    sc.energy_mbkp = cmp.mbkp.energy.system_total();
+    sc.energy_mbkps = cmp.mbkps.energy.system_total();
+    sc.energy_sdem = cmp.sdem.energy.system_total();
+    sc.sleep_sdem = cmp.sdem.memory_sleep_time;
+    sc.sleep_mbkps = cmp.mbkps.memory_sleep_time;
+    sc.solver_seconds = std::chrono::duration<double>(t1 - t0).count();
+  });
+  return out;
+}
+
+/// Fold per-seed comparisons into the figures' Welford accumulators, in
+/// seed order (Welford is order-sensitive; this keeps --jobs N output
+/// byte-identical to the serial loop it replaced).
+inline SavingStats to_saving_stats(const std::vector<SeedComparison>& seeds) {
+  SavingStats out;
+  for (const SeedComparison& sc : seeds) {
+    out.sdem_system.add(sc.sdem_system);
+    out.mbkps_system.add(sc.mbkps_system);
+    out.sdem_memory.add(sc.sdem_memory);
+    out.mbkps_memory.add(sc.mbkps_memory);
   }
   return out;
 }
 
+template <typename MakeTrace>
+SavingStats collect_comparison(MakeTrace&& make_trace, const SystemConfig& cfg,
+                               int seeds, ThreadPool* pool = nullptr) {
+  return to_saving_stats(
+      collect_seed_comparisons(make_trace, cfg, seeds, pool));
+}
+
 /// Average a metric over seeds via a comparison callback.
 template <typename MakeTrace>
-Comparison average_comparison(MakeTrace&& make_trace, const SystemConfig& cfg,
-                              int seeds, double* sdem_saving,
-                              double* mbkps_saving, double* sdem_mem_saving,
-                              double* mbkps_mem_saving) {
-  Comparison last;
+void average_comparison(MakeTrace&& make_trace, const SystemConfig& cfg,
+                        int seeds, double* sdem_saving, double* mbkps_saving,
+                        double* sdem_mem_saving, double* mbkps_mem_saving,
+                        ThreadPool* pool = nullptr) {
+  const auto cmps = collect_seed_comparisons(make_trace, cfg, seeds, pool);
   double ss = 0, ms = 0, smem = 0, mmem = 0;
-  for (int s = 1; s <= seeds; ++s) {
-    const TaskSet trace = make_trace(static_cast<std::uint64_t>(s));
-    last = run_comparison(trace, cfg);
-    ss += last.system_saving_sdem();
-    ms += last.system_saving_mbkps();
-    smem += last.memory_saving_sdem();
-    mmem += last.memory_saving_mbkps();
+  for (const SeedComparison& sc : cmps) {
+    ss += sc.sdem_system;
+    ms += sc.mbkps_system;
+    smem += sc.sdem_memory;
+    mmem += sc.mbkps_memory;
   }
   if (sdem_saving) *sdem_saving = ss / seeds;
   if (mbkps_saving) *mbkps_saving = ms / seeds;
   if (sdem_mem_saving) *sdem_mem_saving = smem / seeds;
   if (mbkps_mem_saving) *mbkps_mem_saving = mmem / seeds;
-  return last;
 }
 
 /// "12.34 ±0.56" percentage rendering of a savings Stats.

@@ -1,0 +1,84 @@
+// Minimal JSON document builder for the benchmark runner.
+//
+// Writer only — the harness emits BENCH_<name>.json files, it never parses
+// them. Design constraints, in order:
+//   * deterministic bytes: objects keep insertion order, numbers render via
+//     a fixed shortest-round-trip rule, so a --jobs 8 run and a --jobs 1
+//     run of the same sweep produce identical files (the determinism test
+//     diffs the bytes);
+//   * lossless doubles: every finite double round-trips (printed with up to
+//     17 significant digits, shortest representation that parses back
+//     exactly); NaN/Inf have no JSON spelling and render as null;
+//   * no dependencies: a tagged union over the six JSON kinds, ~200 lines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sdem {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Json(double v) : kind_(Kind::kNumber), num_(v) {}
+  Json(int v) : kind_(Kind::kNumber), num_(v) {}
+  Json(std::int64_t v) : kind_(Kind::kNumber), num_(static_cast<double>(v)) {}
+  Json(std::uint64_t v) : kind_(Kind::kNumber), num_(static_cast<double>(v)) {}
+  Json(const char* s) : kind_(Kind::kString), str_(s) {}
+  Json(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+
+  Kind kind() const { return kind_; }
+
+  /// Array append. The value becomes an array if currently null.
+  Json& push_back(Json v);
+
+  /// Object insert/overwrite; keys keep first-insertion order. The value
+  /// becomes an object if currently null.
+  Json& set(const std::string& key, Json v);
+
+  std::size_t size() const;
+
+  /// Serialize. indent == 0 → single line; indent > 0 → pretty-printed
+  /// with that many spaces per level and a trailing newline at top level.
+  std::string dump(int indent = 0) const;
+
+  /// Deep copy with every object member named `key` removed, at any depth
+  /// (the runner's --stable uses this to drop timing fields).
+  Json without_key(const std::string& key) const;
+
+  /// The exact number rendering rule (shortest round-trip, integers bare,
+  /// non-finite → "null"), exposed for tests and for CSV/markdown writers
+  /// that want matching bytes.
+  static std::string number_to_string(double v);
+
+  /// JSON string escaping (quotes included in the output).
+  static std::string quote(const std::string& s);
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace sdem

@@ -1,8 +1,8 @@
 // Plain-text table rendering for the benchmark harness.
 //
 // Every bench binary prints its figure/table as an aligned ASCII table plus
-// a machine-readable CSV block, so EXPERIMENTS.md rows can be pasted
-// directly from bench output.
+// a machine-readable CSV block; to_markdown() is the EXPERIMENTS.md
+// rendering (`sdem_bench_runner --md` prints it directly).
 #pragma once
 
 #include <string>
@@ -25,6 +25,13 @@ class Table {
 
   /// CSV rendering (header + rows).
   std::string to_csv() const;
+
+  /// GitHub-flavored markdown rendering (header, separator, rows) — what
+  /// EXPERIMENTS.md embeds; `sdem_bench_runner --md` prints this.
+  std::string to_markdown() const;
+
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
 
   std::size_t rows() const { return rows_.size(); }
 

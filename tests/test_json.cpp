@@ -1,0 +1,147 @@
+// support/json.hpp: the runner's JSON writer. What matters for
+// BENCH_<name>.json: deterministic bytes (insertion-ordered keys, fixed
+// number rule), lossless doubles, correct escaping.
+#include "support/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace sdem {
+namespace {
+
+TEST(Json, ScalarsRender) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+  EXPECT_EQ(Json(std::string("hi")).dump(), "\"hi\"");
+}
+
+TEST(Json, IntegralDoublesPrintBare) {
+  EXPECT_EQ(Json(8.0).dump(), "8");
+  EXPECT_EQ(Json(-3.0).dump(), "-3");
+  EXPECT_EQ(Json(0.0).dump(), "0");
+  EXPECT_EQ(Json(1e12).dump(), "1000000000000");
+}
+
+TEST(Json, DoublesRoundTripExactly) {
+  const double values[] = {0.1,
+                           1.0 / 3.0,
+                           2.5307e-10,
+                           -123.456789012345678,
+                           std::numeric_limits<double>::denorm_min(),
+                           6.62607015e-34,
+                           0.30000000000000004};
+  for (double v : values) {
+    const std::string s = Json::number_to_string(v);
+    double back = 0.0;
+    ASSERT_EQ(std::sscanf(s.c_str(), "%lf", &back), 1) << s;
+    EXPECT_EQ(back, v) << s;
+  }
+}
+
+TEST(Json, NonFiniteRendersNull) {
+  EXPECT_EQ(Json(std::nan("")).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(-std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json("a\"b").dump(), "\"a\\\"b\"");
+  EXPECT_EQ(Json("back\\slash").dump(), "\"back\\\\slash\"");
+  EXPECT_EQ(Json("line\nbreak\ttab").dump(), "\"line\\nbreak\\ttab\"");
+  EXPECT_EQ(Json(std::string("ctrl\x01")).dump(), "\"ctrl\\u0001\"");
+  // UTF-8 passes through untouched.
+  EXPECT_EQ(Json("\xc3\xa9").dump(), "\"\xc3\xa9\"");
+}
+
+TEST(Json, ObjectKeepsInsertionOrderAndOverwrites) {
+  Json o = Json::object();
+  o.set("z", 1);
+  o.set("a", 2);
+  o.set("m", 3);
+  EXPECT_EQ(o.dump(), "{\"z\": 1, \"a\": 2, \"m\": 3}");
+  o.set("a", 9);  // overwrite keeps the original position
+  EXPECT_EQ(o.dump(), "{\"z\": 1, \"a\": 9, \"m\": 3}");
+  EXPECT_EQ(o.size(), 3u);
+}
+
+TEST(Json, ArraysAndNesting) {
+  Json arr = Json::array();
+  arr.push_back(1);
+  Json inner = Json::object();
+  inner.set("k", "v");
+  arr.push_back(std::move(inner));
+  EXPECT_EQ(arr.dump(), "[1, {\"k\": \"v\"}]");
+  EXPECT_EQ(arr.size(), 2u);
+  EXPECT_EQ(Json::array().dump(), "[]");
+  EXPECT_EQ(Json::object().dump(), "{}");
+}
+
+TEST(Json, NullPromotesOnFirstUse) {
+  Json a;  // null
+  a.push_back(1);
+  EXPECT_EQ(a.kind(), Json::Kind::kArray);
+  Json o;  // null
+  o.set("k", 1);
+  EXPECT_EQ(o.kind(), Json::Kind::kObject);
+  EXPECT_THROW(a.set("k", 1), std::logic_error);
+  EXPECT_THROW(o.push_back(1), std::logic_error);
+}
+
+TEST(Json, PrettyPrintIsStable) {
+  Json doc = Json::object();
+  doc.set("name", "fig6a");
+  Json rows = Json::array();
+  Json row = Json::object();
+  row.set("u", 2);
+  row.set("saving", 0.105625);
+  rows.push_back(std::move(row));
+  doc.set("rows", std::move(rows));
+  EXPECT_EQ(doc.dump(2),
+            "{\n"
+            "  \"name\": \"fig6a\",\n"
+            "  \"rows\": [\n"
+            "    {\n"
+            "      \"u\": 2,\n"
+            "      \"saving\": 0.105625\n"
+            "    }\n"
+            "  ]\n"
+            "}\n");
+  // Identical documents produce identical bytes (what the determinism
+  // acceptance check diffs).
+  Json doc2 = Json::object();
+  doc2.set("name", "fig6a");
+  Json rows2 = Json::array();
+  Json row2 = Json::object();
+  row2.set("u", 2);
+  row2.set("saving", 0.105625);
+  rows2.push_back(std::move(row2));
+  doc2.set("rows", std::move(rows2));
+  EXPECT_EQ(doc.dump(2), doc2.dump(2));
+}
+
+TEST(Json, WithoutKeyStripsRecursively) {
+  Json doc = Json::object();
+  doc.set("keep", 1);
+  doc.set("solver_seconds", 0.5);
+  Json arr = Json::array();
+  Json row = Json::object();
+  row.set("solver_seconds", 0.25);
+  row.set("value", 2);
+  arr.push_back(std::move(row));
+  doc.set("rows", std::move(arr));
+  const Json stripped = doc.without_key("solver_seconds");
+  EXPECT_EQ(stripped.dump(),
+            "{\"keep\": 1, \"rows\": [{\"value\": 2}]}");
+  // The original is untouched.
+  EXPECT_NE(doc.dump().find("solver_seconds"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdem

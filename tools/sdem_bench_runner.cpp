@@ -1,0 +1,215 @@
+// sdem_bench_runner — one command for the paper's evaluation (§8).
+//
+// Runs any subset of the registered experiments (bench/bench_registry.hpp)
+// with the seed sweeps spread across a thread pool, prints the same tables
+// the standalone bench binaries print, and writes one BENCH_<name>.json
+// per experiment with full-precision per-seed metrics, per-seed solver
+// timings, and the experiment wall-clock. docs/benchmarks.md documents the
+// JSON schema and the regeneration recipes.
+//
+//   sdem_bench_runner --list
+//   sdem_bench_runner                        # full sweep, all defaults
+//   sdem_bench_runner --filter fig6a --seeds 8 --jobs 8
+//   sdem_bench_runner --filter fig6a,fig6b --md   # markdown for EXPERIMENTS.md
+//   sdem_bench_runner --filter table4 --out -     # JSON to stdout
+//
+// Determinism contract: per-seed results are bit-identical whatever --jobs
+// is (seeds compute into private slots; folds happen in seed order), so
+// two runs differ only in the recorded timings. `--out` strips timings
+// with --stable, making the whole file byte-reproducible.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_registry.hpp"
+#include "support/json.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+using namespace sdem;
+using namespace sdem::bench;
+
+constexpr int kSchemaVersion = 1;
+
+int usage(int code) {
+  std::fprintf(
+      code == 0 ? stdout : stderr,
+      "usage: sdem_bench_runner [options]\n"
+      "  --list            list registered experiments and exit\n"
+      "  --filter NAMES    comma-separated name substrings (default: all)\n"
+      "  --seeds N         seeds per operating point (default: per-experiment,"
+      " 10)\n"
+      "  --jobs N          worker threads; 1 = serial (default: hardware)\n"
+      "  --out PATH        JSON path for a single-experiment run; '-' for\n"
+      "                    stdout; default BENCH_<name>.json per experiment\n"
+      "  --stable          omit timings and job count from the JSON\n"
+      "                    (byte-reproducible across runs and --jobs)\n"
+      "  --md              print tables as markdown (EXPERIMENTS.md format)\n"
+      "  --quiet           suppress tables; JSON and summary only\n"
+      "  --help            this message\n");
+  return code;
+}
+
+/// Per-experiment JSON document (docs/benchmarks.md, schema_version 1).
+Json make_document(const Experiment& e, const ExperimentResult& r, int seeds,
+                   int jobs, double wall_seconds, bool stable) {
+  Json doc = Json::object();
+  doc.set("schema_version", kSchemaVersion);
+  doc.set("generator", "sdem_bench_runner");
+  doc.set("experiment", e.name);
+  doc.set("paper_item", e.paper_item);
+  doc.set("title", r.header_title);
+  doc.set("description", e.description);
+  doc.set("seeds", seeds);
+  // --stable keeps only fields that cannot differ between reruns of the
+  // same sweep: the job count and the timings vary, the data must not.
+  if (!stable) {
+    doc.set("jobs", jobs);
+    doc.set("wall_seconds", wall_seconds);
+    doc.set("solver_seconds_total", r.solver_seconds_total);
+  }
+  doc.set("data", stable ? r.data.without_key("solver_seconds") : r.data);
+  return doc;
+}
+
+void print_markdown(const ExperimentResult& r) {
+  std::printf("## %s\n\n%s\n\n", r.header_title.c_str(),
+              r.header_what.c_str());
+  for (const Table& t : r.tables)
+    std::printf("%s\n", t.to_markdown().c_str());
+  for (const std::string& f : r.footers) std::printf("%s\n", f.c_str());
+  if (!r.footers.empty()) std::printf("\n");
+}
+
+bool write_file(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string filter;
+  std::string out_path;
+  int seeds = 0;
+  int jobs = ThreadPool::hardware_jobs();
+  bool list = false, md = false, quiet = false, stable = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(usage(2));
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--filter") {
+      filter = value("--filter");
+    } else if (arg == "--seeds") {
+      const char* v = value("--seeds");
+      seeds = std::atoi(v);
+      if (seeds <= 0) {
+        std::fprintf(stderr, "--seeds needs a positive integer, got '%s'\n", v);
+        return usage(2);
+      }
+    } else if (arg == "--jobs") {
+      const char* v = value("--jobs");
+      jobs = std::atoi(v);
+      if (jobs <= 0) {
+        std::fprintf(stderr, "--jobs needs a positive integer, got '%s'\n", v);
+        return usage(2);
+      }
+    } else if (arg == "--out") {
+      out_path = value("--out");
+    } else if (arg == "--stable") {
+      stable = true;
+    } else if (arg == "--md") {
+      md = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(0);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return usage(2);
+    }
+  }
+
+  const std::vector<const Experiment*> selected = match_experiments(filter);
+  if (selected.empty()) {
+    std::fprintf(stderr, "no experiment matches --filter '%s' (try --list)\n",
+                 filter.c_str());
+    return 1;
+  }
+  if (list) {
+    Table t({"name", "paper item", "seeds", "standalone binary",
+             "description"});
+    for (const Experiment* e : selected)
+      t.add_row({e->name, e->paper_item, std::to_string(e->default_seeds),
+                 e->binary, e->description});
+    std::printf("%s", t.to_text().c_str());
+    return 0;
+  }
+  if (!out_path.empty() && selected.size() != 1) {
+    std::fprintf(stderr,
+                 "--out needs exactly one experiment selected, got %zu\n",
+                 selected.size());
+    return 2;
+  }
+
+  // jobs == 1 keeps the serial reference path (no pool) — the execution the
+  // parallel runs must match bit-for-bit.
+  std::unique_ptr<ThreadPool> pool;
+  if (jobs > 1) pool = std::make_unique<ThreadPool>(jobs);
+
+  double total_wall = 0.0;
+  for (const Experiment* e : selected) {
+    RunOptions opt;
+    opt.seeds = seeds;
+    opt.pool = pool.get();
+    const auto t0 = std::chrono::steady_clock::now();
+    const ExperimentResult r = e->run(opt);
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    total_wall += wall;
+
+    if (!quiet) {
+      if (md)
+        print_markdown(r);
+      else
+        print_result(r);
+    }
+
+    const int used_seeds = seeds > 0 ? seeds : e->default_seeds;
+    const Json doc =
+        make_document(*e, r, used_seeds, jobs, wall, stable);
+    const std::string bytes = doc.dump(2);
+    if (out_path == "-") {
+      std::fwrite(bytes.data(), 1, bytes.size(), stdout);
+    } else {
+      const std::string path =
+          out_path.empty() ? "BENCH_" + e->name + ".json" : out_path;
+      if (!write_file(path, bytes)) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "%-8s %6.2fs wall  %6.2fs solver  -> %s\n",
+                   e->name.c_str(), wall, r.solver_seconds_total,
+                   path.c_str());
+    }
+  }
+  std::fprintf(stderr, "%zu experiment(s), %d job(s), %.2fs total\n",
+               selected.size(), jobs, total_wall);
+  return 0;
+}
