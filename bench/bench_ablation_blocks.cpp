@@ -4,47 +4,12 @@
 //
 // Tight sets should collapse to one block; sparse sets should split, and
 // the DP should dominate both extremes everywhere.
-#include "bench_util.hpp"
-#include "core/agreeable.hpp"
-#include "core/block.hpp"
-#include "workload/generator.hpp"
+//
+// The sweep lives in bench/bench_experiments.cpp as the registered
+// experiment "ablation_blocks" (spread x seed cells run across the pool;
+// folds keep the legacy order, so this prints the same bytes as the
+// pre-registry standalone). `sdem_bench_runner --filter ablation_blocks`
+// adds JSON output, seed/job control, and markdown rendering.
+#include "bench_registry.hpp"
 
-using namespace sdem;
-using namespace sdem::bench;
-
-int main() {
-  auto cfg = paper_cfg();
-  cfg.memory.xi_m = 0.0;
-  constexpr int kN = 8;
-
-  print_header("Ablation — Section 5 block DP vs degenerate partitions",
-               "agreeable sets, n = 8; spread = max inter-arrival (s)");
-
-  Table t({"spread (s)", "DP energy (J)", "one block (J)", "per-task blocks (J)",
-           "DP blocks"});
-  for (double spread : {0.005, 0.020, 0.050, 0.100, 0.200, 0.400}) {
-    double e_dp = 0, e_one = 0, e_each = 0;
-    double blocks = 0;
-    constexpr int kSeeds = 8;
-    for (int seed = 1; seed <= kSeeds; ++seed) {
-      const TaskSet ts =
-          make_agreeable(kN, seed * 131 + int(spread * 1e4), spread);
-      const auto dp = solve_agreeable(ts, cfg);
-      const auto sorted = ts.sorted_by_deadline().tasks();
-      const auto one = solve_block(sorted, cfg);
-      double each = 0.0;
-      for (const auto& task : sorted) {
-        each += solve_block({task}, cfg).energy;
-      }
-      e_dp += dp.energy;
-      e_one += one.energy;
-      e_each += each;
-      blocks += dp.case_index;
-    }
-    t.add_row({Table::fmt(spread, 3), Table::fmt(e_dp / kSeeds, 5),
-               Table::fmt(e_one / kSeeds, 5), Table::fmt(e_each / kSeeds, 5),
-               Table::fmt(blocks / kSeeds, 1)});
-  }
-  print_table(t);
-  return 0;
-}
+int main() { return sdem::bench::run_standalone("ablation_blocks"); }

@@ -5,95 +5,17 @@
 //                                             after the sort)
 //   common release, alpha != 0 : O(n^2) in the paper; this implementation
 //                                uses suffix sums, O(n log n)
-//   agreeable DP,   alpha == 0 : O(n^4 + n^2) in the paper (numeric block
-//                                solver here; expect steep growth)
+//   agreeable DP,   alpha == 0 : O(n^4 + n^2) in the paper; the incremental
+//                                block table (core/block_context.hpp) drops
+//                                the per-pair rebuild — see docs/performance.md
 //   agreeable DP,   alpha != 0 : O(n^5 + n^2) in the paper
 //   online heuristic           : one Section 4 solve per arrival
-#include <chrono>
+//
+// The sweep lives in bench/bench_experiments.cpp as the registered
+// experiment "table1"; this binary prints its default run (same table
+// shapes as the pre-registry standalone). `sdem_bench_runner --filter
+// table1` adds the full-precision JSON (BENCH_table1.json) the performance
+// docs and CI artifact are built from.
+#include "bench_registry.hpp"
 
-#include "bench_util.hpp"
-#include "core/agreeable.hpp"
-#include "core/common_release_alpha.hpp"
-#include "core/common_release_alpha0.hpp"
-#include "core/online_sdem.hpp"
-#include "sim/event_sim.hpp"
-#include "workload/generator.hpp"
-
-using namespace sdem;
-using namespace sdem::bench;
-
-namespace {
-
-template <typename F>
-double time_ms(F&& f, int reps = 3) {
-  double best = 1e18;
-  for (int r = 0; r < reps; ++r) {
-    const auto t0 = std::chrono::steady_clock::now();
-    f();
-    const auto t1 = std::chrono::steady_clock::now();
-    best = std::min(best,
-                    std::chrono::duration<double, std::milli>(t1 - t0).count());
-  }
-  return best;
-}
-
-}  // namespace
-
-int main() {
-  print_header("Table 1 — runtime scaling of the SDEM schemes",
-               "best-of-3 wall times (ms); doubling n shows the growth rate");
-
-  {
-    Table t({"n", "common-release a=0 scan", "a=0 binary", "a!=0 scan"});
-    auto cfg = paper_cfg();
-    cfg.memory.xi_m = 0.0;
-    for (int n : {1000, 2000, 4000, 8000, 16000, 32000}) {
-      const TaskSet ts = make_common_release(n, 0.0, 42);
-      const double scan =
-          time_ms([&] { solve_common_release_alpha0(ts, cfg); });
-      const double bin =
-          time_ms([&] { solve_common_release_alpha0_binary(ts, cfg); });
-      auto cfg_a = cfg;
-      cfg_a.core.alpha = 0.31;
-      const double alpha =
-          time_ms([&] { solve_common_release_alpha(ts, cfg_a); });
-      t.add_row({std::to_string(n), Table::fmt(scan, 3), Table::fmt(bin, 3),
-                 Table::fmt(alpha, 3)});
-    }
-    print_table(t);
-  }
-
-  {
-    Table t({"n", "agreeable DP a=0 (ms)", "agreeable DP a!=0 (ms)"});
-    for (int n : {4, 6, 8, 10, 12}) {
-      const TaskSet ts = make_agreeable(n, 7, 0.060);
-      auto cfg0 = paper_cfg();
-      cfg0.core.alpha = 0.0;
-      cfg0.memory.xi_m = 0.0;
-      auto cfga = paper_cfg();
-      cfga.memory.xi_m = 0.0;
-      const double t0 = time_ms([&] { solve_agreeable(ts, cfg0); }, 1);
-      const double ta = time_ms([&] { solve_agreeable(ts, cfga); }, 1);
-      t.add_row({std::to_string(n), Table::fmt(t0, 2), Table::fmt(ta, 2)});
-    }
-    print_table(t);
-  }
-
-  {
-    Table t({"tasks", "SDEM-ON full simulation (ms)", "replans"});
-    for (int n : {100, 200, 400, 800}) {
-      SyntheticParams p;
-      p.num_tasks = n;
-      p.max_interarrival = 0.200;
-      const TaskSet ts = make_synthetic(p, 3);
-      SdemOnPolicy pol;
-      SimResult res;
-      const double ms =
-          time_ms([&] { res = simulate(ts, paper_cfg(), pol); }, 1);
-      t.add_row({std::to_string(n), Table::fmt(ms, 2),
-                 std::to_string(res.replans)});
-    }
-    print_table(t);
-  }
-  return 0;
-}
+int main() { return sdem::bench::run_standalone("table1"); }

@@ -99,6 +99,43 @@ std::vector<SeedComparison> collect_seed_comparisons(MakeTrace&& make_trace,
   return out;
 }
 
+/// Grid generalization of collect_seed_comparisons: every (operating point,
+/// seed) cell runs independently on the pool (parallel_for_grid), so sweeps
+/// with many points and few seeds — fig7's 64 cells, a --seeds 2 rerun —
+/// still occupy every worker. `make_trace(point, seed)` builds the cell's
+/// trace, `cfg_for(point)` its config. Returns one seed-ordered vector per
+/// point; cells are pure functions of (point, seed), so the result is
+/// bit-identical to the serial point-major loop at any job count.
+template <typename MakeTrace, typename CfgFor>
+std::vector<std::vector<SeedComparison>> collect_grid_comparisons(
+    MakeTrace&& make_trace, CfgFor&& cfg_for, int points, int seeds,
+    ThreadPool* pool = nullptr) {
+  std::vector<std::vector<SeedComparison>> out(
+      static_cast<std::size_t>(points),
+      std::vector<SeedComparison>(static_cast<std::size_t>(seeds)));
+  parallel_for_grid(
+      pool, points, seeds,
+      [&](std::size_t point, std::uint64_t seed, std::size_t) {
+        const TaskSet trace = make_trace(point, seed);
+        const auto t0 = std::chrono::steady_clock::now();
+        const Comparison cmp = run_comparison(trace, cfg_for(point));
+        const auto t1 = std::chrono::steady_clock::now();
+        SeedComparison& sc = out[point][seed - 1];
+        sc.seed = seed;
+        sc.sdem_system = cmp.system_saving_sdem();
+        sc.mbkps_system = cmp.system_saving_mbkps();
+        sc.sdem_memory = cmp.memory_saving_sdem();
+        sc.mbkps_memory = cmp.memory_saving_mbkps();
+        sc.energy_mbkp = cmp.mbkp.energy.system_total();
+        sc.energy_mbkps = cmp.mbkps.energy.system_total();
+        sc.energy_sdem = cmp.sdem.energy.system_total();
+        sc.sleep_sdem = cmp.sdem.memory_sleep_time;
+        sc.sleep_mbkps = cmp.mbkps.memory_sleep_time;
+        sc.solver_seconds = std::chrono::duration<double>(t1 - t0).count();
+      });
+  return out;
+}
+
 /// Fold per-seed comparisons into the figures' Welford accumulators, in
 /// seed order (Welford is order-sensitive; this keeps --jobs N output
 /// byte-identical to the serial loop it replaced).

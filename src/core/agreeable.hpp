@@ -10,6 +10,13 @@
 // where E_min is the single-block optimum from core/block.hpp. The
 // transition charge follows the Section 7 DP; with xi_m == 0 it vanishes and
 // this is exactly the Section 5 recurrence.
+//
+// The block table is built incrementally (core/block_context.hpp): row p
+// grows one BlockContext across q = p..n-1 instead of re-running the full
+// single-block pipeline per (p, q) pair, stores O(n²) scalars instead of
+// O(n³) placements, and rows can be filled in parallel across a thread
+// pool — the DP fold and reconstruction stay serial, so results are
+// bit-identical at any job count.
 #pragma once
 
 #include "core/block.hpp"
@@ -19,10 +26,21 @@
 
 namespace sdem {
 
+class ThreadPool;
+
 /// Generic DP over blocks. Handles both alpha == 0 and alpha != 0 because
 /// the unified block objective covers both (see core/block.hpp). The result
 /// `case_index` reports the number of blocks in the optimal partition.
-OfflineResult solve_agreeable(const TaskSet& tasks, const SystemConfig& cfg);
+/// With a pool, independent block-table rows are filled across its workers
+/// (bit-identical to the serial fill; do not call from inside a task
+/// already running on that pool — the pool does not nest).
+OfflineResult solve_agreeable(const TaskSet& tasks, const SystemConfig& cfg,
+                              ThreadPool* pool = nullptr);
+
+/// The seed DP: per-(p,q) solve_block_reference calls and full placement
+/// storage. Kept as the golden reference for the incremental solver.
+OfflineResult solve_agreeable_reference(const TaskSet& tasks,
+                                        const SystemConfig& cfg);
 
 /// Paper-facing aliases for the two subsections.
 inline OfflineResult solve_agreeable_alpha0(const TaskSet& tasks,

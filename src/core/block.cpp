@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/block_context.hpp"
 #include "support/numeric.hpp"
 
 namespace sdem {
@@ -128,8 +129,35 @@ double block_energy_at(const std::vector<Task>& tasks, const SystemConfig& cfg,
   return energy;
 }
 
+std::vector<BlockResult::Placement> block_placements_at(
+    const std::vector<Task>& tasks, const SystemConfig& cfg, double s,
+    double e) {
+  std::vector<BlockResult::Placement> placements;
+  placements.reserve(tasks.size());
+  for (const auto& t : tasks) {
+    BlockResult::Placement p;
+    p.task_id = t.id;
+    if (t.work > 0.0) {
+      const double lo = std::max(s, t.release);
+      const double hi = std::min(e, t.deadline);
+      p.speed = task_window_speed(t, cfg.core, hi - lo);
+      p.len = t.work / p.speed;
+      p.start = lo;  // race-to-idle tasks run at the head of their window
+    }
+    placements.push_back(p);
+  }
+  return placements;
+}
+
 BlockResult solve_block(const std::vector<Task>& tasks,
                         const SystemConfig& cfg) {
+  BlockContext ctx(cfg);
+  for (const auto& t : tasks) ctx.push_task(t);
+  return ctx.solve_full();
+}
+
+BlockResult solve_block_reference(const std::vector<Task>& tasks,
+                                  const SystemConfig& cfg) {
   BlockResult out;
   if (tasks.empty()) return out;
 
@@ -188,19 +216,7 @@ BlockResult solve_block(const std::vector<Task>& tasks,
   out.s = best_s;
   out.e = best_e;
   out.energy = best;
-  out.placements.reserve(tasks.size());
-  for (const auto& t : tasks) {
-    BlockResult::Placement p;
-    p.task_id = t.id;
-    if (t.work > 0.0) {
-      const double lo = std::max(best_s, t.release);
-      const double hi = std::min(best_e, t.deadline);
-      p.speed = task_window_speed(t, cfg.core, hi - lo);
-      p.len = t.work / p.speed;
-      p.start = lo;  // race-to-idle tasks run at the head of their window
-    }
-    out.placements.push_back(p);
-  }
+  out.placements = block_placements_at(tasks, cfg, best_s, best_e);
   return out;
 }
 

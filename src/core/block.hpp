@@ -61,8 +61,23 @@ double task_window_speed(const Task& t, const CorePower& core, double window);
 
 /// Optimize one block. `tasks` must be agreeable and is treated as one busy
 /// interval; placements come back on logical cores 0..n-1 (caller re-bases).
+/// Routes through the incremental core/block_context solver; task vectors
+/// not in agreeable deadline order fall back to solve_block_reference.
 BlockResult solve_block(const std::vector<Task>& tasks,
                         const SystemConfig& cfg);
+
+/// The seed implementation of solve_block: rebuilds breakpoints and probes
+/// the O(k) block_energy_at per golden-section step. Kept as the golden
+/// reference for the incremental solver (tests, cross-check, fallback).
+BlockResult solve_block_reference(const std::vector<Task>& tasks,
+                                  const SystemConfig& cfg);
+
+/// Per-task placements of a block at a fixed busy interval [s, e] — the
+/// reconstruction used on the DP's optimal path so the block table can hold
+/// scalars only.
+std::vector<BlockResult::Placement> block_placements_at(
+    const std::vector<Task>& tasks, const SystemConfig& cfg, double s,
+    double e);
 
 /// Evaluate the block objective at a fixed (s', e') — exposed for tests and
 /// the brute-force reference.

@@ -1,0 +1,383 @@
+#include "core/block_context.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace sdem {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Same relative slack block_energy_at grants optima sitting exactly on the
+// s_up boundary; reused verbatim so feasibility decisions cannot flip
+// between the fast and the exact path.
+constexpr double kUpSlack = 1.0 + 1e-9;
+
+std::atomic<bool> g_cross_check{false};
+std::atomic<std::uint64_t> g_probes{0};
+std::atomic<std::uint64_t> g_failures{0};
+
+/// numeric.cpp's golden_min, restated as a template so the per-probe call
+/// is direct (no std::function) while keeping the iteration — and therefore
+/// the convergence point — identical.
+template <typename F>
+double golden_min_t(F&& f, double lo, double hi, double rel_tol) {
+  if (hi <= lo) return lo;
+  constexpr double inv_phi = 0.6180339887498949;
+  double a = lo, b = hi;
+  double x1 = b - inv_phi * (b - a);
+  double x2 = a + inv_phi * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  const double tol = std::max(std::abs(hi - lo), 1.0) * rel_tol;
+  while (b - a > tol) {
+    if (f1 <= f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - inv_phi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + inv_phi * (b - a);
+      f2 = f(x2);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+}  // namespace
+
+void BlockContext::set_cross_check(bool on) {
+  g_cross_check.store(on, std::memory_order_relaxed);
+}
+bool BlockContext::cross_check() {
+  return g_cross_check.load(std::memory_order_relaxed);
+}
+std::uint64_t BlockContext::cross_check_probes() {
+  return g_probes.load(std::memory_order_relaxed);
+}
+std::uint64_t BlockContext::cross_check_failures() {
+  return g_failures.load(std::memory_order_relaxed);
+}
+void BlockContext::reset_cross_check_counters() {
+  g_probes.store(0, std::memory_order_relaxed);
+  g_failures.store(0, std::memory_order_relaxed);
+}
+
+BlockContext::BlockContext(const SystemConfig& cfg) : cfg_(cfg) {
+  alpha_ = cfg_.core.alpha;
+  alpha_m_ = cfg_.memory.alpha_m;
+  lambda_ = cfg_.core.lambda;
+  s_m_raw_ = cfg_.core.critical_speed_raw();  // one pow per context, not per probe
+  s_up_ = cfg_.core.max_speed();
+  pref_efull_.push_back(0.0);
+}
+
+void BlockContext::reset() {
+  tasks_.clear();
+  pre_.clear();
+  pref_efull_.assign(1, 0.0);
+  nr_.clear();
+  nd_.clear();
+  nq_.clear();
+  sb_.clear();
+  eb_.clear();
+  ecur_ = 0;
+  sorted_ = true;
+  infeasible_ = false;
+}
+
+void BlockContext::push_task(const Task& t) {
+  if (!tasks_.empty() &&
+      (t.release < pre_.back().r || t.deadline < pre_.back().d)) {
+    sorted_ = false;  // not agreeable deadline order: solve() falls back
+  }
+  tasks_.push_back(t);
+
+  Pre p;
+  p.r = t.release;
+  p.d = t.deadline;
+  p.w = t.work;
+  if (t.work > 0.0) {
+    p.q = std::isfinite(s_up_) ? t.work / s_up_ : 0.0;
+    p.wpow = cfg_.core.beta * std::pow(t.work, lambda_);
+    const double c = std::min(s_m_raw_, s_up_);
+    p.w_race = c > 0.0 ? t.work / c : kInf;
+    p.e_race = cfg_.core.exec_energy(t.work, c);
+    p.e_up = std::isfinite(s_up_) ? cfg_.core.exec_energy(t.work, s_up_) : kInf;
+    p.e_full = piece(p, t.deadline - t.release);
+    if (!std::isfinite(p.e_full)) infeasible_ = true;
+    nr_.push_back(p.r);
+    nd_.push_back(p.d);
+    nq_.push_back(p.q);
+  }
+  pre_.push_back(p);
+  pref_efull_.push_back(pref_efull_.back() + p.e_full);
+
+  if (tasks_.size() == 1) {
+    r_min_ = t.release;
+    d_min_ = t.deadline;
+    r_max_ = t.release;
+    d_max_ = t.deadline;
+    sb_.assign({r_min_, d_min_});
+    return;
+  }
+  r_min_ = std::min(r_min_, t.release);
+  d_min_ = std::min(d_min_, t.deadline);
+  r_max_ = std::max(r_max_, t.release);
+  d_max_ = std::max(d_max_, t.deadline);
+  if (sorted_) {
+    // Releases arrive non-decreasing, so the inner s' breakpoints stay
+    // sorted by appending just before the trailing d_min.
+    const double prev = sb_[sb_.size() - 2];
+    if (t.release > prev && t.release < d_min_) {
+      sb_.insert(sb_.end() - 1, t.release);
+    }
+  }
+}
+
+double BlockContext::window_power(double w_pos) const {
+  if (lambda_ == 3.0) return 1.0 / (w_pos * w_pos);
+  if (lambda_ == 2.0) return 1.0 / w_pos;
+  return std::pow(w_pos, 1.0 - lambda_);
+}
+
+double BlockContext::piece(const Pre& p, double window) const {
+  // Mirrors task_window_energy's regimes with the per-task constants
+  // hoisted: sigma = min(max(s_m, w/W), s_up).
+  if (!(window > 0.0)) return kInf;
+  const double fill = p.w / window;
+  if (fill < s_m_raw_) {  // race regime: sigma pins at min(s_m, s_up)
+    if (p.q > window * kUpSlack) return kInf;
+    return p.e_race;
+  }
+  if (fill > s_up_) {  // clamped at s_up (feasible only in the slack sliver)
+    if (p.q > window * kUpSlack) return kInf;
+    return p.e_up;
+  }
+  // Fill regime: exec_energy(w, w/W) = alpha*W + beta*w^lambda*W^(1-lambda).
+  return alpha_ * window + p.wpow * window_power(window);
+}
+
+double BlockContext::eval_box(double s, double e) const {
+  double energy = alpha_m_ * (e - s) + const_energy_;
+  for (const Dyn& l : left_) energy += piece(*l.pre, l.bound - s);
+  for (const Dyn& r : right_) energy += piece(*r.pre, e - r.bound);
+  for (const Pre* c : coupled_) energy += piece(*c, e - s);
+
+  if (g_cross_check.load(std::memory_order_relaxed)) {
+    g_probes.fetch_add(1, std::memory_order_relaxed);
+    const double exact = block_energy_at(tasks_, cfg_, s, e);
+    const bool fast_inf = !std::isfinite(energy);
+    const bool exact_inf = !std::isfinite(exact);
+    const bool ok =
+        fast_inf == exact_inf &&
+        (fast_inf || std::abs(energy - exact) <=
+                         1e-9 * std::max({1.0, std::abs(energy), std::abs(exact)}));
+    if (!ok) {
+      g_failures.fetch_add(1, std::memory_order_relaxed);
+      assert(false && "BlockContext fast probe diverged from block_energy_at");
+    }
+  }
+  return std::isfinite(energy) ? energy : kInf;
+}
+
+bool BlockContext::setup_box(double s_lo, double s_hi, double e_lo,
+                             double e_hi) {
+  left_.clear();
+  right_.clear();
+  coupled_.clear();
+  const_energy_ = 0.0;
+
+  const std::size_t n = pre_.size();
+  // Boxes are bounded by breakpoints, so no release sits strictly inside
+  // (s_lo, s_hi) and no deadline strictly inside (e_lo, e_hi): the window
+  // classes are exact and, in agreeable order, contiguous index ranges.
+  const std::size_t a =
+      std::upper_bound(pre_.begin(), pre_.end(), s_lo,
+                       [](double v, const Pre& p) { return v < p.r; }) -
+      pre_.begin();
+  const std::size_t c =
+      std::upper_bound(pre_.begin(), pre_.end(), e_lo,
+                       [](double v, const Pre& p) { return v < p.d; }) -
+      pre_.begin();
+
+  const std::size_t left_end = std::min(a, c);
+  for (std::size_t i = 0; i < left_end; ++i) {  // W = d - s'
+    const Pre& p = pre_[i];
+    if (p.w <= 0.0) continue;
+    if (!std::isfinite(piece(p, p.d - s_lo))) return false;  // box infeasible
+    if (p.d - s_hi >= p.w_race) {
+      const_energy_ += p.e_race;  // pinned at the race speed across the box
+    } else {
+      left_.push_back({p.d, &p});
+    }
+  }
+  if (a <= c) {
+    // Unclipped middle class: full windows, one subtraction via prefix sums.
+    const_energy_ += pref_efull_[c] - pref_efull_[a];
+  } else {
+    for (std::size_t i = c; i < a; ++i) {  // both-sides-clipped: W = e' - s'
+      const Pre& p = pre_[i];
+      if (p.w <= 0.0) continue;
+      if (!std::isfinite(piece(p, e_hi - s_lo))) return false;
+      if (e_lo - s_hi >= p.w_race) {
+        const_energy_ += p.e_race;
+      } else {
+        coupled_.push_back(&p);
+      }
+    }
+  }
+  for (std::size_t i = std::max(a, c); i < n; ++i) {  // W = e' - r
+    const Pre& p = pre_[i];
+    if (p.w <= 0.0) continue;
+    if (!std::isfinite(piece(p, e_hi - p.r))) return false;
+    if (e_lo - p.r >= p.w_race) {
+      const_energy_ += p.e_race;
+    } else {
+      right_.push_back({p.r, &p});
+    }
+  }
+  return true;
+}
+
+double BlockContext::feasible_e_min(double s) const {
+  double v = s;
+  for (std::size_t i = 0; i < nr_.size(); ++i) {
+    const double x = std::max(s, nr_[i]) + nq_[i];
+    if (x > nd_[i]) return kInf;
+    v = std::max(v, x);
+  }
+  return v;
+}
+
+double BlockContext::feasible_s_max(double e) const {
+  double v = e;
+  for (std::size_t i = 0; i < nr_.size(); ++i) {
+    if (std::min(e, nd_[i]) - nr_[i] < nq_[i]) return -kInf;
+    v = std::min(v, std::max(nr_[i], std::min(e, nd_[i]) - nq_[i]));
+  }
+  return v;
+}
+
+BoxMin BlockContext::minimize_box(double s_lo, double s_hi, double e_lo,
+                                  double e_hi) const {
+  // minimize_in_box's alternating line searches + diagonal escape, with the
+  // box-specialized evaluator and the block-level feasibility arrays.
+  BoxMin out;
+  double s = s_lo, e = e_hi;  // maximal windows: feasible if anything is
+  double val = eval_box(s, e);
+  if (!std::isfinite(val)) return out;
+  out.feasible = true;
+  out.s = s;
+  out.e = e;
+  out.value = val;
+
+  for (int round = 0; round < 64; ++round) {
+    const double elo = std::max({e_lo, s, feasible_e_min(s)});
+    if (elo > e_hi) break;
+    const double new_e = golden_min_t(
+        [&](double y) { return eval_box(s, y); }, elo, e_hi, 1e-12);
+    const double shi = std::min({s_hi, new_e, feasible_s_max(new_e)});
+    if (shi < s_lo) break;
+    const double new_s = golden_min_t(
+        [&](double x) { return eval_box(x, new_e); }, s_lo, shi, 1e-12);
+    const double t_lo = std::max(s_lo - new_s, e_lo - new_e);
+    const double t_hi = std::min(s_hi - new_s, e_hi - new_e);
+    double t = 0.0;
+    if (t_hi > t_lo) {
+      t = golden_min_t(
+          [&](double dt) { return eval_box(new_s + dt, new_e + dt); }, t_lo,
+          t_hi, 1e-12);
+      if (!std::isfinite(eval_box(new_s + t, new_e + t))) t = 0.0;
+    }
+    const double cand_s = new_s + t;
+    const double cand_e = new_e + t;
+    const double cand = eval_box(cand_s, cand_e);
+    const bool converged =
+        std::abs(cand_s - s) < 1e-13 * std::max(1.0, std::abs(s)) &&
+        std::abs(cand_e - e) < 1e-13 * std::max(1.0, std::abs(e));
+    s = cand_s;
+    e = cand_e;
+    if (std::isfinite(cand) && cand < out.value) {
+      out.value = cand;
+      out.s = s;
+      out.e = e;
+    }
+    if (converged) break;
+  }
+  return out;
+}
+
+void BlockContext::build_e_breakpoints() {
+  eb_.clear();
+  eb_.push_back(r_max_);
+  while (ecur_ < pre_.size() && pre_[ecur_].d <= r_max_) ++ecur_;
+  for (std::size_t j = ecur_; j < pre_.size(); ++j) {
+    const double d = pre_[j].d;
+    if (d >= d_max_) break;  // deadlines are sorted; the rest tie with d_max
+    if (d > eb_.back()) eb_.push_back(d);
+  }
+  eb_.push_back(d_max_);
+}
+
+BlockSolution BlockContext::solve_fallback() const {
+  const BlockResult r = solve_block_reference(tasks_, cfg_);
+  BlockSolution out;
+  out.feasible = r.feasible;
+  out.s = r.s;
+  out.e = r.e;
+  out.energy = r.energy;
+  return out;
+}
+
+BlockSolution BlockContext::solve() {
+  BlockSolution out;
+  if (tasks_.empty() || infeasible_) return out;
+  if (!sorted_) return solve_fallback();
+
+  build_e_breakpoints();
+
+  double best = kInf;
+  double best_s = r_min_, best_e = d_max_;
+  for (std::size_t si = 0; si + 1 < sb_.size(); ++si) {
+    for (std::size_t ei = 0; ei + 1 < eb_.size(); ++ei) {
+      const double s_lo = sb_[si], s_hi = sb_[si + 1];
+      const double e_lo = eb_[ei], e_hi = eb_[ei + 1];
+      if (e_hi <= s_lo) continue;  // would force e' <= s'
+      if (!setup_box(s_lo, s_hi, e_lo, e_hi)) continue;  // pruned: infeasible
+      const BoxMin m = minimize_box(s_lo, s_hi, e_lo, e_hi);
+      if (m.feasible && m.value < best) {
+        best = m.value;
+        best_s = m.s;
+        best_e = m.e;
+      }
+    }
+  }
+  if (!std::isfinite(best)) return out;
+  out.feasible = true;
+  out.s = best_s;
+  out.e = best_e;
+  out.energy = best;
+  return out;
+}
+
+BlockResult BlockContext::solve_full() {
+  if (!sorted_) return solve_block_reference(tasks_, cfg_);
+  const BlockSolution sol = solve();
+  BlockResult out;
+  if (!sol.feasible) return out;
+  out.feasible = true;
+  out.s = sol.s;
+  out.e = sol.e;
+  out.energy = sol.energy;
+  out.placements = block_placements_at(tasks_, cfg_, sol.s, sol.e);
+  return out;
+}
+
+}  // namespace sdem

@@ -1,0 +1,157 @@
+// Incremental, cache-friendly block-table solver for the agreeable DP
+// (paper §5) — the hot path of the whole reproduction.
+//
+// The seed implementation re-ran the full single-block pipeline for every
+// (p, q) pair of the DP's block table: rebuild the task subset, re-sort the
+// release/deadline breakpoints, and evaluate the block objective with an
+// O(k) loop whose per-task work recomputes std::pow(alpha/(beta(λ-1)), 1/λ)
+// and std::pow(sigma, λ) on every golden-section probe. BlockContext keeps
+// one growing block per DP row instead: push_task() extends the block by
+// the next deadline-sorted task and maintains, incrementally,
+//
+//   * the per-task constants every probe needs — beta·w^λ, the race window
+//     w / min(s_m, s_up), the race/clamped energies, and the full-window
+//     (unclipped) energy,
+//   * prefix sums of the full-window energies (so a box's unclipped middle
+//     class folds to one subtraction),
+//   * the sorted s'/e' breakpoint sets (releases are non-decreasing in
+//     agreeable deadline order, so maintenance is append/advance, no sort),
+//   * the s_up feasibility data (w / s_up per task) shared by every box's
+//     feasible-range clamps, and a block-level infeasibility flag that
+//     prunes whole (p, q) pairs before any box is opened.
+//
+// solve() then enumerates the same breakpoint boxes as the seed, but each
+// box first classifies tasks into {constant window, left-clipped (d - s'),
+// right-clipped (e' - r), both-sides-clipped (e' - s')} — contiguous index
+// ranges in agreeable order — folds every constant-energy task (unclipped,
+// or pinned at the race speed across the whole box) into a single scalar,
+// and hands the few remaining "dynamic" tasks to the alternating
+// golden-section minimizer. A probe therefore costs O(#dynamic) cheap
+// flops (for the default λ = 3 the window power is 1/(W·W); no std::pow)
+// instead of O(k) pow-heavy ones — O(1) amortized per probe across a row.
+//
+// Numerics: the fast evaluator computes algebraically identical energies to
+// core/block.hpp's exact block_energy_at (same regime boundaries, same
+// s_up feasibility slack), differing only by floating-point reassociation
+// (≲1e-12 relative; tests pin ≤1e-9). set_cross_check(true) audits every
+// probe against the exact O(k) path — Debug builds also assert on it.
+//
+// Inputs must be pushed in agreeable deadline order (non-decreasing r and
+// d). Anything else trips the sorted-input check and solve() falls back to
+// the seed-identical solve_block_reference path, so callers with exotic
+// task vectors keep the old behavior.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/block.hpp"
+#include "model/power.hpp"
+#include "model/task.hpp"
+
+namespace sdem {
+
+/// Scalar block optimum: what the DP table stores for every (p, q) pair.
+/// Placements for the few blocks on the optimal path are reconstructed on
+/// demand from (s, e) — see block_placements_at — cutting the DP's memory
+/// from O(n³) placement storage to O(n²) scalars.
+struct BlockSolution {
+  bool feasible = false;
+  double s = 0.0;
+  double e = 0.0;
+  double energy = 0.0;
+};
+
+class BlockContext {
+ public:
+  explicit BlockContext(const SystemConfig& cfg);
+
+  /// Forget every pushed task; keeps the config and scratch capacity.
+  void reset();
+
+  /// Extend the block with the next task of the deadline-sorted order.
+  void push_task(const Task& t);
+
+  std::size_t size() const { return tasks_.size(); }
+
+  /// True when some pushed task cannot meet w/s_up even in its full region
+  /// [r, d] — every block containing it is infeasible, so the caller can
+  /// prune the rest of the DP row without opening a single box.
+  bool block_infeasible() const { return infeasible_; }
+
+  /// Optimal (s', e', energy) of the current block — the fast path.
+  BlockSolution solve();
+
+  /// solve() plus per-task placements (compatibility with solve_block).
+  BlockResult solve_full();
+
+  /// Audit mode: every fast probe is recomputed with the exact O(k)
+  /// block_energy_at and counted on mismatch (> 1e-9 relative or a
+  /// feasibility flip). Global, thread-safe, off by default.
+  static void set_cross_check(bool on);
+  static bool cross_check();
+  static std::uint64_t cross_check_probes();
+  static std::uint64_t cross_check_failures();
+  static void reset_cross_check_counters();
+
+ private:
+  /// Per-task probe constants, computed once at push_task.
+  struct Pre {
+    double r = 0.0;       ///< release
+    double d = 0.0;       ///< deadline
+    double w = 0.0;       ///< work
+    double q = 0.0;       ///< w / s_up (0 when s_up is unbounded)
+    double wpow = 0.0;    ///< beta * w^lambda
+    double w_race = 0.0;  ///< w / min(s_m, s_up): window at/above which the
+                          ///< speed pins at the clamped critical speed
+    double e_race = 0.0;  ///< exec_energy(w, min(s_m, s_up))
+    double e_up = 0.0;    ///< exec_energy(w, s_up) (+inf when unbounded)
+    double e_full = 0.0;  ///< energy at the maximal window d - r
+  };
+  /// A dynamic (window-varying) task inside one box: `bound` is d for the
+  /// left-clipped class (W = d - s') and r for the right-clipped one
+  /// (W = e' - r).
+  struct Dyn {
+    double bound;
+    const Pre* pre;
+  };
+
+  double window_power(double w_pos) const;   ///< W^(1-lambda), pow-free for λ∈{2,3}
+  double piece(const Pre& p, double window) const;
+  double eval_box(double s, double e) const;
+  bool setup_box(double s_lo, double s_hi, double e_lo, double e_hi);
+  BoxMin minimize_box(double s_lo, double s_hi, double e_lo, double e_hi) const;
+  double feasible_e_min(double s) const;
+  double feasible_s_max(double e) const;
+  void build_e_breakpoints();
+  BlockSolution solve_fallback() const;
+
+  SystemConfig cfg_;
+  double alpha_ = 0.0;
+  double alpha_m_ = 0.0;
+  double lambda_ = 3.0;
+  double s_m_raw_ = 0.0;  ///< hoisted critical_speed_raw (one pow per block row)
+  double s_up_ = 0.0;     ///< max_speed() (+inf when unbounded)
+
+  std::vector<Task> tasks_;  ///< pushed order (exact cross-check, placements)
+  std::vector<Pre> pre_;
+  std::vector<double> pref_efull_;  ///< pref_efull_[i] = sum e_full of [0, i)
+  // s_up feasibility data of every positive-work task, in pushed order —
+  // the seed's per-box `needs` rebuild, hoisted to the block.
+  std::vector<double> nr_, nd_, nq_;
+
+  bool sorted_ = true;      ///< r and d non-decreasing so far
+  bool infeasible_ = false;
+  double r_min_ = 0.0, r_max_ = 0.0, d_min_ = 0.0, d_max_ = 0.0;
+
+  std::vector<double> sb_;  ///< s' breakpoints, incremental (append-only)
+  std::vector<double> eb_;  ///< e' breakpoints, rebuilt O(k) per solve
+  std::size_t ecur_ = 0;    ///< monotone cursor: first deadline > r_max
+
+  // Per-box scratch, reused across boxes and solves (no allocation).
+  std::vector<Dyn> left_, right_;
+  std::vector<const Pre*> coupled_;
+  double const_energy_ = 0.0;
+};
+
+}  // namespace sdem

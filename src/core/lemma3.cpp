@@ -53,15 +53,21 @@ BlockResult solve_block_lemma3(const std::vector<Task>& tasks,
       const double e_lo = eb[ei], e_hi = eb[ei + 1];
       if (e_hi <= s_lo) continue;
 
-      // Classify tasks for an interior point of this box.
-      std::vector<const Task*> left, right;
+      // Classify tasks for an interior point of this box, hoisting the
+      // loop-invariant w^lambda out of the bisection callbacks (it was
+      // recomputed on every probe).
+      struct Side {
+        const Task* t;
+        double wpow;  ///< pow(w, lambda)
+      };
+      std::vector<Side> left, right;
       bool coupled = false;  // a task clipped on both sides (paper case 3)
       for (const auto& t : tasks) {
         const bool l = t.release <= s_lo;
         const bool r = t.deadline >= e_hi;
         if (l && r) coupled = true;
-        if (l && !r) left.push_back(&t);
-        if (r && !l) right.push_back(&t);
+        if (l && !r) left.push_back({&t, std::pow(t.work, lambda)});
+        if (r && !l) right.push_back({&t, std::pow(t.work, lambda)});
       }
       if (coupled) {
         // The lemma's separable equations do not apply; use the shared
@@ -79,11 +85,11 @@ BlockResult solve_block_lemma3(const std::vector<Task>& tasks,
       // s_up feasibility clamps — fully separable without coupled tasks.
       double s_cap = s_hi, e_floor = e_lo;
       if (std::isfinite(s_up)) {
-        for (const Task* t : left) {
-          s_cap = std::min(s_cap, t->deadline - t->work / s_up);
+        for (const Side& l : left) {
+          s_cap = std::min(s_cap, l.t->deadline - l.t->work / s_up);
         }
-        for (const Task* t : right) {
-          e_floor = std::max(e_floor, t->release + t->work / s_up);
+        for (const Side& r : right) {
+          e_floor = std::max(e_floor, r.t->release + r.t->work / s_up);
         }
       }
       if (s_cap < s_lo || e_floor > e_hi) continue;
@@ -91,9 +97,8 @@ BlockResult solve_block_lemma3(const std::vector<Task>& tasks,
       // dE/ds' = -alpha_m + beta (l-1) sum_L w^l (d_k - s')^-l: increasing.
       auto dE_ds = [&](double s) {
         double acc = -target;
-        for (const Task* t : left) {
-          acc += std::pow(t->work, lambda) *
-                 std::pow(t->deadline - s, -lambda);
+        for (const Side& l : left) {
+          acc += l.wpow * std::pow(l.t->deadline - s, -lambda);
         }
         return acc;
       };
@@ -111,9 +116,8 @@ BlockResult solve_block_lemma3(const std::vector<Task>& tasks,
       // dE/de' = alpha_m - beta (l-1) sum_R w^l (e' - r_k)^-l: increasing.
       auto dE_de = [&](double e) {
         double acc = target;
-        for (const Task* t : right) {
-          acc -= std::pow(t->work, lambda) *
-                 std::pow(e - t->release, -lambda);
+        for (const Side& r : right) {
+          acc -= r.wpow * std::pow(e - r.t->release, -lambda);
         }
         return acc;
       };

@@ -83,4 +83,30 @@ void parallel_for_seeds(ThreadPool* pool, int seeds, Fn&& fn) {
   });
 }
 
+/// Grid generalization of parallel_for_seeds: every (operating point, seed)
+/// cell is an independent work item, so small-seed sweeps with many points
+/// (fig7's 64 cells, table4's single point) still occupy the whole pool.
+/// `fn(point, seed, slot)` receives the 0-based point index, the 1-based
+/// seed, and the flat point-major slot index point*seeds + (seed-1) — the
+/// exact order the serial reference loop visits, so caller-side folds over
+/// slots are bit-identical at any job count.
+template <typename Fn>
+void parallel_for_grid(ThreadPool* pool, int points, int seeds, Fn&& fn) {
+  if (points <= 0 || seeds <= 0) return;
+  const std::size_t total =
+      static_cast<std::size_t>(points) * static_cast<std::size_t>(seeds);
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < total; ++i) {
+      fn(i / static_cast<std::size_t>(seeds),
+         static_cast<std::uint64_t>(i % static_cast<std::size_t>(seeds)) + 1,
+         i);
+    }
+    return;
+  }
+  pool->parallel_for(total, [&fn, seeds](std::size_t i) {
+    fn(i / static_cast<std::size_t>(seeds),
+       static_cast<std::uint64_t>(i % static_cast<std::size_t>(seeds)) + 1, i);
+  });
+}
+
 }  // namespace sdem
