@@ -8,6 +8,8 @@
 // smoke in docs/benchmarks.md).
 #include <chrono>
 
+#include "baseline/mbkp.hpp"
+#include "baseline/simple_policies.hpp"
 #include "bench_registry.hpp"
 #include "core/agreeable.hpp"
 #include "core/block.hpp"
@@ -15,6 +17,7 @@
 #include "core/common_release_alpha0.hpp"
 #include "core/online_sdem.hpp"
 #include "sim/event_sim.hpp"
+#include "single/sss.hpp"
 #include "workload/dspstone.hpp"
 #include "workload/generator.hpp"
 
@@ -516,6 +519,227 @@ ExperimentResult run_ablation_blocks(const RunOptions& opt) {
   return r;
 }
 
+// --------------------------------------------------- Online vs offline ratio
+
+// Empirical competitive ratio of SDEM-ON against the Section 5 DP on
+// agreeable inputs, plus the memory-oblivious per-core comparator. Each
+// (spread, seed) cell is independent; folds run spread-major in seed order,
+// so the table is byte-identical to the legacy serial loop.
+ExperimentResult run_online_vs_offline(const RunOptions& opt) {
+  auto cfg = paper_cfg();
+  cfg.core.s_min = 0.0;
+  cfg.memory.xi_m = 0.0;
+  cfg.num_cores = 0;  // unbounded, matching the offline model
+  const int seeds = opt.seeds > 0 ? opt.seeds : 12;
+  constexpr int kTasks = 10;
+  const std::vector<double> spreads{0.010, 0.040, 0.100, 0.250};
+
+  ExperimentResult r;
+  r.header_title = "SDEM-ON vs offline optimum (agreeable inputs)";
+  r.header_what =
+      "ratio = E(online) / E(offline DP); also the memory-oblivious "
+      "per-core critical-speed scheduler on the same traces";
+
+  struct Cell {
+    bool feasible = false;
+    double ratio = 0.0;
+    double obliv_ratio = 0.0;
+    double solver_seconds = 0.0;
+  };
+  std::vector<Cell> cells(spreads.size() * static_cast<std::size_t>(seeds));
+  parallel_for_grid(
+      opt.pool, static_cast<int>(spreads.size()), seeds,
+      [&](std::size_t pi, std::uint64_t seed, std::size_t slot) {
+        const double spread = spreads[pi];
+        const auto t0 = std::chrono::steady_clock::now();
+        Cell& c = cells[slot];
+        const TaskSet ts =
+            make_agreeable(kTasks, seed * 577 + int(spread * 1e4), spread);
+        const auto offline = solve_agreeable(ts, cfg);
+        if (offline.feasible) {
+          c.feasible = true;
+          SdemOnPolicy pol;
+          const auto sim = simulate(ts, cfg, pol);
+          EnergyOptions opts;  // busy-span horizon, same as the offline model
+          const double online =
+              compute_energy(sim.schedule, cfg, opts).system_total();
+          c.ratio = online / offline.energy;
+
+          // Memory-oblivious: every task on its own core, per-core critical-
+          // speed sleep schedule; memory follows whatever union results.
+          Schedule per_core;
+          int core = 0;
+          for (const auto& task : ts.tasks()) {
+            const auto sss = solve_single_core_sleep(
+                {{task.id, task.release, task.deadline, task.work}}, cfg.core,
+                core++);
+            for (const auto& seg : sss.schedule.segments()) per_core.add(seg);
+          }
+          c.obliv_ratio =
+              compute_energy(per_core, cfg, opts).system_total() /
+              offline.energy;
+        }
+        c.solver_seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+      });
+
+  Table t({"spread (ms)", "avg ratio", "worst ratio",
+           "memory-oblivious ratio"});
+  Json rows = Json::array();
+  for (std::size_t pi = 0; pi < spreads.size(); ++pi) {
+    const double spread = spreads[pi];
+    double sum = 0.0, worst = 0.0, obliv = 0.0;
+    int counted = 0;
+    Json per_seed = Json::array();
+    for (int s = 0; s < seeds; ++s) {
+      const Cell& c = cells[pi * static_cast<std::size_t>(seeds) +
+                            static_cast<std::size_t>(s)];
+      r.solver_seconds_total += c.solver_seconds;
+      Json cell = Json::object();
+      cell.set("seed", static_cast<std::uint64_t>(s + 1));
+      cell.set("feasible", c.feasible);
+      if (c.feasible) {
+        cell.set("ratio", c.ratio);
+        cell.set("oblivious_ratio", c.obliv_ratio);
+      }
+      cell.set("solver_seconds", c.solver_seconds);
+      per_seed.push_back(std::move(cell));
+      if (!c.feasible) continue;
+      sum += c.ratio;
+      worst = std::max(worst, c.ratio);
+      obliv += c.obliv_ratio;
+      ++counted;
+    }
+    t.add_row({Table::fmt(spread * 1e3, 0), Table::fmt(sum / counted, 4),
+               Table::fmt(worst, 4), Table::fmt(obliv / counted, 4)});
+    Json row = Json::object();
+    row.set("spread_ms", spread * 1e3);
+    row.set("avg_ratio", sum / counted);
+    row.set("worst_ratio", worst);
+    row.set("oblivious_ratio_avg", obliv / counted);
+    row.set("counted", counted);
+    row.set("per_seed", std::move(per_seed));
+    rows.push_back(std::move(row));
+  }
+  r.tables.push_back(std::move(t));
+  r.footers.push_back(
+      "ratios are >= 1 by optimality of the DP; the online gap is the price "
+      "of not knowing the future,");
+  r.footers.push_back(
+      "the oblivious gap is the price of ignoring the shared memory (the "
+      "paper's core argument).");
+
+  Json params = Json::object();
+  params.set("tasks", kTasks);
+  params.set("seeds", seeds);
+  params.set("spreads_s", [&] {
+    Json arr = Json::array();
+    for (double s : spreads) arr.push_back(s);
+    return arr;
+  }());
+  r.data = Json::object();
+  r.data.set("params", std::move(params));
+  r.data.set("rows", std::move(rows));
+  return r;
+}
+
+// ----------------------------------------------------------- Policy poles
+
+// The title question as a bench: five online policies (the two poles, the
+// single-core folklore answer, MBKPS, SDEM-ON) on the same synthetic traces
+// across utilizations. One (x, seed) grid; folds in seed order keep the
+// table byte-identical to the legacy serial loop.
+ExperimentResult run_policy_poles(const RunOptions& opt) {
+  const auto cfg = paper_cfg();
+  const int seeds = opt.seeds > 0 ? opt.seeds : 10;
+  constexpr int kPoints = 8;  // x = 100..800 ms
+  constexpr int kPolicies = 5;
+  static const char* kNames[kPolicies] = {"race@s_up", "stretch", "critical",
+                                          "MBKPS", "SDEM-ON"};
+
+  ExperimentResult r;
+  r.header_title =
+      "Race to idle or not — the five policies (system energy, J)";
+  r.header_what = "synthetic traces, 120 tasks, paper defaults; avg over " +
+                  std::to_string(seeds) + " seeds";
+
+  struct Cell {
+    double e[kPolicies] = {0, 0, 0, 0, 0};
+    double solver_seconds = 0.0;
+  };
+  std::vector<Cell> cells(static_cast<std::size_t>(kPoints) *
+                          static_cast<std::size_t>(seeds));
+  parallel_for_grid(
+      opt.pool, kPoints, seeds,
+      [&](std::size_t pi, std::uint64_t seed, std::size_t slot) {
+        const int x = 100 + static_cast<int>(pi) * 100;
+        const auto t0 = std::chrono::steady_clock::now();
+        Cell& c = cells[slot];
+        SyntheticParams p;
+        p.num_tasks = 120;
+        p.max_interarrival = x / 1000.0;
+        const TaskSet ts = make_synthetic(p, seed * 811 + x);
+
+        RaceToIdlePolicy race;
+        StretchPolicy stretch;
+        CriticalSpeedPolicy crit;
+        MbkpPolicy mbkp;
+        SdemOnPolicy sdem;
+        OnlinePolicy* pols[kPolicies] = {&race, &stretch, &crit, &mbkp, &sdem};
+        for (int i = 0; i < kPolicies; ++i) {
+          const auto sim = simulate(ts, cfg, *pols[i]);
+          c.e[i] = evaluate_policy(sim, cfg, SleepDiscipline::kOptimal, "x")
+                       .energy.system_total();
+        }
+        c.solver_seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+      });
+
+  Table t({"x (ms)", "race@s_up", "stretch", "critical", "MBKPS", "SDEM-ON"});
+  Json rows = Json::array();
+  for (int pi = 0; pi < kPoints; ++pi) {
+    const int x = 100 + pi * 100;
+    double e[kPolicies] = {0, 0, 0, 0, 0};
+    Json per_seed = Json::array();
+    for (int s = 0; s < seeds; ++s) {
+      const Cell& c = cells[static_cast<std::size_t>(pi) *
+                                static_cast<std::size_t>(seeds) +
+                            static_cast<std::size_t>(s)];
+      r.solver_seconds_total += c.solver_seconds;
+      Json cell = Json::object();
+      cell.set("seed", static_cast<std::uint64_t>(s + 1));
+      for (int i = 0; i < kPolicies; ++i) {
+        e[i] += c.e[i];
+        cell.set(std::string("energy_") + kNames[i] + "_j", c.e[i]);
+      }
+      cell.set("solver_seconds", c.solver_seconds);
+      per_seed.push_back(std::move(cell));
+    }
+    t.add_row({std::to_string(x), Table::fmt(e[0] / seeds, 3),
+               Table::fmt(e[1] / seeds, 3), Table::fmt(e[2] / seeds, 3),
+               Table::fmt(e[3] / seeds, 3), Table::fmt(e[4] / seeds, 3)});
+    Json row = Json::object();
+    row.set("x_ms", x);
+    for (int i = 0; i < kPolicies; ++i) {
+      row.set(std::string("energy_") + kNames[i] + "_j_avg", e[i] / seeds);
+    }
+    row.set("per_seed", std::move(per_seed));
+    rows.push_back(std::move(row));
+  }
+  r.tables.push_back(std::move(t));
+
+  Json params = Json::object();
+  params.set("workload", "synthetic");
+  params.set("tasks", 120);
+  params.set("seeds", seeds);
+  r.data = Json::object();
+  r.data.set("params", std::move(params));
+  r.data.set("rows", std::move(rows));
+  return r;
+}
+
 }  // namespace
 
 void register_all_experiments(std::vector<Experiment>& out) {
@@ -540,6 +764,12 @@ void register_all_experiments(std::vector<Experiment>& out) {
   out.push_back({"ablation_blocks", "§5 ablation", "bench_ablation_blocks",
                  "block DP vs degenerate partitions over task spread", 8,
                  [](const RunOptions& o) { return run_ablation_blocks(o); }});
+  out.push_back({"online_vs_offline", "§6 ratio", "bench_online_vs_offline",
+                 "empirical competitive ratio vs the agreeable DP", 12,
+                 [](const RunOptions& o) { return run_online_vs_offline(o); }});
+  out.push_back({"policy_poles", "title question", "bench_policy_poles",
+                 "race / stretch / critical / MBKPS / SDEM-ON across x", 10,
+                 [](const RunOptions& o) { return run_policy_poles(o); }});
 }
 
 }  // namespace sdem::bench

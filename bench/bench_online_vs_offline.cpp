@@ -6,69 +6,11 @@
 // memory-oblivious comparison: per-core single-core speed-scaling-with-
 // sleep (critical-speed method) run on the same assignment — what you get
 // if every core optimizes itself and nobody owns the shared memory.
-#include "bench_util.hpp"
-#include "core/agreeable.hpp"
-#include "core/online_sdem.hpp"
-#include "single/sss.hpp"
-#include "sched/validate.hpp"
-#include "workload/generator.hpp"
+//
+// The sweep itself lives in bench/bench_experiments.cpp as the registered
+// experiment "online_vs_offline"; this binary prints its default run (same
+// bytes as the pre-registry standalone). `sdem_bench_runner --filter
+// online_vs_offline` adds JSON output, seed/job control, and markdown.
+#include "bench_registry.hpp"
 
-using namespace sdem;
-using namespace sdem::bench;
-
-int main() {
-  auto cfg = paper_cfg();
-  cfg.core.s_min = 0.0;
-  cfg.memory.xi_m = 0.0;
-  cfg.num_cores = 0;  // unbounded, matching the offline model
-  constexpr int kSeeds = 12;
-  constexpr int kTasks = 10;
-
-  print_header("SDEM-ON vs offline optimum (agreeable inputs)",
-               "ratio = E(online) / E(offline DP); also the memory-oblivious "
-               "per-core critical-speed scheduler on the same traces");
-
-  Table t({"spread (ms)", "avg ratio", "worst ratio",
-           "memory-oblivious ratio"});
-  for (double spread : {0.010, 0.040, 0.100, 0.250}) {
-    double sum = 0.0, worst = 0.0, obliv = 0.0;
-    int counted = 0;
-    for (int seed = 1; seed <= kSeeds; ++seed) {
-      const TaskSet ts =
-          make_agreeable(kTasks, seed * 577 + int(spread * 1e4), spread);
-      const auto offline = solve_agreeable(ts, cfg);
-      if (!offline.feasible) continue;
-
-      SdemOnPolicy pol;
-      const auto sim = simulate(ts, cfg, pol);
-      EnergyOptions opts;  // busy-span horizon, same as the offline model
-      const double online = compute_energy(sim.schedule, cfg, opts)
-                                .system_total();
-      const double ratio = online / offline.energy;
-      sum += ratio;
-      worst = std::max(worst, ratio);
-
-      // Memory-oblivious: every task on its own core, per-core critical-
-      // speed sleep schedule; memory follows whatever union results.
-      Schedule per_core;
-      int core = 0;
-      for (const auto& task : ts.tasks()) {
-        const auto sss = solve_single_core_sleep(
-            {{task.id, task.release, task.deadline, task.work}}, cfg.core,
-            core++);
-        for (const auto& seg : sss.schedule.segments()) per_core.add(seg);
-      }
-      obliv += compute_energy(per_core, cfg, opts).system_total() /
-               offline.energy;
-      ++counted;
-    }
-    t.add_row({Table::fmt(spread * 1e3, 0), Table::fmt(sum / counted, 4),
-               Table::fmt(worst, 4), Table::fmt(obliv / counted, 4)});
-  }
-  print_table(t);
-  std::printf("ratios are >= 1 by optimality of the DP; the online gap is "
-              "the price of not knowing the future,\nthe oblivious gap is "
-              "the price of ignoring the shared memory (the paper's core "
-              "argument).\n");
-  return 0;
-}
+int main() { return sdem::bench::run_standalone("online_vs_offline"); }

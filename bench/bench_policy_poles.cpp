@@ -6,48 +6,11 @@
 // sleeping memory = MBKPS), and the paper's SDEM-ON. The point: which pole
 // wins depends on the operating point, and SDEM-ON dominates both
 // everywhere because it *balances* rather than picks a side.
-#include "baseline/mbkp.hpp"
-#include "baseline/simple_policies.hpp"
-#include "bench_util.hpp"
-#include "core/online_sdem.hpp"
-#include "workload/generator.hpp"
+//
+// The sweep itself lives in bench/bench_experiments.cpp as the registered
+// experiment "policy_poles"; this binary prints its default run (same bytes
+// as the pre-registry standalone). `sdem_bench_runner --filter policy_poles`
+// adds JSON output, seed/job control, and markdown rendering.
+#include "bench_registry.hpp"
 
-using namespace sdem;
-using namespace sdem::bench;
-
-int main() {
-  const auto cfg = paper_cfg();
-  constexpr int kSeeds = 10;
-
-  print_header("Race to idle or not — the five policies (system energy, J)",
-               "synthetic traces, 120 tasks, paper defaults; avg over " +
-                   std::to_string(kSeeds) + " seeds");
-
-  Table t({"x (ms)", "race@s_up", "stretch", "critical", "MBKPS", "SDEM-ON"});
-  for (int x = 100; x <= 800; x += 100) {
-    double e[5] = {0, 0, 0, 0, 0};
-    for (int seed = 1; seed <= kSeeds; ++seed) {
-      SyntheticParams p;
-      p.num_tasks = 120;
-      p.max_interarrival = x / 1000.0;
-      const TaskSet ts = make_synthetic(p, seed * 811 + x);
-
-      RaceToIdlePolicy race;
-      StretchPolicy stretch;
-      CriticalSpeedPolicy crit;
-      MbkpPolicy mbkp;
-      SdemOnPolicy sdem;
-      OnlinePolicy* pols[5] = {&race, &stretch, &crit, &mbkp, &sdem};
-      for (int i = 0; i < 5; ++i) {
-        const auto sim = simulate(ts, cfg, *pols[i]);
-        e[i] += evaluate_policy(sim, cfg, SleepDiscipline::kOptimal, "x")
-                    .energy.system_total();
-      }
-    }
-    t.add_row({std::to_string(x), Table::fmt(e[0] / kSeeds, 3),
-               Table::fmt(e[1] / kSeeds, 3), Table::fmt(e[2] / kSeeds, 3),
-               Table::fmt(e[3] / kSeeds, 3), Table::fmt(e[4] / kSeeds, 3)});
-  }
-  print_table(t);
-  return 0;
-}
+int main() { return sdem::bench::run_standalone("policy_poles"); }

@@ -3,9 +3,28 @@
 #include <algorithm>
 #include <cmath>
 
-#include "baseline/oa.hpp"
-
 namespace sdem {
+
+void MbkpPolicy::reset() {
+  task_slots_.clear();
+  core_of_.clear();
+  class_cursors_.clear();
+  class_base_ = 0;
+  for (auto& q : queues_) q.clear();
+}
+
+int& MbkpPolicy::cursor_for(int klass) {
+  if (class_cursors_.empty()) {
+    class_base_ = klass;
+    class_cursors_.push_back(0);
+  } else if (klass < class_base_) {
+    class_cursors_.insert(class_cursors_.begin(), class_base_ - klass, 0);
+    class_base_ = klass;
+  } else if (klass >= class_base_ + static_cast<int>(class_cursors_.size())) {
+    class_cursors_.resize(klass - class_base_ + 1, 0);
+  }
+  return class_cursors_[klass - class_base_];
+}
 
 std::vector<Segment> MbkpPolicy::replan(double now,
                                         const std::vector<PendingTask>& pending,
@@ -15,26 +34,33 @@ std::vector<Segment> MbkpPolicy::replan(double now,
 
   // Assign new tasks: round-robin inside their density class.
   for (const auto& p : pending) {
-    if (core_of_.count(p.task.id)) continue;
+    const int slot = task_slots_.intern(p.task.id);
+    if (slot >= static_cast<int>(core_of_.size())) {
+      core_of_.resize(task_slots_.size(), -1);
+    }
+    if (core_of_[slot] >= 0) continue;
     const double density = p.task.work / std::max(p.task.region(), 1e-12);
     const int klass = static_cast<int>(std::floor(std::log2(
         std::max(density, 1e-12))));
-    int& cursor = class_cursor_[klass];
-    core_of_[p.task.id] = cursor % std::max(cores, 1);
+    int& cursor = cursor_for(klass);
+    core_of_[slot] = cursor % std::max(cores, 1);
     ++cursor;
   }
 
   // Per-core Optimal Available over the core's own queue.
-  std::vector<std::vector<OaJob>> queues(std::max(cores, 1));
+  const std::size_t nqueues = static_cast<std::size_t>(std::max(cores, 1));
+  if (queues_.size() < nqueues) queues_.resize(nqueues);
+  for (std::size_t c = 0; c < nqueues; ++c) queues_[c].clear();
   for (const auto& p : pending) {
-    const int c = core_of_[p.task.id];
-    queues[c].push_back(OaJob{p.task.id, p.task.deadline, p.remaining});
+    const int c = core_of_[task_slots_.slot_of(p.task.id)];
+    queues_[c].push_back(OaJob{p.task.id, p.task.deadline, p.remaining});
   }
   std::vector<Segment> plan;
-  for (int c = 0; c < static_cast<int>(queues.size()); ++c) {
-    if (queues[c].empty()) continue;
-    auto segs = oa_plan(now, queues[c], c, cfg.core.s_up, cfg.core.s_min);
-    plan.insert(plan.end(), segs.begin(), segs.end());
+  for (std::size_t c = 0; c < nqueues; ++c) {
+    if (queues_[c].empty()) continue;
+    // The queue is rebuilt next replan, so OA may reorder it in place.
+    oa_plan_into(now, queues_[c], static_cast<int>(c), cfg.core.s_up,
+                 cfg.core.s_min, plan);
   }
   return plan;
 }

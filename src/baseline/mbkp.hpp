@@ -20,9 +20,11 @@
 // accounting time (see sim/metrics.hpp).
 #pragma once
 
-#include <map>
+#include <vector>
 
+#include "baseline/oa.hpp"
 #include "sim/policy.hpp"
+#include "support/id_slots.hpp"
 
 namespace sdem {
 
@@ -30,13 +32,26 @@ class MbkpPolicy : public OnlinePolicy {
  public:
   std::string name() const override { return "MBKP"; }
 
+  /// Drops all task->core assignments and round-robin cursors. Without this
+  /// a second run on the same policy object inherits the previous trace's
+  /// core map — stale for any reused task id.
+  void reset() override;
+
   std::vector<Segment> replan(double now,
                               const std::vector<PendingTask>& pending,
                               const SystemConfig& cfg) override;
 
  private:
-  std::map<int, int> core_of_;        ///< task id -> assigned core
-  std::map<int, int> class_cursor_;   ///< density class -> round-robin cursor
+  /// Round-robin cursor of a density class (classes are small signed ints:
+  /// floor(log2(density)) with density clamped at 1e-12, so roughly
+  /// [-40, 40]). Stored as a flat array over [base_, base_ + size).
+  int& cursor_for(int klass);
+
+  IdSlots task_slots_;                ///< task id -> dense slot
+  std::vector<int> core_of_;          ///< per-slot assigned core (-1 = none)
+  std::vector<int> class_cursors_;    ///< flat cursor array
+  int class_base_ = 0;                ///< klass of class_cursors_[0]
+  std::vector<std::vector<OaJob>> queues_;  ///< per-core queues, reused
 };
 
 }  // namespace sdem

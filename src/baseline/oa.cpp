@@ -18,9 +18,8 @@ double oa_speed(double now, const std::vector<OaJob>& jobs) {
   return speed;
 }
 
-std::vector<Segment> oa_plan(double now, std::vector<OaJob> jobs, int core,
-                             double s_up, double s_min) {
-  std::vector<Segment> out;
+void oa_plan_into(double now, std::vector<OaJob>& jobs, int core, double s_up,
+                  double s_min, std::vector<Segment>& out) {
   std::erase_if(jobs, [](const OaJob& j) { return j.remaining <= 0.0; });
   std::sort(jobs.begin(), jobs.end(),
             [](const OaJob& a, const OaJob& b) { return a.deadline < b.deadline; });
@@ -53,6 +52,12 @@ std::vector<Segment> oa_plan(double now, std::vector<OaJob> jobs, int core,
     }
     next = best_end + 1;
   }
+}
+
+std::vector<Segment> oa_plan(double now, std::vector<OaJob> jobs, int core,
+                             double s_up, double s_min) {
+  std::vector<Segment> out;
+  oa_plan_into(now, jobs, core, s_up, s_min, out);
   return out;
 }
 

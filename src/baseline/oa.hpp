@@ -29,6 +29,13 @@ struct OaJob {
 std::vector<Segment> oa_plan(double now, std::vector<OaJob> jobs, int core,
                              double s_up = 0.0, double s_min = 0.0);
 
+/// Allocation-free variant: plans `jobs` in place (drops finished jobs and
+/// sorts by deadline) and appends the segments to `out`. Callers that
+/// rebuild their queues every replan (MBKP) pass them directly and skip the
+/// copy + temporary vector of the wrapper above.
+void oa_plan_into(double now, std::vector<OaJob>& jobs, int core, double s_up,
+                  double s_min, std::vector<Segment>& out);
+
 /// The OA speed at `now` (density of the steepest prefix), uncapped.
 double oa_speed(double now, const std::vector<OaJob>& jobs);
 

@@ -5,24 +5,18 @@
 #include <limits>
 #include <vector>
 
+#include "core/common_release_scratch.hpp"
 #include "support/numeric.hpp"
 
 namespace sdem {
-namespace {
-
-struct Entry {
-  Task task;
-  double s0 = 0.0;  ///< per-task critical speed
-  double c = 0.0;   ///< completion time at s0, relative to release
-};
-
-}  // namespace
 
 OfflineResult solve_common_release_alpha(const TaskSet& tasks,
-                                         const SystemConfig& cfg) {
+                                         const SystemConfig& cfg,
+                                         CommonReleaseScratch& ws,
+                                         bool validated) {
   OfflineResult res;
-  if (tasks.empty() || !tasks.is_common_release() || !tasks.validate().empty())
-    return res;
+  if (tasks.empty() || !tasks.is_common_release()) return res;
+  if (!validated && !tasks.validate().empty()) return res;
   if (tasks.max_filled_speed() > cfg.core.max_speed() * (1.0 + 1e-12))
     return res;
 
@@ -32,19 +26,24 @@ OfflineResult solve_common_release_alpha(const TaskSet& tasks,
   const double lambda = cfg.core.lambda;
   const double s_up = cfg.core.max_speed();
   const double release = tasks[0].release;
+  // critical_speed(fs) = min(max(s_m_raw, fs), s_up); the raw critical speed
+  // costs a pow, so pay it once per solve instead of once per task.
+  const double s_m_raw = cfg.core.critical_speed_raw();
 
   const int n = static_cast<int>(tasks.size());
-  std::vector<Entry> es;
+  auto& es = ws.entries;
+  es.clear();
   es.reserve(n);
   for (const auto& t : tasks.tasks()) {
-    Entry e;
+    CommonReleaseScratch::AlphaEntry e;
     e.task = t;
-    e.s0 = cfg.core.critical_speed(t.filled_speed());
+    e.s0 = std::min(std::max(s_m_raw, t.filled_speed()), s_up);
     e.c = (t.work > 0.0) ? t.work / e.s0 : 0.0;
     es.push_back(e);
   }
   std::sort(es.begin(), es.end(),
-            [](const Entry& a, const Entry& b) { return a.c < b.c; });
+            [](const CommonReleaseScratch::AlphaEntry& a,
+               const CommonReleaseScratch::AlphaEntry& b) { return a.c < b.c; });
 
   const double horizon = es.back().c;  // |I| = c_n
   if (horizon <= 0.0) {
@@ -56,15 +55,19 @@ OfflineResult solve_common_release_alpha(const TaskSet& tasks,
   }
 
   // Suffix sums over the c-sorted order (1-based).
-  std::vector<double> suffix_wl(n + 2, 0.0), suffix_wmax(n + 2, 0.0);
-  std::vector<double> prefix_const(n + 2, 0.0);  // energy of tasks < i at s0
+  ws.suffix_wl.assign(n + 2, 0.0);
+  ws.suffix_wmax.assign(n + 2, 0.0);
+  ws.prefix.assign(n + 2, 0.0);  // energy of tasks < i at s0
+  auto& suffix_wl = ws.suffix_wl;
+  auto& suffix_wmax = ws.suffix_wmax;
+  auto& prefix_const = ws.prefix;
   for (int i = n; i >= 1; --i) {
-    const Entry& e = es[i - 1];
+    const auto& e = es[i - 1];
     suffix_wl[i] = suffix_wl[i + 1] + std::pow(e.task.work, lambda);
     suffix_wmax[i] = std::max(suffix_wmax[i + 1], e.task.work);
   }
   for (int i = 1; i <= n; ++i) {
-    const Entry& e = es[i - 1];
+    const auto& e = es[i - 1];
     prefix_const[i + 1] =
         prefix_const[i] + (e.task.work > 0.0
                                ? (beta * std::pow(e.s0, lambda) + alpha) * e.c
@@ -122,7 +125,7 @@ OfflineResult solve_common_release_alpha(const TaskSet& tasks,
   res.energy = best_energy;
   const double T = horizon - best_delta;
   for (int j = 1; j <= n; ++j) {
-    const Entry& e = es[j - 1];
+    const auto& e = es[j - 1];
     if (e.task.work <= 0.0) continue;
     // Early tasks keep s0; the rest align with the memory busy interval.
     const double len = (j < best_case) ? e.c : T;
@@ -130,6 +133,12 @@ OfflineResult solve_common_release_alpha(const TaskSet& tasks,
                              e.task.work / len});
   }
   return res;
+}
+
+OfflineResult solve_common_release_alpha(const TaskSet& tasks,
+                                         const SystemConfig& cfg) {
+  CommonReleaseScratch ws;
+  return solve_common_release_alpha(tasks, cfg, ws, /*validated=*/false);
 }
 
 }  // namespace sdem

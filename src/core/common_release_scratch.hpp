@@ -1,0 +1,32 @@
+// Reusable buffers for the Section 4 common-release solvers.
+//
+// The online policy solves a common-release instance on every replan; the
+// sorted task copy and the suffix/prefix arrays here survive across solves
+// so that path allocates nothing in steady state. Each solver overwrites
+// every entry it reads, so one scratch can serve all of them in turn.
+#pragma once
+
+#include <vector>
+
+#include "model/task.hpp"
+
+namespace sdem {
+
+struct CommonReleaseScratch {
+  /// alpha-variant entry: task plus its critical-speed completion time.
+  struct AlphaEntry {
+    Task task;
+    double s0 = 0.0;  ///< per-task critical speed
+    double c = 0.0;   ///< completion time at s0, relative to release
+  };
+
+  std::vector<Task> sorted;         ///< alpha0: tasks sorted by deadline
+  std::vector<AlphaEntry> entries;  ///< alpha: entries sorted by c
+  std::vector<double> d;            ///< deadlines relative to release
+  std::vector<double> delta;        ///< delta_i = |I| - d_i (1-based)
+  std::vector<double> suffix_wl;    ///< sum_{j>=i} w_j^lambda (1-based)
+  std::vector<double> suffix_wmax;  ///< max_{j>=i} w_j (1-based)
+  std::vector<double> prefix;       ///< per-solver prefix constants (1-based)
+};
+
+}  // namespace sdem

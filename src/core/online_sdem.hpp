@@ -14,7 +14,12 @@
 // EDF order, compressing (up to s_up) when the deadline demands it.
 #pragma once
 
+#include <vector>
+
+#include "core/common_release_scratch.hpp"
+#include "core/transition.hpp"
 #include "sim/policy.hpp"
+#include "support/id_slots.hpp"
 
 namespace sdem {
 
@@ -31,6 +36,8 @@ class SdemOnPolicy : public OnlinePolicy {
     return procrastinate_ ? "SDEM-ON" : "SDEM-ON/eager";
   }
 
+  void reset() override;
+
   std::vector<Segment> replan(double now,
                               const std::vector<PendingTask>& pending,
                               const SystemConfig& cfg) override;
@@ -43,11 +50,37 @@ class SdemOnPolicy : public OnlinePolicy {
       const SystemConfig& cfg) override;
 
  private:
+  /// Buffers reused across replans so the per-arrival hot path allocates
+  /// nothing in steady state. Per-task values are keyed by dense id slot;
+  /// slot-indexed arrays only grow (stale slots are never read because every
+  /// read is preceded by a same-replan write for that pending id).
+  struct ReplanScratch {
+    struct Item {
+      double eff = 0.0;  ///< effective deadline (sort key)
+      int slot = 0;      ///< dense slot of the task id
+      const PendingTask* p = nullptr;
+    };
+
+    TaskSet virt;                      ///< re-released pending set
+    IdSlots slots;                     ///< task id -> dense slot
+    std::vector<int> seen_epoch;       ///< per-slot replan stamp (dup check)
+    std::vector<double> eff_deadline;  ///< per-slot effective deadline
+    std::vector<double> dur;           ///< per-slot planned execution length
+    std::vector<int> cores;            ///< sorted-unique cores this replan
+    std::vector<int> offsets;          ///< per-core group offsets into items
+    std::vector<int> cursor;           ///< counting-sort placement cursors
+    std::vector<Item> items;           ///< pending grouped by core
+    TransitionWorkspace tw;            ///< §7 solver workspace
+    CommonReleaseScratch cw;           ///< §4 solver workspaces
+    int epoch = 0;
+  };
+
   std::vector<Segment> plan(double now,
                             const std::vector<PendingTask>& pending,
                             const SystemConfig& cfg, bool procrastinate);
 
   bool procrastinate_ = true;
+  ReplanScratch rs_;
 };
 
 }  // namespace sdem

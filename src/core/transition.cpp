@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <set>
 #include <vector>
 
 #include "support/numeric.hpp"
@@ -17,6 +16,69 @@ double tail_cost(double static_power, double gap, double break_even) {
   if (gap <= 0.0 || static_power <= 0.0) return 0.0;
   if (break_even <= 0.0) return 0.0;
   return std::min(static_power * gap, static_power * break_even);
+}
+
+/// Per-solve constants of the transition scheme: everything
+/// transition_task_cost re-reads from the config on every probe, hoisted.
+struct SolveConsts {
+  double H = 0.0;
+  double alpha = 0.0;
+  double beta = 0.0;
+  double lambda = 0.0;
+  double xi = 0.0;
+  double s_m = 0.0;       ///< critical_speed_raw(): one pow per solve
+  double s_up = 0.0;      ///< max_speed()
+  double fill_cap = 0.0;  ///< max_speed() * (1 + 1e-12)
+};
+
+/// CorePower::exec_energy with the config reads hoisted; identical
+/// operation order (power(s) * (work / s)).
+inline double exec_energy_c(const SolveConsts& sc, double work, double s) {
+  if (work <= 0.0) return 0.0;
+  if (s <= 0.0) return kInf;
+  return (sc.alpha + sc.beta * std::pow(s, sc.lambda)) * (work / s);
+}
+
+/// transition_task_cost over precomputed per-task constants. While the
+/// window fill stays at or below the critical speed the race candidate's
+/// speed clamp resolves to min(s_m, s_up) independently of the window, so
+/// its cost is the per-solve constant tc.race_cost; only windows tighter
+/// than w/s_m ("overloaded") still pay a pow here. Bit-identical to the
+/// Task-based function above.
+inline double task_cost_ctx(const SolveConsts& sc,
+                            const TransitionWorkspace::TaskCtx& tc,
+                            double window, double& run, double& speed) {
+  run = 0.0;
+  speed = 0.0;
+  if (tc.work <= 0.0) return 0.0;
+  if (window <= 0.0) return kInf;
+  const double fill = tc.work / window;
+  if (fill > sc.fill_cap) return kInf;
+
+  // Candidate 1: stretch to the window (the execution speed is the fill).
+  double best_run = window;
+  double best = exec_energy_c(sc, tc.work, fill) +
+                tail_cost(sc.alpha, sc.H - window, sc.xi);
+  // Candidate 2: race at the (clamped) critical speed and sleep.
+  if (sc.s_m > 0.0) {
+    double r, c;
+    if (fill <= sc.s_m) {
+      r = tc.race_run;
+      c = tc.race_cost;
+    } else {
+      const double s_race = std::min(fill, sc.s_up);
+      r = tc.work / s_race;
+      c = exec_energy_c(sc, tc.work, tc.work / r) +
+          tail_cost(sc.alpha, sc.H - r, sc.xi);
+    }
+    if (c < best) {
+      best = c;
+      best_run = r;
+    }
+  }
+  run = best_run;
+  speed = tc.work / best_run;
+  return best;
 }
 
 }  // namespace
@@ -58,10 +120,12 @@ double transition_task_cost(const Task& t, const SystemConfig& cfg, double H,
 }
 
 OfflineResult solve_common_release_transition(const TaskSet& tasks,
-                                              const SystemConfig& cfg) {
+                                              const SystemConfig& cfg,
+                                              TransitionWorkspace& ws,
+                                              bool validated) {
   OfflineResult res;
-  if (tasks.empty() || !tasks.is_common_release() || !tasks.validate().empty())
-    return res;
+  if (tasks.empty() || !tasks.is_common_release()) return res;
+  if (!validated && !tasks.validate().empty()) return res;
   if (tasks.max_filled_speed() > cfg.core.max_speed() * (1.0 + 1e-12))
     return res;
 
@@ -70,20 +134,58 @@ OfflineResult solve_common_release_transition(const TaskSet& tasks,
   for (const auto& t : tasks.tasks()) H = std::max(H, t.deadline - release);
   if (H <= 0.0) return res;
 
-  const double alpha = cfg.core.alpha;
+  SolveConsts sc;
+  sc.H = H;
+  sc.alpha = cfg.core.alpha;
+  sc.beta = cfg.core.beta;
+  sc.lambda = cfg.core.lambda;
+  sc.xi = cfg.core.xi;
+  sc.s_m = cfg.core.critical_speed_raw();
+  sc.s_up = cfg.core.max_speed();
+  sc.fill_cap = cfg.core.max_speed() * (1.0 + 1e-12);
+  const double alpha = sc.alpha;
   const double alpha_m = cfg.memory.alpha_m;
-  const double beta = cfg.core.beta;
-  const double lambda = cfg.core.lambda;
-  const double s_m = cfg.core.critical_speed_raw();
+  const double xi_m = cfg.memory.xi_m;
+  const double beta = sc.beta;
+  const double lambda = sc.lambda;
+  const double s_race = std::min(sc.s_m > 0.0 ? sc.s_m : sc.s_up, sc.s_up);
+
+  // Per-task constants: the pow-bearing race candidate and the cost floor
+  // are paid once here instead of once per golden-section probe.
+  const std::size_t n = tasks.size();
+  ws.tasks.resize(n);
+  double total_work = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Task& t = tasks[i];
+    auto& tc = ws.tasks[i];
+    tc.work = t.work;
+    tc.window_cap = t.deadline - release;
+    tc.race_run = 0.0;
+    tc.race_cost = 0.0;
+    total_work += t.work;
+    if (sc.s_m > 0.0 && t.work > 0.0) {
+      const double r = t.work / s_race;
+      tc.race_run = r;
+      tc.race_cost = exec_energy_c(sc, t.work, t.work / r) +
+                     tail_cost(alpha, H - r, sc.xi);
+    }
+    // Execution energy is convex in the speed with its minimum at the
+    // unclamped critical speed, and every tail term is nonnegative, so this
+    // bounds the task's cost from below for every window. Only consulted by
+    // the piece-skip test; never enters an energy value.
+    tc.cost_floor = (t.work > 0.0 && sc.s_m > 0.0)
+                        ? exec_energy_c(sc, t.work, sc.s_m)
+                        : 0.0;
+  }
+  const bool has_work = total_work > 0.0;
 
   // Total energy as a function of the memory busy end T.
   auto energy = [&](double T) {
-    if (T <= 0.0) return tasks.total_work() > 0.0 ? kInf : 0.0;
-    double e = alpha_m * T + tail_cost(alpha_m, H - T, cfg.memory.xi_m);
-    for (const auto& t : tasks.tasks()) {
+    if (T <= 0.0) return has_work ? kInf : 0.0;
+    double e = alpha_m * T + tail_cost(alpha_m, H - T, xi_m);
+    for (const auto& tc : ws.tasks) {
       double run = 0.0, speed = 0.0;
-      e += transition_task_cost(t, cfg, H, std::min(T, t.deadline - release),
-                                run, speed);
+      e += task_cost_ctx(sc, tc, std::min(T, tc.window_cap), run, speed);
       if (!std::isfinite(e)) return kInf;
     }
     return e;
@@ -104,51 +206,123 @@ OfflineResult solve_common_release_transition(const TaskSet& tasks,
   // T >= T_min = max_k w_k / s_up (deadlines already satisfy it). Searching
   // below T_min would walk golden sections into the +inf region.
   double t_min = 0.0;
-  if (std::isfinite(cfg.core.max_speed())) {
-    for (const auto& t : tasks.tasks()) {
-      t_min = std::max(t_min, t.work / cfg.core.max_speed());
+  if (std::isfinite(sc.s_up)) {
+    for (const auto& tc : ws.tasks) {
+      t_min = std::max(t_min, tc.work / sc.s_up);
     }
   }
 
-  std::set<double> bps;
+  auto& edges = ws.edges;
+  edges.clear();
   auto add = [&](double T) {
-    if (T > t_min && T < H) bps.insert(T);
+    if (T > t_min && T < H) edges.push_back(T);
   };
-  add(H - cfg.core.xi);
-  add(H - cfg.memory.xi_m);
-  const double s_race = std::min(s_m > 0.0 ? s_m : cfg.core.max_speed(),
-                                 cfg.core.max_speed());
-  for (const auto& t : tasks.tasks()) {
-    if (t.work <= 0.0) continue;
-    add(t.deadline - release);
-    if (s_m > 0.0) {
-      add(t.work / s_race);  // knee
+  add(H - sc.xi);
+  add(H - xi_m);
+  for (const auto& tc : ws.tasks) {
+    if (tc.work <= 0.0) continue;
+    add(tc.window_cap);
+    if (sc.s_m > 0.0) {
+      add(tc.work / s_race);  // knee
       // Idle-branch crossing tau_k (only meaningful when alpha > 0).
       if (alpha > 0.0 && std::isfinite(s_race)) {
-        const double run = t.work / s_race;
+        const double run = tc.work / s_race;
         const double race_cost =
-            cfg.core.exec_energy(t.work, s_race) +
-            std::min(alpha * (H - run), alpha * cfg.core.xi);
+            exec_energy_c(sc, tc.work, s_race) +
+            std::min(alpha * (H - run), alpha * sc.xi);
         const double rhs = race_cost - alpha * H;
         if (rhs > 0.0) {
-          add(std::pow(beta * std::pow(t.work, lambda) / rhs,
+          add(std::pow(beta * std::pow(tc.work, lambda) / rhs,
                        1.0 / (lambda - 1.0)));
         }
       }
     }
   }
-  std::vector<double> edges(bps.begin(), bps.end());
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
   edges.insert(edges.begin(), t_min);
   edges.push_back(H);
+
+  // The skip test below needs E(T) >= lb on each piece, which holds when the
+  // memory term grows with T and the exec floor really is a floor
+  // (lambda > 1).
+  const bool can_prune = alpha_m >= 0.0 && lambda > 1.0;
+  // With free core tails (no static power or zero break-even) the race
+  // candidate's total is its exec energy at the critical speed — the exact
+  // minimum of the convex exec curve — so once the window fill sits below
+  // s_m by a certified relative margin, the stretch candidate loses the
+  // `c < best` comparison with certainty: the true-value gap is
+  // ~(margin)^2 relative (convexity), dwarfing the few-ulp rounding error
+  // of either side. The task's probe value is then the cached race_cost.
+  const bool tail_free = sc.alpha <= 0.0 || sc.xi <= 0.0;
+  constexpr double kCertMargin = 1e-5;  // gap ~1e-10 rel vs ~1e-15 rounding
+  const double cert_speed = sc.s_m * (1.0 - kCertMargin);
+
+  // Per-piece, per-task probe mode. 0 = evaluate live; nonzero = the cost is
+  // T-independent on this and every later piece and capped_cost replays it:
+  //   1 = window capped by the deadline (cap <= lo),
+  //   2 = certified race winner (fill <= cert_speed across the piece).
+  // Both conditions are monotone in lo, so modes only ever ratchet up.
+  ws.capped.assign(n, 0);
+  ws.capped_cost.assign(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (ws.tasks[k].work <= 0.0) ws.capped[k] = 1;
+  }
+
+  // Same value sequence as `energy`: the cached costs replay bit-for-bit
+  // what task_cost_ctx would return, added in the same task order.
+  auto energy_piece = [&](double T) {
+    if (T <= 0.0) return has_work ? kInf : 0.0;
+    double e = alpha_m * T + tail_cost(alpha_m, H - T, xi_m);
+    for (std::size_t k = 0; k < n; ++k) {
+      if (ws.capped[k]) {
+        e += ws.capped_cost[k];
+      } else {
+        double run = 0.0, speed = 0.0;
+        e += task_cost_ctx(sc, ws.tasks[k],
+                           std::min(T, ws.tasks[k].window_cap), run, speed);
+      }
+      if (!std::isfinite(e)) return kInf;
+    }
+    return e;
+  };
 
   double best_T = H;
   double best = energy(H);
   for (std::size_t i = 0; i + 1 < edges.size(); ++i) {
     const double lo = edges[i], hi = edges[i + 1];
     if (hi <= lo) continue;
-    const double t = golden_min(energy, lo, hi, 1e-13);
+    for (std::size_t k = 0; k < n; ++k) {
+      auto& tc = ws.tasks[k];
+      if (ws.capped[k] != 1 && tc.window_cap <= lo) {
+        double run = 0.0, speed = 0.0;
+        ws.capped_cost[k] = task_cost_ctx(sc, tc, tc.window_cap, run, speed);
+        ws.capped[k] = 1;
+      } else if (ws.capped[k] == 0 && tail_free && sc.s_m > 0.0 && lo > 0.0 &&
+                 tc.work / lo <= cert_speed) {
+        ws.capped_cost[k] = tc.race_cost;
+        ws.capped[k] = 2;
+      }
+    }
+    if (can_prune) {
+      // Lower bound of E(T) anywhere in [lo, hi]: the memory terms at their
+      // piece minima (alpha_m*T at lo; the tail is nonincreasing in T, so at
+      // hi), the exact T-independent cost for cached tasks, the convexity
+      // floor for live ones. The final shave absorbs the few-ulp slack the
+      // floors and the differently-shaped base expression may carry, so the
+      // test only fires when every probe in the piece is strictly above the
+      // incumbent — and every update below is a strict `<`, so skipping the
+      // whole line search changes nothing.
+      double lb = alpha_m * lo;
+      lb += tail_cost(alpha_m, H - hi, xi_m);
+      for (std::size_t k = 0; k < n; ++k) {
+        lb += ws.capped[k] ? ws.capped_cost[k] : ws.tasks[k].cost_floor;
+      }
+      if (lb - 1e-12 * std::abs(lb) >= best) continue;
+    }
+    const double t = golden_min_t(energy_piece, lo, hi, 1e-13);
     for (double cand : {t, lo, hi}) {
-      const double e = energy(cand);
+      const double e = energy_piece(cand);
       if (e < best) {
         best = e;
         best_T = cand;
@@ -161,16 +335,23 @@ OfflineResult solve_common_release_transition(const TaskSet& tasks,
   res.energy = best;
   res.sleep_time = H - best_T;
   int core = 0;
-  for (const auto& t : tasks.tasks()) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const Task& t = tasks[i];
     double run = 0.0, speed = 0.0;
-    transition_task_cost(t, cfg, H, std::min(best_T, t.deadline - release),
-                         run, speed);
+    task_cost_ctx(sc, ws.tasks[i], std::min(best_T, ws.tasks[i].window_cap),
+                  run, speed);
     if (t.work > 0.0) {
       res.schedule.add(Segment{t.id, core, release, release + run, speed});
     }
     ++core;
   }
   return res;
+}
+
+OfflineResult solve_common_release_transition(const TaskSet& tasks,
+                                              const SystemConfig& cfg) {
+  TransitionWorkspace ws;
+  return solve_common_release_transition(tasks, cfg, ws, /*validated=*/false);
 }
 
 }  // namespace sdem

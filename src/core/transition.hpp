@@ -25,6 +25,8 @@
 // and xi_m. With xi == xi_m == 0 the scheme reduces to Section 4.
 #pragma once
 
+#include <vector>
+
 #include "core/result.hpp"
 #include "model/power.hpp"
 #include "model/task.hpp"
@@ -36,8 +38,41 @@ namespace sdem {
 double transition_task_cost(const Task& t, const SystemConfig& cfg, double H,
                             double window, double& run, double& speed);
 
+/// Reusable scratch for solve_common_release_transition. Holds the per-task
+/// probe constants (the race candidate is constant in T while the window
+/// fill stays below the critical speed, so its `pow` terms are paid once per
+/// solve instead of once per golden-section probe) and the breakpoint/edge
+/// storage, so a caller that solves once per replan allocates nothing.
+struct TransitionWorkspace {
+  struct TaskCtx {
+    double work = 0.0;
+    double window_cap = 0.0;  ///< d_k - release; the window stops growing here
+    double race_run = 0.0;    ///< w / min(s_m, s_up): run length when racing
+    double race_cost = 0.0;   ///< total race cost while fill <= s_m
+    double cost_floor = 0.0;  ///< lower bound of the task cost over any window
+  };
+  std::vector<TaskCtx> tasks;
+  std::vector<double> edges;  ///< t_min, sorted unique breakpoints, H
+  // Per-piece constant-cost cache: once the piece lower edge has passed a
+  // task's deadline cap, its window (and hence its cost) no longer depends
+  // on T, so the pow-bearing evaluation is paid once per solve rather than
+  // once per probe. `capped` is monotone across the left-to-right piece scan.
+  std::vector<char> capped;
+  std::vector<double> capped_cost;
+};
+
 /// Optimal common-release schedule under transition overheads.
 OfflineResult solve_common_release_transition(const TaskSet& tasks,
                                               const SystemConfig& cfg);
+
+/// Scratch-reusing overload, bit-identical to the one above.
+/// `validated == true` additionally skips the TaskSet::validate() pass for
+/// callers whose task sets are valid by construction (the online policy
+/// re-releases pending work with positive remaining cycles and unique ids);
+/// the common-release and speed-cap feasibility checks still run.
+OfflineResult solve_common_release_transition(const TaskSet& tasks,
+                                              const SystemConfig& cfg,
+                                              TransitionWorkspace& ws,
+                                              bool validated = false);
 
 }  // namespace sdem

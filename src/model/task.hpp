@@ -47,6 +47,11 @@ class TaskSet {
 
   void add(Task t);
 
+  /// Drop all tasks but keep the capacity — for scratch task sets that are
+  /// rebuilt every replan.
+  void clear() { tasks_.clear(); }
+  void reserve(std::size_t n) { tasks_.reserve(n); }
+
   /// Strictest model this set satisfies (common release+deadline is reported
   /// as kCommonReleaseDeadline, which also implies the other two).
   TaskModel classify() const;

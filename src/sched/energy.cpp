@@ -15,6 +15,8 @@ struct GapCosts {
 
 /// Decide idle-vs-sleep for every gap between consecutive busy intervals,
 /// including leading/trailing gaps against the horizon when one is given.
+/// Gaps are folded in place (leading, trailing, then internal in order)
+/// rather than materialized.
 GapCosts account_gaps(const std::vector<Interval>& busy, double break_even,
                       SleepDiscipline disc, double horizon_lo,
                       double horizon_hi) {
@@ -37,17 +39,8 @@ GapCosts account_gaps(const std::vector<Interval>& busy, double break_even,
     return out;
   }
 
-  std::vector<double> gaps;
-  if (horizon_hi > horizon_lo) {
-    if (busy.front().lo > horizon_lo) gaps.push_back(busy.front().lo - horizon_lo);
-    if (horizon_hi > busy.back().hi) gaps.push_back(horizon_hi - busy.back().hi);
-  }
-  for (std::size_t i = 1; i < busy.size(); ++i) {
-    gaps.push_back(busy[i].lo - busy[i - 1].hi);
-  }
-
-  for (double g : gaps) {
-    if (g <= 0.0) continue;
+  auto consider = [&](double g) {
+    if (g <= 0.0) return;
     switch (disc) {
       case SleepDiscipline::kNever:
         out.idle += g;
@@ -67,6 +60,14 @@ GapCosts account_gaps(const std::vector<Interval>& busy, double break_even,
         }
         break;
     }
+  };
+
+  if (horizon_hi > horizon_lo) {
+    if (busy.front().lo > horizon_lo) consider(busy.front().lo - horizon_lo);
+    if (horizon_hi > busy.back().hi) consider(horizon_hi - busy.back().hi);
+  }
+  for (std::size_t i = 1; i < busy.size(); ++i) {
+    consider(busy[i].lo - busy[i - 1].hi);
   }
   return out;
 }
@@ -83,8 +84,20 @@ EnergyBreakdown compute_energy(const Schedule& sched, const SystemConfig& cfg,
 
   if (cfg.core.alpha > 0.0) {
     const int cores = sched.cores_used();
+    // Bucket segments by core in one pass instead of scanning the whole
+    // schedule once per core; per-core interval order (segment order) and
+    // the merge are exactly what core_busy(c) computes.
+    std::vector<std::vector<Interval>> per_core(
+        static_cast<std::size_t>(cores));
+    for (const auto& s : sched.segments()) {
+      if (s.core >= 0 && s.core < cores) {
+        per_core[static_cast<std::size_t>(s.core)].push_back(
+            {s.start, s.end});
+      }
+    }
     for (int c = 0; c < cores; ++c) {
-      const auto busy = sched.core_busy(c);
+      const auto busy =
+          merge_intervals(std::move(per_core[static_cast<std::size_t>(c)]));
       for (const auto& i : busy) e.core_static += cfg.core.alpha * i.length();
       const auto gaps = account_gaps(busy, cfg.core.xi, opts.core_gaps,
                                      opts.horizon_lo, opts.horizon_hi);

@@ -5,19 +5,70 @@
 #include <map>
 #include <vector>
 
+#include "support/id_slots.hpp"
+
 namespace sdem {
+namespace {
+
+/// Per-run buffers for the event loop. Task ids are interned into dense
+/// slots at admission; completion times and the pending-position index then
+/// live in flat arrays instead of per-event std::maps. Position and
+/// remaining-work entries are epoch-stamped so rebuilding them is a write
+/// pass with no clearing.
+struct SimWorkspace {
+  IdSlots slots;
+  std::vector<double> finished_at;  ///< per-slot completion time
+  std::vector<char> finished;       ///< per-slot: finished_at valid
+  std::vector<int> pos_val;         ///< per-slot first index in pending
+  std::vector<int> pos_gen;         ///< per-slot stamp for pos_val
+  std::vector<double> rem;          ///< per-slot remaining (next_completion)
+  std::vector<int> rem_gen;         ///< per-slot stamp for rem
+  int gen = 0;                      ///< current stamp
+
+  int intern(int id) {
+    const int slot = slots.intern(id);
+    const std::size_t n = static_cast<std::size_t>(slots.size());
+    if (finished_at.size() < n) {
+      finished_at.resize(n, 0.0);
+      finished.resize(n, 0);
+      pos_val.resize(n, 0);
+      pos_gen.resize(n, 0);
+      rem.resize(n, 0.0);
+      rem_gen.resize(n, 0);
+    }
+    return slot;
+  }
+
+  void finish(int slot, double at) {
+    finished[static_cast<std::size_t>(slot)] = 1;
+    finished_at[static_cast<std::size_t>(slot)] = at;
+  }
+
+  /// Completion time of `id`, or +inf when it never finished — stands in
+  /// for the old finished_at map's find() in the deadline-miss scan.
+  double finished_time(int id) const {
+    const int slot = slots.slot_of(id);
+    if (slot < 0 || !finished[static_cast<std::size_t>(slot)]) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return finished_at[static_cast<std::size_t>(slot)];
+  }
+};
+
+}  // namespace
 
 SimResult simulate(const TaskSet& arrivals, const SystemConfig& cfg,
                    OnlinePolicy& policy) {
   SimResult res;
   if (arrivals.empty()) return res;
+  policy.reset();
 
   const TaskSet sorted = arrivals.sorted_by_release();
   const int cores = cfg.unbounded() ? static_cast<int>(sorted.size())
                                     : cfg.num_cores;
 
+  SimWorkspace ws;
   std::vector<PendingTask> pending;
-  std::map<int, double> finished_at;  // task id -> completion time
   std::size_t next_arrival = 0;
   int rr = 0;  // round-robin core cursor
 
@@ -28,7 +79,18 @@ SimResult simulate(const TaskSet& arrivals, const SystemConfig& cfg,
 
   auto account = [&](double upto) {
     // Execute the current plan on [plan_from, upto): clip segments, charge
-    // work, record completed pieces.
+    // work, record completed pieces. Work is charged to the first pending
+    // entry carrying the segment's task id (the position index replaces the
+    // old per-segment linear scan; pending order is stable within a call).
+    const int gen = ++ws.gen;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const std::size_t slot = static_cast<std::size_t>(
+          ws.slots.slot_of(pending[i].task.id));
+      if (ws.pos_gen[slot] != gen) {
+        ws.pos_gen[slot] = gen;
+        ws.pos_val[slot] = static_cast<int>(i);
+      }
+    }
     for (const auto& seg : plan) {
       const double lo = std::max(seg.start, plan_from);
       const double hi = std::min(seg.end, upto);
@@ -37,15 +99,16 @@ SimResult simulate(const TaskSet& arrivals, const SystemConfig& cfg,
       piece.start = lo;
       piece.end = hi;
       res.schedule.add(piece);
-      for (auto& p : pending) {
-        if (p.task.id == piece.task_id) {
-          p.remaining -= piece.work();
-          if (p.remaining < 1e-9 * std::max(1.0, p.task.work)) {
-            p.remaining = 0.0;
-            finished_at[p.task.id] = hi;
-          }
-          break;
-        }
+      const int slot = ws.slots.slot_of(piece.task_id);
+      if (slot < 0 || ws.pos_gen[static_cast<std::size_t>(slot)] != gen) {
+        continue;  // no pending task carries this id
+      }
+      PendingTask& p = pending[static_cast<std::size_t>(
+          ws.pos_val[static_cast<std::size_t>(slot)])];
+      p.remaining -= piece.work();
+      if (p.remaining < 1e-9 * std::max(1.0, p.task.work)) {
+        p.remaining = 0.0;
+        ws.finish(slot, hi);
       }
     }
     std::erase_if(pending,
@@ -65,7 +128,10 @@ SimResult simulate(const TaskSet& arrivals, const SystemConfig& cfg,
         p.core = rr % cores;
         ++rr;
         ++next_arrival;
-        if (p.remaining > 0.0) pending.push_back(p);
+        if (p.remaining > 0.0) {
+          ws.intern(p.task.id);
+          pending.push_back(p);
+        }
       }
       plan = policy.replan(t, pending, cfg);
       plan_from = t;
@@ -81,10 +147,9 @@ SimResult simulate(const TaskSet& arrivals, const SystemConfig& cfg,
 
   res.unfinished = static_cast<int>(pending.size());
   for (const auto& t : sorted.tasks()) {
-    auto it = finished_at.find(t.id);
     if (t.work <= 0.0) continue;
-    if (it == finished_at.end() ||
-        it->second > t.deadline + 1e-9 * std::max(1.0, t.deadline)) {
+    if (ws.finished_time(t.id) >
+        t.deadline + 1e-9 * std::max(1.0, t.deadline)) {
       ++res.deadline_misses;
     }
   }
@@ -98,6 +163,7 @@ SimResult simulate_with_actuals(const TaskSet& arrivals,
                                 bool replan_on_completion) {
   SimResult res;
   if (arrivals.empty()) return res;
+  policy.reset();
 
   const TaskSet sorted = arrivals.sorted_by_release();
   const int cores = cfg.unbounded() ? static_cast<int>(sorted.size())
@@ -108,40 +174,74 @@ SimResult simulate_with_actuals(const TaskSet& arrivals,
     PendingTask declared;    ///< what the policy sees (WCET-based)
     double actual = 0.0;     ///< true remaining megacycles
   };
+  SimWorkspace ws;
   std::vector<Live> pending;
-  std::map<int, double> finished_at;
   std::size_t next_arrival = 0;
   int rr = 0;
 
   res.horizon_lo = sorted[0].release;
   std::vector<Segment> plan;
+  std::vector<Segment> plan_sorted;  ///< plan by start time, built per replan
+  std::vector<PendingTask> view;     ///< declared view handed to the policy
   double plan_from = sorted[0].release;
 
-  auto chronological = [](std::vector<Segment> v) {
-    std::sort(v.begin(), v.end(), [](const Segment& a, const Segment& b) {
-      return a.start < b.start;
-    });
-    return v;
+  // First pending index carrying `id` with actual work left, or -1. Walks
+  // forward past finished duplicates exactly like the old linear scan.
+  auto alive_at = [&](int id, int gen) {
+    const int slot = ws.slots.slot_of(id);
+    if (slot < 0 || ws.pos_gen[static_cast<std::size_t>(slot)] != gen) {
+      return -1;
+    }
+    for (std::size_t j = static_cast<std::size_t>(
+             ws.pos_val[static_cast<std::size_t>(slot)]);
+         j < pending.size(); ++j) {
+      if (pending[j].declared.task.id == id && pending[j].actual > 0.0) {
+        return static_cast<int>(j);
+      }
+    }
+    return -1;
+  };
+
+  auto stamp_positions = [&] {
+    const int gen = ++ws.gen;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const std::size_t slot = static_cast<std::size_t>(
+          ws.slots.slot_of(pending[i].declared.task.id));
+      if (ws.pos_gen[slot] != gen) {
+        ws.pos_gen[slot] = gen;
+        ws.pos_val[slot] = static_cast<int>(i);
+      }
+    }
+    return gen;
   };
 
   // Earliest time a pending task's *actual* work completes under the plan.
   auto next_completion = [&](double after) {
     double best = kInf;
-    std::map<int, double> rem;
-    for (const auto& p : pending) rem[p.declared.task.id] = p.actual;
-    for (const auto& seg : chronological(plan)) {
-      auto it = rem.find(seg.task_id);
-      if (it == rem.end() || it->second <= 0.0) continue;
+    const int gen = ++ws.gen;
+    for (const auto& p : pending) {
+      const std::size_t slot = static_cast<std::size_t>(
+          ws.slots.slot_of(p.declared.task.id));
+      ws.rem[slot] = p.actual;
+      ws.rem_gen[slot] = gen;
+    }
+    for (const auto& seg : plan_sorted) {
+      const int slot = ws.slots.slot_of(seg.task_id);
+      if (slot < 0 || ws.rem_gen[static_cast<std::size_t>(slot)] != gen ||
+          ws.rem[static_cast<std::size_t>(slot)] <= 0.0) {
+        continue;
+      }
+      double& remaining = ws.rem[static_cast<std::size_t>(slot)];
       const double lo = std::max(seg.start, plan_from);
       if (seg.end <= lo) continue;
-      const double need = it->second / seg.speed;
+      const double need = remaining / seg.speed;
       const double have = seg.end - lo;
       if (need <= have + 1e-15) {
         const double tc = lo + need;
-        it->second = 0.0;
+        remaining = 0.0;
         if (tc > after + 1e-12) best = std::min(best, tc);
       } else {
-        it->second -= seg.speed * have;
+        remaining -= seg.speed * have;
       }
     }
     return best;
@@ -149,37 +249,44 @@ SimResult simulate_with_actuals(const TaskSet& arrivals,
 
   // Execute the plan on [plan_from, upto): truncate at actual completions.
   auto account = [&](double upto) {
-    for (const auto& seg : chronological(plan)) {
+    const int gen = stamp_positions();
+    for (const auto& seg : plan_sorted) {
       const double lo = std::max(seg.start, plan_from);
       const double hi = std::min(seg.end, upto);
       if (hi <= lo) continue;
-      for (auto& p : pending) {
-        if (p.declared.task.id != seg.task_id || p.actual <= 0.0) continue;
-        const double run = std::min(hi - lo, p.actual / seg.speed);
-        if (run <= 0.0) break;
-        Segment piece = seg;
-        piece.start = lo;
-        piece.end = lo + run;
-        res.schedule.add(piece);
-        const double done = seg.speed * run;
-        p.actual = std::max(0.0, p.actual - done);
-        p.declared.remaining = std::max(0.0, p.declared.remaining - done);
-        if (p.actual <= 1e-9 * std::max(1.0, p.declared.task.work)) {
-          p.actual = 0.0;
-          finished_at[p.declared.task.id] = piece.end;
-        }
-        break;
+      const int j = alive_at(seg.task_id, gen);
+      if (j < 0) continue;
+      Live& p = pending[static_cast<std::size_t>(j)];
+      const double run = std::min(hi - lo, p.actual / seg.speed);
+      if (run <= 0.0) continue;
+      Segment piece = seg;
+      piece.start = lo;
+      piece.end = lo + run;
+      res.schedule.add(piece);
+      const double done = seg.speed * run;
+      p.actual = std::max(0.0, p.actual - done);
+      p.declared.remaining = std::max(0.0, p.declared.remaining - done);
+      if (p.actual <= 1e-9 * std::max(1.0, p.declared.task.work)) {
+        p.actual = 0.0;
+        ws.finish(ws.slots.slot_of(p.declared.task.id), piece.end);
       }
     }
     std::erase_if(pending, [](const Live& p) { return p.actual <= 0.0; });
   };
 
   auto replan_now = [&](double t, bool completion) {
-    std::vector<PendingTask> view;
+    view.clear();
     view.reserve(pending.size());
     for (const auto& p : pending) view.push_back(p.declared);
     plan = completion ? policy.replan_completion(t, view, cfg)
                       : policy.replan(t, view, cfg);
+    // Both executors walk the plan chronologically; sort once per replan
+    // instead of once per event (the plan is immutable until the next one).
+    plan_sorted.assign(plan.begin(), plan.end());
+    std::sort(plan_sorted.begin(), plan_sorted.end(),
+              [](const Segment& a, const Segment& b) {
+                return a.start < b.start;
+              });
     plan_from = t;
     ++res.replans;
   };
@@ -217,7 +324,10 @@ SimResult simulate_with_actuals(const TaskSet& arrivals,
       l.actual = l.declared.task.work * frac;
       ++rr;
       ++next_arrival;
-      if (l.actual > 0.0) pending.push_back(l);
+      if (l.actual > 0.0) {
+        ws.intern(l.declared.task.id);
+        pending.push_back(l);
+      }
     }
     replan_now(t_arr, /*completion=*/false);
   }
@@ -229,9 +339,8 @@ SimResult simulate_with_actuals(const TaskSet& arrivals,
       frac = std::clamp(it->second, 0.0, 1.0);
     }
     if (t.work * frac <= 0.0) continue;
-    auto it = finished_at.find(t.id);
-    if (it == finished_at.end() ||
-        it->second > t.deadline + 1e-9 * std::max(1.0, t.deadline)) {
+    if (ws.finished_time(t.id) >
+        t.deadline + 1e-9 * std::max(1.0, t.deadline)) {
       ++res.deadline_misses;
     }
   }

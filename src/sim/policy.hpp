@@ -29,6 +29,11 @@ class OnlinePolicy {
   virtual ~OnlinePolicy() = default;
   virtual std::string name() const = 0;
 
+  /// Forget all per-run state (core assignments, cursors, scratch buffers).
+  /// The simulator calls this at the start of every run so that one policy
+  /// object can evaluate many traces without leaking state between them.
+  virtual void reset() {}
+
   /// Plan all pending work from `now` until completion. Segments must start
   /// at or after `now`, execute only pending tasks, and respect per-core
   /// exclusivity. The plan is valid until the next arrival.

@@ -1,0 +1,62 @@
+// Dense task-id indexing for the online hot path.
+//
+// The simulator and the online policies used to key per-task state by task
+// id through std::map — one allocation and O(log n) pointer chases per
+// lookup, per segment, per event. IdSlots interns ids into dense slots once
+// so that state lives in flat vectors indexed in O(1).
+#pragma once
+
+#include <map>
+#include <vector>
+
+namespace sdem {
+
+/// Grow-on-first-sight task-id -> dense-slot index. Nonnegative ids below
+/// kDenseLimit resolve through a flat vector (the generators number tasks
+/// 0..n-1); anything else falls back to an ordered map. Slots are assigned
+/// in first-seen order and stay stable until clear().
+class IdSlots {
+ public:
+  static constexpr int kDenseLimit = 1 << 22;
+
+  int intern(int id) {
+    if (id >= 0 && id < kDenseLimit) {
+      if (id >= static_cast<int>(dense_.size())) {
+        dense_.resize(static_cast<std::size_t>(id) + 1, -1);
+      }
+      int& s = dense_[static_cast<std::size_t>(id)];
+      if (s < 0) s = next_++;
+      return s;
+    }
+    auto [it, fresh] = other_.try_emplace(id, next_);
+    if (fresh) ++next_;
+    return it->second;
+  }
+
+  /// -1 when the id has not been interned.
+  int slot_of(int id) const {
+    if (id >= 0 && id < kDenseLimit) {
+      return id < static_cast<int>(dense_.size())
+                 ? dense_[static_cast<std::size_t>(id)]
+                 : -1;
+    }
+    auto it = other_.find(id);
+    return it == other_.end() ? -1 : it->second;
+  }
+
+  /// Number of slots handed out so far.
+  int size() const { return next_; }
+
+  void clear() {
+    dense_.clear();
+    other_.clear();
+    next_ = 0;
+  }
+
+ private:
+  std::vector<int> dense_;
+  std::map<int, int> other_;
+  int next_ = 0;
+};
+
+}  // namespace sdem

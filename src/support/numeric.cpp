@@ -33,30 +33,7 @@ double bisect_root(const std::function<double(double)>& f, double lo, double hi)
 
 double golden_min(const std::function<double(double)>& f, double lo, double hi,
                   double rel_tol) {
-  if (hi <= lo) return lo;
-  constexpr double inv_phi = 0.6180339887498949;
-  double a = lo, b = hi;
-  double x1 = b - inv_phi * (b - a);
-  double x2 = a + inv_phi * (b - a);
-  double f1 = f(x1);
-  double f2 = f(x2);
-  const double tol = std::max(std::abs(hi - lo), 1.0) * rel_tol;
-  while (b - a > tol) {
-    if (f1 <= f2) {
-      b = x2;
-      x2 = x1;
-      f2 = f1;
-      x1 = b - inv_phi * (b - a);
-      f1 = f(x1);
-    } else {
-      a = x1;
-      x1 = x2;
-      f1 = f2;
-      x2 = a + inv_phi * (b - a);
-      f2 = f(x2);
-    }
-  }
-  return 0.5 * (a + b);
+  return golden_min_t(f, lo, hi, rel_tol);
 }
 
 double grid_refine_min(const std::function<double(double)>& f, double lo, double hi,
