@@ -47,16 +47,19 @@ std::vector<Segment> MbkpPolicy::replan(double now,
     ++cursor;
   }
 
-  // Per-core Optimal Available over the core's own queue.
+  // Per-core Optimal Available over the core's own queue. With unbounded
+  // cores the pending set (and hence `cores`) can shrink between replans
+  // while an old task keeps a higher core id, so the queue array tracks the
+  // highest core ever assigned rather than the instantaneous core count.
   const std::size_t nqueues = static_cast<std::size_t>(std::max(cores, 1));
   if (queues_.size() < nqueues) queues_.resize(nqueues);
-  for (std::size_t c = 0; c < nqueues; ++c) queues_[c].clear();
+  for (auto& q : queues_) q.clear();
   for (const auto& p : pending) {
     const int c = core_of_[task_slots_.slot_of(p.task.id)];
     queues_[c].push_back(OaJob{p.task.id, p.task.deadline, p.remaining});
   }
   std::vector<Segment> plan;
-  for (std::size_t c = 0; c < nqueues; ++c) {
+  for (std::size_t c = 0; c < queues_.size(); ++c) {
     if (queues_[c].empty()) continue;
     // The queue is rebuilt next replan, so OA may reorder it in place.
     oa_plan_into(now, queues_[c], static_cast<int>(c), cfg.core.s_up,

@@ -11,6 +11,12 @@ namespace sdem {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+// task_window_energy tolerates a 1e-9 relative overfill of the s_up
+// boundary; the feasibility geometry below must grant the same slack, or a
+// task with w_k = s_up * (d_k - r_k) up to rounding makes e_min/s_max claim
+// the whole box infeasible while the objective is still finite — the line
+// searches then never run and only box corners are ever probed.
+constexpr double kUpSlack = 1.0 + 1e-9;
 
 }  // namespace
 
@@ -30,7 +36,7 @@ BoxMin minimize_in_box(const std::vector<Task>& tasks, double s_up,
   for (const auto& t : tasks) {
     if (t.work <= 0.0) continue;
     needs.push_back({t.release, t.deadline,
-                     std::isfinite(s_up) ? t.work / s_up : 0.0});
+                     std::isfinite(s_up) ? t.work / s_up / kUpSlack : 0.0});
   }
   auto e_min = [&](double s) {
     double v = s;

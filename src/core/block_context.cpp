@@ -114,7 +114,10 @@ void BlockContext::push_task(const Task& t) {
     if (!std::isfinite(p.e_full)) infeasible_ = true;
     nr_.push_back(p.r);
     nd_.push_back(p.d);
-    nq_.push_back(p.q);
+    // Slacked copy for the feasibility geometry: piece() keeps windows down
+    // to q / kUpSlack finite, so feasible_e_min/feasible_s_max must accept
+    // them too, or a boundary-tight task collapses every box to its corners.
+    nq_.push_back(p.q / kUpSlack);
   }
   pre_.push_back(p);
   pref_efull_.push_back(pref_efull_.back() + p.e_full);

@@ -150,9 +150,18 @@ OfflineResult solve_common_release_discrete(const TaskSet& tasks,
       res.schedule.add(
           Segment{t.id, core_idx, release, release + t_hi, hi});
     } else {
-      res.schedule.add(Segment{t.id, core_idx, release, release + t_hi, hi});
-      res.schedule.add(Segment{t.id, core_idx, release + t_hi,
-                               release + window, lo});
+      // A fill speed landing exactly on a ladder level puts all the work on
+      // one side of the bracket; skip the degenerate piece. Compare the
+      // emitted endpoints, not the durations: adding `release` can absorb a
+      // sub-ulp duration into a zero-length segment.
+      const double split = release + t_hi;
+      const double end = release + window;
+      if (split > release) {
+        res.schedule.add(Segment{t.id, core_idx, release, split, hi});
+      }
+      if (end > split) {
+        res.schedule.add(Segment{t.id, core_idx, split, end, lo});
+      }
     }
     ++core_idx;
   }

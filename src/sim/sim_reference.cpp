@@ -510,9 +510,13 @@ std::vector<Segment> MbkpReferencePolicy::replan(
     ++cursor;
   }
 
+  // `core_of_` persists across replans while `cores` can shrink (unbounded
+  // mode recomputes it from the pending set), so an old assignment may point
+  // past the nominal core count — grow the queue array to fit it.
   std::vector<std::vector<OaJob>> queues(std::max(cores, 1));
   for (const auto& p : pending) {
     const int c = core_of_[p.task.id];
+    if (c >= static_cast<int>(queues.size())) queues.resize(c + 1);
     queues[c].push_back(OaJob{p.task.id, p.task.deadline, p.remaining});
   }
   std::vector<Segment> plan;

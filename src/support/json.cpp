@@ -2,9 +2,52 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace sdem {
+
+bool Json::as_bool() const {
+  if (kind_ != Kind::kBool) throw std::logic_error("Json::as_bool on non-bool");
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (kind_ != Kind::kNumber)
+    throw std::logic_error("Json::as_number on non-number");
+  return num_;
+}
+
+const std::string& Json::as_string() const {
+  if (kind_ != Kind::kString)
+    throw std::logic_error("Json::as_string on non-string");
+  return str_;
+}
+
+const Json& Json::at(std::size_t i) const {
+  if (kind_ != Kind::kArray) throw std::logic_error("Json::at on non-array");
+  if (i >= arr_.size()) throw std::out_of_range("Json array index");
+  return arr_[i];
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& kv : obj_) {
+    if (kv.first == key) return &kv.second;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* v = find(key);
+  if (!v) throw std::out_of_range("Json missing key: " + key);
+  return *v;
+}
+
+double Json::number_or(const std::string& key, double fallback) const {
+  const Json* v = find(key);
+  return v && v->is_number() ? v->as_number() : fallback;
+}
 
 Json& Json::push_back(Json v) {
   if (kind_ == Kind::kNull) kind_ = Kind::kArray;
@@ -171,5 +214,200 @@ void Json::write(std::string& out, int indent, int depth) const {
     }
   }
 }
+
+namespace {
+
+/// Recursive-descent parser over the dump() grammar.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json run() {
+    skip_ws();
+    Json v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("JSON parse error at byte " +
+                                std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_word(const char* w) {
+    std::size_t n = 0;
+    while (w[n]) ++n;
+    if (text_.compare(pos_, n, w) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Json value() {
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return Json(string());
+      case 't':
+        if (consume_word("true")) return Json(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_word("false")) return Json(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_word("null")) return Json();
+        fail("bad literal");
+      default:
+        return number();
+    }
+  }
+
+  Json object() {
+    expect('{');
+    Json out = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("expected object key");
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      out.set(key, value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return out;
+    }
+  }
+
+  Json array() {
+    expect('[');
+    Json out = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      skip_ws();
+      out.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return out;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("bad \\u escape");
+          }
+          // quote() only emits \u00XX for control bytes; reject the rest
+          // rather than half-support UTF-16 surrogates.
+          if (code >= 0x80) fail("\\u escape above 0x7f unsupported");
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          fail("bad escape character");
+      }
+    }
+  }
+
+  Json number() {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) fail("expected value");
+    pos_ += static_cast<std::size_t>(end - start);
+    return Json(v);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) { return Parser(text).run(); }
 
 }  // namespace sdem

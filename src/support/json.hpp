@@ -1,7 +1,9 @@
-// Minimal JSON document builder for the benchmark runner.
+// Minimal JSON document for the benchmark runner and the fuzz repro files.
 //
-// Writer only — the harness emits BENCH_<name>.json files, it never parses
-// them. Design constraints, in order:
+// Started as writer-only — the bench harness emits BENCH_<name>.json files
+// and never reads them back. The differential fuzzer added parse(): repro
+// files must round-trip through the same value type so a replayed case is
+// the exact case that failed. Design constraints, in order:
 //   * deterministic bytes: objects keep insertion order, numbers render via
 //     a fixed shortest-round-trip rule, so a --jobs 8 run and a --jobs 1
 //     run of the same sweep produce identical files (the determinism test
@@ -44,6 +46,30 @@ class Json {
   }
 
   Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed reads. Throw std::logic_error on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  /// Array element access; throws std::out_of_range past the end.
+  const Json& at(std::size_t i) const;
+
+  /// Object member lookup: nullptr when absent (or not an object).
+  const Json* find(const std::string& key) const;
+  bool has(const std::string& key) const { return find(key) != nullptr; }
+
+  /// Object member access; throws std::out_of_range when absent.
+  const Json& at(const std::string& key) const;
+
+  /// Member with a numeric/default fallback for optional repro fields.
+  double number_or(const std::string& key, double fallback) const;
 
   /// Array append. The value becomes an array if currently null.
   Json& push_back(Json v);
@@ -69,6 +95,14 @@ class Json {
 
   /// JSON string escaping (quotes included in the output).
   static std::string quote(const std::string& s);
+
+  /// Parse a complete JSON document (the subset dump() emits: objects,
+  /// arrays, strings with the standard escapes, numbers, booleans, null;
+  /// \uXXXX escapes are accepted for code points below 0x80). Throws
+  /// std::invalid_argument with a byte offset on malformed input. Numbers
+  /// parse with strtod, so every value printed by number_to_string
+  /// round-trips bit-exactly.
+  static Json parse(const std::string& text);
 
  private:
   void write(std::string& out, int indent, int depth) const;

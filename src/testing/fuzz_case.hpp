@@ -1,0 +1,51 @@
+// A fuzz case: one fully-specified scheduling problem plus the model-class
+// tag that decides which solver pairs and invariants apply to it.
+//
+// Cases are value types — the shrinker copies and mutates them freely and
+// the repro writer serializes them without touching solver state. The
+// generator seed is carried for provenance only: a case loaded from a
+// .repro.json reproduces the failure without re-running the generator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/power.hpp"
+#include "model/task.hpp"
+
+namespace sdem::testing {
+
+/// The paper's three task-model classes (§4 / §5 / §6). The variant axes
+/// (alpha = 0 vs != 0, transition overheads, discrete speeds) live in the
+/// config and the ladder, not in this tag.
+enum class ModelClass {
+  kCommonRelease,
+  kAgreeable,
+  kGeneral,
+};
+
+std::string to_string(ModelClass m);
+
+/// Parse "common_release" / "agreeable" / "general"; throws
+/// std::invalid_argument otherwise.
+ModelClass model_class_from_string(const std::string& s);
+
+struct FuzzCase {
+  ModelClass model = ModelClass::kCommonRelease;
+  SystemConfig cfg;
+  TaskSet tasks;
+
+  /// Non-empty => also check the discrete-ladder solver (common release).
+  std::vector<double> ladder;
+
+  std::uint64_t seed = 0;  ///< generator seed (provenance; 0 for repros)
+
+  bool has_ladder() const { return !ladder.empty(); }
+  /// Transition-overhead variant (§7 accounting applies)?
+  bool has_overheads() const {
+    return cfg.core.xi > 0.0 || cfg.memory.xi_m > 0.0;
+  }
+};
+
+}  // namespace sdem::testing

@@ -1,0 +1,490 @@
+#include "testing/invariants.hpp"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "baseline/mbkp.hpp"
+#include "core/agreeable.hpp"
+#include "core/common_release_alpha.hpp"
+#include "core/common_release_alpha0.hpp"
+#include "core/discrete_solver.hpp"
+#include "core/discretize.hpp"
+#include "core/lower_bound.hpp"
+#include "core/online_sdem.hpp"
+#include "core/reference.hpp"
+#include "core/transition.hpp"
+#include "sched/energy.hpp"
+#include "sched/validate.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/metrics.hpp"
+#include "sim/sim_reference.hpp"
+#include "support/json.hpp"
+#include "support/thread_pool.hpp"
+
+namespace sdem::testing {
+namespace {
+
+std::string num(double v) { return Json::number_to_string(v); }
+
+double rel_diff(double a, double b) {
+  const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+  return std::abs(a - b) / scale;
+}
+
+class Checker {
+ public:
+  Checker(const FuzzCase& c, const CheckOptions& opts)
+      : c_(c), opts_(opts) {}
+
+  std::vector<Violation> run() {
+    check_class();
+    if (!out_.empty()) return out_;  // out-of-class cases prove nothing
+    switch (c_.model) {
+      case ModelClass::kCommonRelease:
+        check_common_release();
+        break;
+      case ModelClass::kAgreeable:
+        check_agreeable();
+        break;
+      case ModelClass::kGeneral:
+        check_general();
+        break;
+    }
+    return out_;
+  }
+
+ private:
+  void add(const std::string& invariant, const std::string& detail) {
+    out_.push_back({invariant, detail});
+  }
+
+  /// a must not exceed b (relative slack). `what` names the two sides.
+  void expect_le(const std::string& invariant, double a, double b, double tol,
+                 const std::string& what) {
+    const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+    if (a > b + tol * scale) {
+      add(invariant, what + ": " + num(a) + " > " + num(b) +
+                         " (excess " + num(a - b) + ")");
+    }
+  }
+
+  void expect_close(const std::string& invariant, double a, double b,
+                    double tol, const std::string& what) {
+    if (rel_diff(a, b) > tol) {
+      add(invariant, what + ": " + num(a) + " vs " + num(b) +
+                         " (rel " + num(rel_diff(a, b)) + ")");
+    }
+  }
+
+  // -- shared sub-checks ---------------------------------------------------
+
+  void check_class() {
+    const std::string err = c_.tasks.validate();
+    if (!err.empty()) {
+      add("class:task-set", err);
+      return;
+    }
+    if (c_.tasks.empty()) {
+      add("class:task-set", "empty task set");
+      return;
+    }
+    switch (c_.model) {
+      case ModelClass::kCommonRelease:
+        if (!c_.tasks.is_common_release())
+          add("class:model", "case tagged common_release is not");
+        break;
+      case ModelClass::kAgreeable:
+        if (!c_.tasks.is_agreeable())
+          add("class:model", "case tagged agreeable is not");
+        break;
+      case ModelClass::kGeneral:
+        break;
+    }
+    if (c_.cfg.core.s_up > 0.0 &&
+        c_.tasks.max_filled_speed() > c_.cfg.core.s_up * (1.0 + 1e-12)) {
+      add("class:feasible", "max filled speed " +
+                                num(c_.tasks.max_filled_speed()) +
+                                " exceeds s_up " + num(c_.cfg.core.s_up));
+    }
+  }
+
+  void check_offline_common(const std::string& solver, const OfflineResult& res,
+                            bool check_accounting) {
+    if (!res.feasible) {
+      add("feasible:" + solver, "solver rejected a feasible case");
+      return;
+    }
+    const auto v = validate_schedule(res.schedule, c_.tasks, c_.cfg);
+    if (!v.ok) add("validate:" + solver, v.describe());
+    if (check_accounting) {
+      const auto e = compute_energy(res.schedule, c_.cfg);
+      expect_close("accounting:" + solver, res.energy, e.system_total(),
+                   opts_.account_tol, "analytic vs re-accounted energy");
+    }
+    const auto lb = lower_bound_energy(c_.tasks, c_.cfg);
+    expect_le("order:lower-bound:" + solver, lb.total(), res.energy,
+              opts_.order_tol, "lower bound vs " + solver + " energy");
+  }
+
+  // -- common release ------------------------------------------------------
+
+  void check_common_release() {
+    if (!c_.has_overheads()) {
+      check_common_release_plain();
+    } else {
+      check_common_release_transition();
+    }
+    if (c_.has_ladder() && !c_.has_overheads()) check_discrete();
+  }
+
+  void check_common_release_plain() {
+    const bool alpha0 = c_.cfg.core.alpha <= 0.0;
+    const OfflineResult res =
+        alpha0 ? solve_common_release_alpha0(c_.tasks, c_.cfg)
+               : solve_common_release_alpha(c_.tasks, c_.cfg);
+    const std::string solver = alpha0 ? "cr-alpha0" : "cr-alpha";
+    check_offline_common(solver, res, /*check_accounting=*/true);
+    if (!res.feasible) return;
+
+    if (alpha0) {
+      // Lemma 1 binary search vs the linear Theorem 2 scan.
+      const auto bin = solve_common_release_alpha0_binary(c_.tasks, c_.cfg);
+      if (bin.feasible != res.feasible) {
+        add("pair:binary-vs-scan", "feasibility disagrees");
+      } else {
+        expect_close("pair:binary-vs-scan", res.energy, bin.energy,
+                     opts_.pair_tol, "binary-search vs linear-scan energy");
+      }
+      // The alpha scheme must reduce exactly to 4.1 at alpha == 0.
+      const auto red = solve_common_release_alpha(c_.tasks, c_.cfg);
+      expect_close("pair:alpha-reduces-to-alpha0", res.energy, red.energy,
+                   opts_.pair_tol, "section 4.2 at alpha=0 vs section 4.1");
+    }
+
+    // The section-7 solver must reduce to section 4 at xi == xi_m == 0.
+    const auto tr = solve_common_release_transition(c_.tasks, c_.cfg);
+    if (!tr.feasible) {
+      add("pair:transition-reduces", "transition solver rejected the case");
+    } else {
+      expect_close("pair:transition-reduces", res.energy, tr.energy,
+                   opts_.pair_tol, "section 7 at xi=xi_m=0 vs section 4");
+    }
+
+    // Cross-solver: a common-release set is agreeable, and with no block
+    // charge (xi_m == 0) both optima coincide.
+    if (static_cast<int>(c_.tasks.size()) <= opts_.max_cross_n) {
+      const auto dp = solve_agreeable(c_.tasks, c_.cfg);
+      if (!dp.feasible) {
+        add("pair:agreeable-on-common-release", "DP rejected the case");
+      } else {
+        expect_close("pair:agreeable-on-common-release", res.energy, dp.energy,
+                     1e-5, "section 4 optimum vs agreeable DP");
+      }
+    }
+
+    if (opts_.run_reference &&
+        static_cast<int>(c_.tasks.size()) <= opts_.max_ref_n) {
+      const double ref =
+          reference_common_release(c_.tasks, c_.cfg, opts_.ref_grid);
+      expect_le("opt:vs-reference", res.energy, ref, opts_.ref_tol,
+                "solver energy vs grid reference");
+      expect_close("opt:vs-reference-loose", res.energy, ref,
+                   opts_.ref_loose_tol, "solver vs grid reference");
+    }
+  }
+
+  void check_common_release_transition() {
+    const auto res = solve_common_release_transition(c_.tasks, c_.cfg);
+    // Section-7 accounting differs from the horizon-free §3 accounting, so
+    // the re-derivation check does not apply; the reference oracle and the
+    // ordering invariants carry the weight instead.
+    check_offline_common("cr-transition", res, /*check_accounting=*/false);
+    if (!res.feasible) return;
+
+    // Scratch-reusing overload is documented bit-identical.
+    TransitionWorkspace ws;
+    const auto scratch =
+        solve_common_release_transition(c_.tasks, c_.cfg, ws);
+    if (scratch.feasible != res.feasible ||
+        scratch.energy != res.energy ||
+        scratch.sleep_time != res.sleep_time) {
+      add("pair:transition-scratch-replay",
+          "scratch overload differs: energy " + num(scratch.energy) + " vs " +
+              num(res.energy));
+    }
+
+    // Overheads only add cost relative to the section-4 model.
+    auto free_cfg = c_.cfg;
+    free_cfg.core.xi = 0.0;
+    free_cfg.memory.xi_m = 0.0;
+    const OfflineResult base =
+        free_cfg.core.alpha > 0.0
+            ? solve_common_release_alpha(c_.tasks, free_cfg)
+            : solve_common_release_alpha0(c_.tasks, free_cfg);
+    if (base.feasible) {
+      expect_le("order:transition-monotone", base.energy, res.energy,
+                opts_.order_tol, "overhead-free optimum vs section 7 energy");
+    }
+
+    if (opts_.run_reference &&
+        static_cast<int>(c_.tasks.size()) <= opts_.max_ref_n) {
+      const double ref = reference_common_release_transition(c_.tasks, c_.cfg,
+                                                             opts_.ref_grid);
+      expect_le("opt:vs-reference", res.energy, ref, opts_.ref_tol,
+                "transition solver energy vs grid reference");
+      expect_close("opt:vs-reference-loose", res.energy, ref,
+                   opts_.ref_loose_tol, "transition solver vs grid reference");
+    }
+  }
+
+  void check_discrete() {
+    const FrequencyLadder ladder(c_.ladder);
+    const OfflineResult cont =
+        c_.cfg.core.alpha > 0.0 ? solve_common_release_alpha(c_.tasks, c_.cfg)
+                                : solve_common_release_alpha0(c_.tasks, c_.cfg);
+    const auto aware = solve_common_release_discrete(c_.tasks, c_.cfg, ladder);
+    if (!aware.feasible) {
+      // The ladder top equals s_up, so every feasible case fits it.
+      add("feasible:cr-discrete", "discrete solver rejected the case");
+      return;
+    }
+    const auto v = validate_schedule(aware.schedule, c_.tasks, c_.cfg);
+    if (!v.ok) add("validate:cr-discrete", v.describe());
+    const auto e = compute_energy(aware.schedule, c_.cfg);
+    expect_close("accounting:cr-discrete", aware.energy, e.system_total(),
+                 opts_.account_tol, "analytic vs re-accounted energy");
+    if (cont.feasible) {
+      expect_le("order:discrete-bracket", cont.energy, aware.energy,
+                opts_.order_tol, "continuous optimum vs discrete-aware");
+      const auto posthoc = discretize_schedule(cont.schedule, ladder);
+      if (posthoc.feasible) {
+        const double e_post = system_energy(posthoc.schedule, c_.cfg);
+        expect_le("order:discrete-bracket", aware.energy, e_post,
+                  opts_.order_tol, "discrete-aware vs post-hoc realization");
+      }
+    }
+  }
+
+  // -- agreeable -----------------------------------------------------------
+
+  void check_agreeable() {
+    const auto res = solve_agreeable(c_.tasks, c_.cfg);
+    const bool plain_model = c_.cfg.memory.xi_m <= 0.0;
+    check_offline_common("agreeable", res, /*check_accounting=*/plain_model);
+    if (!res.feasible) return;
+
+    // Incremental block-table DP vs the frozen seed DP.
+    const auto seed = solve_agreeable_reference(c_.tasks, c_.cfg);
+    if (seed.feasible != res.feasible) {
+      add("pair:agreeable-incremental-vs-seed", "feasibility disagrees");
+    } else {
+      expect_close("pair:agreeable-incremental-vs-seed", res.energy,
+                   seed.energy, opts_.pair_tol,
+                   "incremental DP vs seed DP energy");
+    }
+
+    // Row-parallel fill must replay bit-identically.
+    if (opts_.pool) {
+      const auto par = solve_agreeable(c_.tasks, c_.cfg, opts_.pool);
+      if (par.energy != res.energy || par.sleep_time != res.sleep_time ||
+          par.case_index != res.case_index ||
+          !segments_identical(par.schedule, res.schedule)) {
+        add("pair:agreeable-parallel-replay",
+            "thread-pool fill differs from serial: energy " +
+                num(par.energy) + " vs " + num(res.energy));
+      }
+    }
+
+    if (opts_.run_reference &&
+        static_cast<int>(c_.tasks.size()) <= std::min(opts_.max_ref_n, 6)) {
+      const double ref =
+          reference_agreeable(c_.tasks, c_.cfg, opts_.ref_block_grid);
+      expect_le("opt:vs-reference", res.energy, ref, opts_.ref_tol,
+                "DP energy vs exhaustive-partition reference");
+      expect_close("opt:vs-reference-loose", res.energy, ref,
+                   opts_.ref_loose_tol, "DP vs exhaustive reference");
+    }
+  }
+
+  // -- general (online simulator) ------------------------------------------
+
+  static bool segments_identical(const Schedule& a, const Schedule& b) {
+    const auto& sa = a.segments();
+    const auto& sb = b.segments();
+    if (sa.size() != sb.size()) return false;
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      if (sa[i].task_id != sb[i].task_id || sa[i].core != sb[i].core ||
+          sa[i].start != sb[i].start || sa[i].end != sb[i].end ||
+          sa[i].speed != sb[i].speed) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Does any task need (almost) the full speed cap for its whole window?
+  bool boundary_tight() const {
+    if (c_.cfg.core.s_up <= 0.0) return false;
+    for (const auto& t : c_.tasks.tasks()) {
+      const double region = t.deadline - t.release;
+      if (region <= 0.0) return true;
+      if (t.work >= c_.cfg.core.s_up * region * (1.0 - 1e-9)) return true;
+    }
+    return false;
+  }
+
+  void diff_sim(const std::string& label, const SimResult& fast,
+                const SimResult& ref) {
+    std::ostringstream why;
+    if (fast.replans != ref.replans)
+      why << " replans " << fast.replans << " vs " << ref.replans << ";";
+    if (fast.deadline_misses != ref.deadline_misses)
+      why << " misses " << fast.deadline_misses << " vs "
+          << ref.deadline_misses << ";";
+    if (fast.unfinished != ref.unfinished)
+      why << " unfinished " << fast.unfinished << " vs " << ref.unfinished
+          << ";";
+    if (fast.horizon_lo != ref.horizon_lo || fast.horizon_hi != ref.horizon_hi)
+      why << " horizon differs;";
+    if (!segments_identical(fast.schedule, ref.schedule))
+      why << " segments differ (" << fast.schedule.size() << " vs "
+          << ref.schedule.size() << ");";
+    if (!why.str().empty()) add("sim:fast-vs-reference:" + label, why.str());
+  }
+
+  void check_online_run(const std::string& label, const SimResult& sim,
+                        bool guaranteed_feasible) {
+    const auto ev =
+        evaluate_policy(sim, c_.cfg, SleepDiscipline::kOptimal, label);
+    const double total = ev.energy.system_total();
+    if (!std::isfinite(total) || total < 0.0) {
+      add("sim:energy-finite:" + label, "system energy " + num(total));
+      return;
+    }
+    if (!c_.cfg.unbounded()) return;  // bounded cores may legitimately miss
+    if (sim.deadline_misses != 0 || sim.unfinished != 0) {
+      // MBKP round-robins within a density class modulo the *instantaneous*
+      // pending count, so even unbounded cores can end up sharing — misses
+      // are legitimate for such heuristics, a bug for SDEM-ON. And a task
+      // that needs exactly s_up for its whole window sits on the feasibility
+      // boundary, where rounding across replans can tip either way.
+      if (guaranteed_feasible && !boundary_tight()) {
+        add("sim:no-miss-unbounded:" + label,
+            std::to_string(sim.deadline_misses) + " misses, " +
+                std::to_string(sim.unfinished) + " unfinished on unbounded "
+                "cores");
+      }
+      return;
+    }
+    ValidateOptions vo;
+    vo.require_non_migrating = false;  // preemptive replans may split tasks
+    const auto v = validate_schedule(sim.schedule, c_.tasks, c_.cfg, vo);
+    if (!v.ok) add("validate:sim:" + label, v.describe());
+
+    const auto lb = lower_bound_energy(c_.tasks, c_.cfg);
+    expect_le("order:lower-bound:sim:" + label, lb.total(), total,
+              opts_.order_tol, "lower bound vs online energy");
+
+    // OPT <= heuristic whenever an offline optimal solver applies and the
+    // accounting models coincide (no overheads: idle time is free on both
+    // sides, so the wider online horizon adds nothing).
+    if (!c_.has_overheads() &&
+        static_cast<int>(c_.tasks.size()) <= opts_.max_cross_n) {
+      OfflineResult opt;
+      std::string which;
+      if (c_.tasks.is_common_release()) {
+        opt = c_.cfg.core.alpha > 0.0
+                  ? solve_common_release_alpha(c_.tasks, c_.cfg)
+                  : solve_common_release_alpha0(c_.tasks, c_.cfg);
+        which = "common-release optimum";
+      } else if (c_.tasks.is_agreeable()) {
+        opt = solve_agreeable(c_.tasks, c_.cfg);
+        which = "agreeable DP optimum";
+      }
+      if (!which.empty() && opt.feasible) {
+        expect_le("order:offline-le-online:" + label, opt.energy, total,
+                  1e-6, which + " vs " + label + " energy");
+      }
+    }
+  }
+
+  void check_general() {
+    struct Pair {
+      std::string label;
+      SimResult fast;
+      SimResult ref;
+      bool guaranteed_feasible;
+    };
+    std::vector<Pair> runs;
+    {
+      SdemOnPolicy fast(true);
+      SdemOnReferencePolicy ref(true);
+      runs.push_back({"sdem-on", simulate(c_.tasks, c_.cfg, fast),
+                      simulate_reference(c_.tasks, c_.cfg, ref), true});
+    }
+    {
+      SdemOnPolicy fast(false);
+      SdemOnReferencePolicy ref(false);
+      runs.push_back({"sdem-on-eager", simulate(c_.tasks, c_.cfg, fast),
+                      simulate_reference(c_.tasks, c_.cfg, ref), true});
+    }
+    {
+      MbkpPolicy fast;
+      MbkpReferencePolicy ref;
+      runs.push_back({"mbkp", simulate(c_.tasks, c_.cfg, fast),
+                      simulate_reference(c_.tasks, c_.cfg, ref), false});
+    }
+    for (const auto& r : runs) {
+      diff_sim(r.label, r.fast, r.ref);
+      check_online_run(r.label, r.fast, r.guaranteed_feasible);
+    }
+
+    // Slack reclamation: early completions with deterministic fractions.
+    {
+      std::map<int, double> fractions;
+      for (const auto& t : c_.tasks.tasks()) {
+        fractions[t.id] = 0.3 + 0.05 * static_cast<double>((t.id * 37) % 14);
+      }
+      SdemOnPolicy fast(true);
+      SdemOnReferencePolicy ref(true);
+      const auto f =
+          simulate_with_actuals(c_.tasks, c_.cfg, fast, fractions, true);
+      const auto r = simulate_with_actuals_reference(c_.tasks, c_.cfg, ref,
+                                                     fractions, true);
+      diff_sim("sdem-on-actuals", f, r);
+    }
+
+    // Accounting theorem: on the same MBKP schedule, sleep-when-it-pays can
+    // never cost more than never-sleeping.
+    const auto& mbkp_run = runs.back().fast;
+    const auto never =
+        evaluate_policy(mbkp_run, c_.cfg, SleepDiscipline::kNever, "mbkp");
+    const auto opt =
+        evaluate_policy(mbkp_run, c_.cfg, SleepDiscipline::kOptimal, "mbkps");
+    expect_le("order:mbkps-le-mbkp", opt.energy.system_total(),
+              never.energy.system_total(), opts_.order_tol,
+              "MBKPS vs MBKP energy");
+  }
+
+  const FuzzCase& c_;
+  const CheckOptions& opts_;
+  std::vector<Violation> out_;
+};
+
+}  // namespace
+
+std::vector<Violation> check_case(const FuzzCase& c, const CheckOptions& opts) {
+  return Checker(c, opts).run();
+}
+
+std::string summarize(const std::vector<Violation>& v) {
+  std::string out;
+  for (const auto& viol : v) {
+    if (!out.empty()) out += "; ";
+    out += viol.invariant;
+  }
+  return out;
+}
+
+}  // namespace sdem::testing

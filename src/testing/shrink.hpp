@@ -1,0 +1,34 @@
+// Auto-shrinking of failing fuzz cases to minimal reproducers.
+//
+// Greedy delta debugging in three waves, iterated to a fixpoint:
+//   1. task reduction — drop contiguous chunks of the task set (halves,
+//      quarters, ..., single tasks), ddmin style;
+//   2. config simplification — zero out variant axes one at a time
+//      (alpha, xi, xi_m, the ladder, the core bound, lambda -> 3);
+//   3. value rounding — round releases/deadlines/workloads to few decimal
+//      digits and translate the earliest release to 0.
+//
+// A candidate is accepted only if it still violates at least one invariant
+// the original case violated (same failure signature, not just "fails
+// somehow") and still belongs to the case's model class — so the emitted
+// reproducer exercises the same bug through the same checks.
+#pragma once
+
+#include "testing/invariants.hpp"
+
+namespace sdem::testing {
+
+struct ShrinkResult {
+  FuzzCase reduced;
+  std::vector<Violation> violations;  ///< violations of the reduced case
+  int attempts = 0;                   ///< predicate evaluations spent
+  int accepted = 0;                   ///< reductions that kept the failure
+};
+
+/// Shrink `failing` (which must currently fail check_case under `opts`).
+/// `max_attempts` bounds the number of re-checks; the original case is
+/// returned unchanged if nothing smaller preserves the failure.
+ShrinkResult shrink_case(const FuzzCase& failing, const CheckOptions& opts,
+                         int max_attempts = 500);
+
+}  // namespace sdem::testing

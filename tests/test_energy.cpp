@@ -75,6 +75,31 @@ TEST(Energy, AlwaysSleepPaysPairEvenForTinyGaps) {
             compute_energy(gap_schedule(), cfg).memory_total());
 }
 
+TEST(Energy, BackToBackShortGapsIdleUnderOptimal) {
+  // Three bursts with two 0.4 s gaps, each below the 1 s break-even: the
+  // optimal discipline idles through both, the naive sleeper pays a full
+  // transition pair per gap and loses on each.
+  Schedule s;
+  s.add(Segment{0, 0, 0.0, 1.0, 1000.0});
+  s.add(Segment{1, 0, 1.4, 2.4, 1000.0});
+  s.add(Segment{2, 0, 2.8, 3.8, 1000.0});
+  auto cfg = make_cfg(0.0, 4.0);
+  cfg.memory.xi_m = 1.0;
+
+  const auto opt = compute_energy(s, cfg);
+  EXPECT_NEAR(opt.memory_idle, 4.0 * 0.8, 1e-12);
+  EXPECT_EQ(opt.memory_transition, 0.0);
+  EXPECT_EQ(opt.memory_sleep_time, 0.0);
+
+  EnergyOptions always;
+  always.memory_gaps = SleepDiscipline::kAlways;
+  const auto naive = compute_energy(s, cfg, always);
+  EXPECT_EQ(naive.memory_idle, 0.0);
+  EXPECT_NEAR(naive.memory_transition, 2.0 * 4.0 * 1.0, 1e-12);
+  EXPECT_NEAR(naive.memory_sleep_time, 0.8, 1e-12);
+  EXPECT_GT(naive.memory_total(), opt.memory_total());
+}
+
 TEST(Energy, CoreStaticAndTransitions) {
   auto cfg = make_cfg(0.5, 0.0);
   cfg.core.xi = 0.5;

@@ -143,5 +143,72 @@ TEST(Json, WithoutKeyStripsRecursively) {
   EXPECT_NE(doc.dump().find("solver_seconds"), std::string::npos);
 }
 
+TEST(JsonParse, ScalarsAndContainers) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_EQ(Json::parse("42").as_number(), 42.0);
+  EXPECT_EQ(Json::parse("-1.5e3").as_number(), -1500.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+
+  const Json arr = Json::parse("[1, 2, 3]");
+  ASSERT_TRUE(arr.is_array());
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr.at(2).as_number(), 3.0);
+
+  const Json obj = Json::parse(R"({"a": 1, "b": {"c": [true]}})");
+  ASSERT_TRUE(obj.is_object());
+  EXPECT_TRUE(obj.has("a"));
+  EXPECT_FALSE(obj.has("z"));
+  EXPECT_EQ(obj.at("b").at("c").at(0).as_bool(), true);
+  EXPECT_EQ(obj.number_or("a", -1.0), 1.0);
+  EXPECT_EQ(obj.number_or("z", -1.0), -1.0);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"b\\c\n\t")").as_string(), "a\"b\\c\n\t");
+  EXPECT_EQ(Json::parse(R"("A")").as_string(), "A");
+}
+
+TEST(JsonParse, WriterOutputRoundTrips) {
+  Json doc = Json::object();
+  doc.set("pi", 3.141592653589793);
+  doc.set("tiny", 2.53e-10);
+  doc.set("neg", -0.1);
+  Json arr = Json::array();
+  arr.push_back(1e308);
+  arr.push_back(std::string("x \"quoted\""));
+  doc.set("arr", std::move(arr));
+  const std::string text = doc.dump(2);
+  const Json back = Json::parse(text);
+  // Shortest-round-trip rendering + strtod parsing: bytes are stable.
+  EXPECT_EQ(back.dump(2), text);
+  EXPECT_EQ(back.at("pi").as_number(), 3.141592653589793);
+  EXPECT_EQ(back.at("tiny").as_number(), 2.53e-10);
+}
+
+TEST(JsonParse, MalformedInputThrowsWithOffset) {
+  EXPECT_THROW(Json::parse(""), std::invalid_argument);
+  EXPECT_THROW(Json::parse("{"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("[1, ]"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("tru"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("1 2"), std::invalid_argument);  // trailing junk
+  try {
+    Json::parse("[1, oops]");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("byte"), std::string::npos);
+  }
+}
+
+TEST(JsonParse, TypeMismatchesThrow) {
+  const Json n = Json::parse("3");
+  EXPECT_THROW(n.as_string(), std::logic_error);
+  EXPECT_THROW(n.at("k"), std::logic_error);
+  const Json obj = Json::parse("{}");
+  EXPECT_THROW(obj.at("missing"), std::logic_error);
+}
+
 }  // namespace
 }  // namespace sdem

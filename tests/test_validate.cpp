@@ -1,6 +1,8 @@
 // Tests for the schedule validator: one test per failure mode.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "sched/validate.hpp"
 #include "test_util.hpp"
 
@@ -128,6 +130,83 @@ TEST(Validate, EmptySegmentAndBadSpeed) {
   Schedule s2;
   s2.add(Segment{0, 0, 0.0, 1.0, 0.0});
   EXPECT_FALSE(validate_schedule(s2, one_task(), make_cfg(0.0, 4.0)).ok);
+}
+
+TEST(Validate, DeadlineExactCompletionIsFeasible) {
+  // Ending exactly at d_i (and starting exactly at r_i) is feasible: the
+  // window checks allow time_tol slack, and an exact boundary needs none.
+  TaskSet ts;
+  ts.add(task(0, 0.25, 1.25, 100.0));
+  Schedule s;
+  s.add(Segment{0, 0, 0.25, 1.25, 100.0});
+  const auto v = validate_schedule(s, ts, make_cfg(0.0, 4.0));
+  EXPECT_TRUE(v.ok) << v.describe();
+  EXPECT_TRUE(v.violations.empty());
+}
+
+TEST(Validate, ZeroLengthPieceIsStructured) {
+  Schedule s;
+  s.add(Segment{0, 0, 0.5, 0.5, 100.0});
+  const auto v = validate_schedule(s, one_task(), make_cfg(0.0, 4.0));
+  ASSERT_FALSE(v.ok);
+  ASSERT_FALSE(v.violations.empty());
+  const auto& viol = v.violations.front();
+  EXPECT_EQ(viol.kind, ScheduleViolation::Kind::kEmptySegment);
+  EXPECT_EQ(viol.task_id, 0);
+  EXPECT_DOUBLE_EQ(viol.at, 0.5);
+  EXPECT_EQ(v.error, viol.message);
+}
+
+TEST(Validate, CollectsEveryViolationNotJustTheFirst) {
+  // One schedule, three independent problems: an unknown task, a window
+  // violation, and a work mismatch on the known task.
+  TaskSet ts;
+  ts.add(task(0, 0.0, 1.0, 100.0));
+  Schedule s;
+  s.add(Segment{9, 0, 0.0, 0.5, 10.0});   // unknown task id
+  s.add(Segment{0, 1, 0.5, 2.0, 100.0});  // ends after deadline, wrong work
+  const auto v = validate_schedule(s, ts, make_cfg(0.0, 4.0));
+  ASSERT_FALSE(v.ok);
+  EXPECT_GE(v.violations.size(), 3u);
+  bool saw_unknown = false, saw_deadline = false, saw_work = false;
+  for (const auto& viol : v.violations) {
+    saw_unknown |= viol.kind == ScheduleViolation::Kind::kUnknownTask;
+    saw_deadline |= viol.kind == ScheduleViolation::Kind::kAfterDeadline;
+    saw_work |= viol.kind == ScheduleViolation::Kind::kWorkMismatch;
+  }
+  EXPECT_TRUE(saw_unknown);
+  EXPECT_TRUE(saw_deadline);
+  EXPECT_TRUE(saw_work);
+  EXPECT_EQ(v.error, v.violations.front().message);
+  // describe() renders one "kind: message" line per violation.
+  const std::string text = v.describe();
+  EXPECT_EQ(static_cast<std::size_t>(std::count(text.begin(), text.end(),
+                                                '\n')),
+            v.violations.size() - 1);
+}
+
+TEST(Validate, MaxViolationsCapsCollection) {
+  Schedule s;
+  for (int i = 0; i < 10; ++i) {
+    s.add(Segment{100 + i, 0, 0.1 * i, 0.1 * i + 0.05, 10.0});
+  }
+  ValidateOptions opts;
+  opts.max_violations = 4;
+  const auto v = validate_schedule(s, one_task(), make_cfg(0.0, 4.0), opts);
+  ASSERT_FALSE(v.ok);
+  EXPECT_EQ(v.violations.size(), 4u);
+}
+
+TEST(Validate, KindNamesAreStable) {
+  // The shrinker keys on these names; renames would silently break
+  // signature-preserving reduction.
+  EXPECT_EQ(to_string(ScheduleViolation::Kind::kOverlap), "overlap");
+  EXPECT_EQ(to_string(ScheduleViolation::Kind::kWorkMismatch),
+            "work-mismatch");
+  EXPECT_EQ(to_string(ScheduleViolation::Kind::kAfterDeadline),
+            "after-deadline");
+  EXPECT_EQ(to_string(ScheduleViolation::Kind::kEmptySegment),
+            "empty-segment");
 }
 
 }  // namespace
