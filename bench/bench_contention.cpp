@@ -4,52 +4,11 @@
 // saturation. Aligning executions concentrates that load: this bench
 // reports the peak/mean controller utilization and M/D/1 queueing wait of
 // each policy's schedule across utilizations.
-#include "baseline/mbkp.hpp"
-#include "bench_util.hpp"
-#include "core/online_sdem.hpp"
-#include "mem/contention.hpp"
-#include "workload/generator.hpp"
+//
+// The sweep itself lives in bench/bench_experiments.cpp as the registered
+// experiment "contention"; this binary prints its default run (same bytes
+// as the pre-registry standalone). `sdem_bench_runner --filter contention`
+// adds JSON output, seed/job control, and markdown rendering.
+#include "bench_registry.hpp"
 
-using namespace sdem;
-using namespace sdem::bench;
-
-int main() {
-  const auto cfg = paper_cfg();
-  ContentionParams cp;  // 8 banks, 50 ns service, 1 access / 500 cycles
-  constexpr int kSeeds = 10;
-
-  print_header("Assumption probe — controller contention under alignment",
-               "fluid M/D/1 model, 8 banks, 50 ns service, 2000 accesses/Mc; "
-               "peak u and mean wait per policy");
-
-  Table t({"x (ms)", "SDEM-ON peak u", "MBKP peak u", "SDEM-ON wait (ns)",
-           "MBKP wait (ns)", "saturated %"});
-  for (int x = 100; x <= 800; x += 200) {
-    double pu_s = 0, pu_m = 0, w_s = 0, w_m = 0, sat = 0;
-    for (int seed = 1; seed <= kSeeds; ++seed) {
-      SyntheticParams p;
-      p.num_tasks = 120;
-      p.max_interarrival = x / 1000.0;
-      const TaskSet ts = make_synthetic(p, seed * 211 + x);
-      SdemOnPolicy sdem;
-      MbkpPolicy mbkp;
-      const auto a = analyze_contention(simulate(ts, cfg, sdem).schedule, cp);
-      const auto b = analyze_contention(simulate(ts, cfg, mbkp).schedule, cp);
-      pu_s += a.peak_utilization;
-      pu_m += b.peak_utilization;
-      w_s += a.mean_wait;
-      w_m += b.mean_wait;
-      sat += a.saturated_fraction;
-    }
-    t.add_row({std::to_string(x), Table::fmt(pu_s / kSeeds, 4),
-               Table::fmt(pu_m / kSeeds, 4),
-               Table::fmt(1e9 * w_s / kSeeds, 2),
-               Table::fmt(1e9 * w_m / kSeeds, 2),
-               Table::fmt(100.0 * sat / kSeeds, 2)});
-  }
-  print_table(t);
-  std::printf("alignment concentrates accesses: higher peaks, but far from "
-              "saturation at these parameters —\nthe paper's negligible-"
-              "delay assumption survives its own scheduler.\n");
-  return 0;
-}
+int main() { return sdem::bench::run_standalone("contention"); }

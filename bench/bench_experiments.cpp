@@ -13,9 +13,11 @@
 #include "bench_registry.hpp"
 #include "core/agreeable.hpp"
 #include "core/block.hpp"
+#include "core/islands.hpp"
 #include "core/common_release_alpha.hpp"
 #include "core/common_release_alpha0.hpp"
 #include "core/online_sdem.hpp"
+#include "mem/contention.hpp"
 #include "sim/event_sim.hpp"
 #include "single/sss.hpp"
 #include "workload/dspstone.hpp"
@@ -544,6 +546,12 @@ ExperimentResult run_online_vs_offline(const RunOptions& opt) {
     bool feasible = false;
     double ratio = 0.0;
     double obliv_ratio = 0.0;
+    // Memory sleep-interval statistics of the online schedule (the energy
+    // model's per-run breakdown; see EnergyBreakdown).
+    double sleep_cycles = 0.0;
+    double sleep_min = 0.0;
+    double sleep_mean = 0.0;
+    double sleep_max = 0.0;
     double solver_seconds = 0.0;
   };
   std::vector<Cell> cells(spreads.size() * static_cast<std::size_t>(seeds));
@@ -561,9 +569,13 @@ ExperimentResult run_online_vs_offline(const RunOptions& opt) {
           SdemOnPolicy pol;
           const auto sim = simulate(ts, cfg, pol);
           EnergyOptions opts;  // busy-span horizon, same as the offline model
-          const double online =
-              compute_energy(sim.schedule, cfg, opts).system_total();
-          c.ratio = online / offline.energy;
+          const EnergyBreakdown online_e =
+              compute_energy(sim.schedule, cfg, opts);
+          c.ratio = online_e.system_total() / offline.energy;
+          c.sleep_cycles = online_e.memory_sleep_cycles;
+          c.sleep_min = online_e.memory_sleep_min;
+          c.sleep_mean = online_e.memory_sleep_mean();
+          c.sleep_max = online_e.memory_sleep_max;
 
           // Memory-oblivious: every task on its own core, per-core critical-
           // speed sleep schedule; memory follows whatever union results.
@@ -590,6 +602,7 @@ ExperimentResult run_online_vs_offline(const RunOptions& opt) {
   for (std::size_t pi = 0; pi < spreads.size(); ++pi) {
     const double spread = spreads[pi];
     double sum = 0.0, worst = 0.0, obliv = 0.0;
+    double sleep_cycles = 0.0, sleep_mean = 0.0;
     int counted = 0;
     Json per_seed = Json::array();
     for (int s = 0; s < seeds; ++s) {
@@ -602,6 +615,13 @@ ExperimentResult run_online_vs_offline(const RunOptions& opt) {
       if (c.feasible) {
         cell.set("ratio", c.ratio);
         cell.set("oblivious_ratio", c.obliv_ratio);
+        // Per-run memory sleep-interval stats of the online schedule
+        // (count / min / mean / max, seconds) — JSON-only, so the printed
+        // tables stay byte-identical to the legacy bench.
+        cell.set("memory_sleep_cycles", c.sleep_cycles);
+        cell.set("memory_sleep_min_s", c.sleep_min);
+        cell.set("memory_sleep_mean_s", c.sleep_mean);
+        cell.set("memory_sleep_max_s", c.sleep_max);
       }
       cell.set("solver_seconds", c.solver_seconds);
       per_seed.push_back(std::move(cell));
@@ -609,6 +629,8 @@ ExperimentResult run_online_vs_offline(const RunOptions& opt) {
       sum += c.ratio;
       worst = std::max(worst, c.ratio);
       obliv += c.obliv_ratio;
+      sleep_cycles += c.sleep_cycles;
+      sleep_mean += c.sleep_mean;
       ++counted;
     }
     t.add_row({Table::fmt(spread * 1e3, 0), Table::fmt(sum / counted, 4),
@@ -618,6 +640,8 @@ ExperimentResult run_online_vs_offline(const RunOptions& opt) {
     row.set("avg_ratio", sum / counted);
     row.set("worst_ratio", worst);
     row.set("oblivious_ratio_avg", obliv / counted);
+    row.set("memory_sleep_cycles_avg", sleep_cycles / counted);
+    row.set("memory_sleep_mean_s_avg", sleep_mean / counted);
     row.set("counted", counted);
     row.set("per_seed", std::move(per_seed));
     rows.push_back(std::move(row));
@@ -740,6 +764,217 @@ ExperimentResult run_policy_poles(const RunOptions& opt) {
   return r;
 }
 
+// ------------------------------------------------------- Voltage islands
+
+// Extension bench: voltage-island granularity (the paper's future work).
+// One (islands, seed) grid; folds below walk islands-major in seed order,
+// so the printed table is byte-identical to the legacy standalone.
+ExperimentResult run_islands(const RunOptions& opt) {
+  auto cfg = paper_cfg();
+  cfg.core.s_min = 0.0;
+  cfg.memory.xi_m = 0.0;
+  const int seeds = opt.seeds > 0 ? opt.seeds : 20;
+  constexpr int kTasks = 16;
+  const std::vector<int> island_counts{16, 8, 4, 2, 1};
+
+  ExperimentResult r;
+  r.header_title =
+      "Extension — voltage-island granularity (common release)";
+  r.header_what = "energy relative to per-core rails (islands of 1); " +
+                  std::to_string(kTasks) + " tasks, " +
+                  std::to_string(seeds) + " seeds";
+
+  struct Cell {
+    double base = 0.0, similar = 0.0, rr = 0.0;
+    double solver_seconds = 0.0;
+  };
+  std::vector<Cell> cells(island_counts.size() *
+                          static_cast<std::size_t>(seeds));
+  parallel_for_grid(
+      opt.pool, static_cast<int>(island_counts.size()), seeds,
+      [&](std::size_t pi, std::uint64_t seed, std::size_t slot) {
+        const int islands = island_counts[pi];
+        const auto t0 = std::chrono::steady_clock::now();
+        Cell& c = cells[slot];
+        const TaskSet ts = make_common_release(kTasks, 0.0, seed * 397);
+        std::vector<int> ones(ts.size());
+        for (std::size_t i = 0; i < ts.size(); ++i) {
+          ones[i] = static_cast<int>(i);
+        }
+        const auto fine = solve_common_release_islands(ts, cfg, ones);
+        const auto sim = solve_common_release_islands(
+            ts, cfg, assign_islands_similar_speed(ts, islands));
+        std::vector<int> robin(ts.size());
+        for (std::size_t i = 0; i < ts.size(); ++i) {
+          robin[i] = static_cast<int>(i) % islands;
+        }
+        const auto rrres = solve_common_release_islands(ts, cfg, robin);
+        c.base = fine.energy;
+        c.similar = sim.energy;
+        c.rr = rrres.energy;
+        c.solver_seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+      });
+
+  Table t({"islands", "tasks/rail", "similar-speed grouping +%",
+           "round-robin grouping +%"});
+  Json rows = Json::array();
+  for (std::size_t pi = 0; pi < island_counts.size(); ++pi) {
+    const int islands = island_counts[pi];
+    double similar = 0.0, rr = 0.0, base = 0.0;
+    Json per_seed = Json::array();
+    for (int s = 0; s < seeds; ++s) {
+      const Cell& c = cells[pi * static_cast<std::size_t>(seeds) +
+                            static_cast<std::size_t>(s)];
+      base += c.base;
+      similar += c.similar;
+      rr += c.rr;
+      r.solver_seconds_total += c.solver_seconds;
+      Json cell = Json::object();
+      cell.set("seed", static_cast<std::uint64_t>(s + 1));
+      cell.set("per_core_energy_j", c.base);
+      cell.set("similar_speed_energy_j", c.similar);
+      cell.set("round_robin_energy_j", c.rr);
+      cell.set("solver_seconds", c.solver_seconds);
+      per_seed.push_back(std::move(cell));
+    }
+    t.add_row({std::to_string(islands),
+               std::to_string(kTasks / islands),
+               Table::fmt(100.0 * (similar / base - 1.0), 2),
+               Table::fmt(100.0 * (rr / base - 1.0), 2)});
+    Json row = Json::object();
+    row.set("islands", islands);
+    row.set("tasks_per_rail", kTasks / islands);
+    row.set("similar_speed_overhead_pct", 100.0 * (similar / base - 1.0));
+    row.set("round_robin_overhead_pct", 100.0 * (rr / base - 1.0));
+    row.set("per_seed", std::move(per_seed));
+    rows.push_back(std::move(row));
+  }
+  r.tables.push_back(std::move(t));
+
+  Json params = Json::object();
+  params.set("tasks", kTasks);
+  params.set("seeds", seeds);
+  params.set("islands", [&] {
+    Json arr = Json::array();
+    for (int i : island_counts) arr.push_back(i);
+    return arr;
+  }());
+  r.data = Json::object();
+  r.data.set("params", std::move(params));
+  r.data.set("rows", std::move(rows));
+  return r;
+}
+
+// --------------------------------------------------- Controller contention
+
+// Assumption probe: what does SDEM-ON's alignment do to memory-controller
+// contention? One (x, seed) grid; folds in seed order keep the table and
+// footers byte-identical to the legacy standalone.
+ExperimentResult run_contention(const RunOptions& opt) {
+  const auto cfg = paper_cfg();
+  ContentionParams cp;  // 8 banks, 50 ns service, 1 access / 500 cycles
+  const int seeds = opt.seeds > 0 ? opt.seeds : 10;
+  constexpr int kPoints = 4;  // x = 100, 300, 500, 700 ms
+
+  ExperimentResult r;
+  r.header_title =
+      "Assumption probe — controller contention under alignment";
+  r.header_what =
+      "fluid M/D/1 model, 8 banks, 50 ns service, 2000 accesses/Mc; "
+      "peak u and mean wait per policy";
+
+  struct Cell {
+    double pu_s = 0, pu_m = 0, w_s = 0, w_m = 0, sat = 0;
+    double solver_seconds = 0.0;
+  };
+  std::vector<Cell> cells(static_cast<std::size_t>(kPoints) *
+                          static_cast<std::size_t>(seeds));
+  parallel_for_grid(
+      opt.pool, kPoints, seeds,
+      [&](std::size_t pi, std::uint64_t seed, std::size_t slot) {
+        const int x = 100 + static_cast<int>(pi) * 200;
+        const auto t0 = std::chrono::steady_clock::now();
+        Cell& c = cells[slot];
+        SyntheticParams p;
+        p.num_tasks = 120;
+        p.max_interarrival = x / 1000.0;
+        const TaskSet ts = make_synthetic(p, seed * 211 + x);
+        SdemOnPolicy sdem;
+        MbkpPolicy mbkp;
+        const auto a = analyze_contention(simulate(ts, cfg, sdem).schedule, cp);
+        const auto b = analyze_contention(simulate(ts, cfg, mbkp).schedule, cp);
+        c.pu_s = a.peak_utilization;
+        c.pu_m = b.peak_utilization;
+        c.w_s = a.mean_wait;
+        c.w_m = b.mean_wait;
+        c.sat = a.saturated_fraction;
+        c.solver_seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+      });
+
+  Table t({"x (ms)", "SDEM-ON peak u", "MBKP peak u", "SDEM-ON wait (ns)",
+           "MBKP wait (ns)", "saturated %"});
+  Json rows = Json::array();
+  for (int pi = 0; pi < kPoints; ++pi) {
+    const int x = 100 + pi * 200;
+    double pu_s = 0, pu_m = 0, w_s = 0, w_m = 0, sat = 0;
+    Json per_seed = Json::array();
+    for (int s = 0; s < seeds; ++s) {
+      const Cell& c = cells[static_cast<std::size_t>(pi) *
+                                static_cast<std::size_t>(seeds) +
+                            static_cast<std::size_t>(s)];
+      pu_s += c.pu_s;
+      pu_m += c.pu_m;
+      w_s += c.w_s;
+      w_m += c.w_m;
+      sat += c.sat;
+      r.solver_seconds_total += c.solver_seconds;
+      Json cell = Json::object();
+      cell.set("seed", static_cast<std::uint64_t>(s + 1));
+      cell.set("sdem_peak_utilization", c.pu_s);
+      cell.set("mbkp_peak_utilization", c.pu_m);
+      cell.set("sdem_mean_wait_s", c.w_s);
+      cell.set("mbkp_mean_wait_s", c.w_m);
+      cell.set("saturated_fraction", c.sat);
+      cell.set("solver_seconds", c.solver_seconds);
+      per_seed.push_back(std::move(cell));
+    }
+    t.add_row({std::to_string(x), Table::fmt(pu_s / seeds, 4),
+               Table::fmt(pu_m / seeds, 4),
+               Table::fmt(1e9 * w_s / seeds, 2),
+               Table::fmt(1e9 * w_m / seeds, 2),
+               Table::fmt(100.0 * sat / seeds, 2)});
+    Json row = Json::object();
+    row.set("x_ms", x);
+    row.set("sdem_peak_utilization_avg", pu_s / seeds);
+    row.set("mbkp_peak_utilization_avg", pu_m / seeds);
+    row.set("sdem_mean_wait_ns_avg", 1e9 * w_s / seeds);
+    row.set("mbkp_mean_wait_ns_avg", 1e9 * w_m / seeds);
+    row.set("saturated_pct_avg", 100.0 * sat / seeds);
+    row.set("per_seed", std::move(per_seed));
+    rows.push_back(std::move(row));
+  }
+  r.tables.push_back(std::move(t));
+  r.footers.push_back(
+      "alignment concentrates accesses: higher peaks, but far from "
+      "saturation at these parameters —");
+  r.footers.push_back(
+      "the paper's negligible-delay assumption survives its own scheduler.");
+
+  Json params = Json::object();
+  params.set("workload", "synthetic");
+  params.set("tasks", 120);
+  params.set("seeds", seeds);
+  params.set("banks", cp.banks);
+  r.data = Json::object();
+  r.data.set("params", std::move(params));
+  r.data.set("rows", std::move(rows));
+  return r;
+}
+
 }  // namespace
 
 void register_all_experiments(std::vector<Experiment>& out) {
@@ -770,6 +1005,12 @@ void register_all_experiments(std::vector<Experiment>& out) {
   out.push_back({"policy_poles", "title question", "bench_policy_poles",
                  "race / stretch / critical / MBKPS / SDEM-ON across x", 10,
                  [](const RunOptions& o) { return run_policy_poles(o); }});
+  out.push_back({"islands", "future work", "bench_islands",
+                 "voltage-island granularity vs per-core rails", 20,
+                 [](const RunOptions& o) { return run_islands(o); }});
+  out.push_back({"contention", "§3 assumption", "bench_contention",
+                 "controller contention under SDEM-ON's alignment", 10,
+                 [](const RunOptions& o) { return run_contention(o); }});
 }
 
 }  // namespace sdem::bench

@@ -3,52 +3,11 @@
 // How much energy does sharing voltage rails cost, as islands grow from
 // per-core rails (the paper's model) to one global rail? And how much of
 // that is recovered by grouping similar tasks on a rail?
-#include "bench_util.hpp"
-#include "core/islands.hpp"
-#include "workload/generator.hpp"
+//
+// The sweep itself lives in bench/bench_experiments.cpp as the registered
+// experiment "islands"; this binary prints its default run (same bytes as
+// the pre-registry standalone). `sdem_bench_runner --filter islands` adds
+// JSON output, seed/job control, and markdown rendering.
+#include "bench_registry.hpp"
 
-using namespace sdem;
-using namespace sdem::bench;
-
-int main() {
-  auto cfg = paper_cfg();
-  cfg.core.s_min = 0.0;
-  cfg.memory.xi_m = 0.0;
-  constexpr int kSeeds = 20;
-  constexpr int kTasks = 16;
-
-  print_header("Extension — voltage-island granularity (common release)",
-               "energy relative to per-core rails (islands of 1); " +
-                   std::to_string(kTasks) + " tasks, " +
-                   std::to_string(kSeeds) + " seeds");
-
-  Table t({"islands", "tasks/rail", "similar-speed grouping +%",
-           "round-robin grouping +%"});
-  for (int islands : {16, 8, 4, 2, 1}) {
-    double similar = 0.0, rr = 0.0, base = 0.0;
-    for (int seed = 1; seed <= kSeeds; ++seed) {
-      const TaskSet ts = make_common_release(kTasks, 0.0, seed * 397);
-      std::vector<int> ones(ts.size());
-      for (std::size_t i = 0; i < ts.size(); ++i) {
-        ones[i] = static_cast<int>(i);
-      }
-      const auto fine = solve_common_release_islands(ts, cfg, ones);
-      const auto sim = solve_common_release_islands(
-          ts, cfg, assign_islands_similar_speed(ts, islands));
-      std::vector<int> robin(ts.size());
-      for (std::size_t i = 0; i < ts.size(); ++i) {
-        robin[i] = static_cast<int>(i) % islands;
-      }
-      const auto rrres = solve_common_release_islands(ts, cfg, robin);
-      base += fine.energy;
-      similar += sim.energy;
-      rr += rrres.energy;
-    }
-    t.add_row({std::to_string(islands),
-               std::to_string(kTasks / islands),
-               Table::fmt(100.0 * (similar / base - 1.0), 2),
-               Table::fmt(100.0 * (rr / base - 1.0), 2)});
-  }
-  print_table(t);
-  return 0;
-}
+int main() { return sdem::bench::run_standalone("islands"); }

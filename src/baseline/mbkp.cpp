@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
+
 namespace sdem {
 
 void MbkpPolicy::reset() {
@@ -29,6 +31,9 @@ int& MbkpPolicy::cursor_for(int klass) {
 std::vector<Segment> MbkpPolicy::replan(double now,
                                         const std::vector<PendingTask>& pending,
                                         const SystemConfig& cfg) {
+  SDEM_OBS_TIMER("mbkp/replan");
+  SDEM_OBS_INC("mbkp/replans");
+  SDEM_OBS_COUNT("mbkp/tasks_replanned", pending.size());
   const int cores = cfg.num_cores > 0 ? cfg.num_cores
                                       : static_cast<int>(pending.size());
 
@@ -39,6 +44,7 @@ std::vector<Segment> MbkpPolicy::replan(double now,
       core_of_.resize(task_slots_.size(), -1);
     }
     if (core_of_[slot] >= 0) continue;
+    SDEM_OBS_INC("mbkp/tasks_assigned");
     const double density = p.task.work / std::max(p.task.region(), 1e-12);
     const int klass = static_cast<int>(std::floor(std::log2(
         std::max(density, 1e-12))));

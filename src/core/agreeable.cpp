@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/block_context.hpp"
+#include "obs/obs.hpp"
 #include "support/thread_pool.hpp"
 
 namespace sdem {
@@ -20,18 +21,25 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 /// the tail keeps its default infeasible entries without opening a box.
 void fill_row(const TaskSet& sorted, const SystemConfig& cfg, int n, int p,
               std::vector<BlockSolution>& block) {
+  SDEM_OBS_TIMER("agreeable/fill_row");
+  SDEM_OBS_ONLY(std::uint64_t cells = 0;)
   BlockContext ctx(cfg);
   for (int q = p; q < n; ++q) {
     ctx.push_task(sorted[q]);
     if (ctx.block_infeasible()) break;
     block[static_cast<std::size_t>(p) * n + q] = ctx.solve();
+    SDEM_OBS_ONLY(++cells;)
   }
+  SDEM_OBS_COUNT("agreeable/dp_cells", cells);
+  SDEM_OBS_COUNT("agreeable/dp_cells_skipped_infeasible",
+                 static_cast<std::uint64_t>(n - p) - cells);
 }
 
 }  // namespace
 
 OfflineResult solve_agreeable(const TaskSet& tasks, const SystemConfig& cfg,
                               ThreadPool* pool) {
+  SDEM_OBS_TIMER("agreeable/solve");
   OfflineResult res;
   if (tasks.empty() || !tasks.is_agreeable() || !tasks.validate().empty())
     return res;
@@ -97,6 +105,9 @@ OfflineResult solve_agreeable(const TaskSet& tasks, const SystemConfig& cfg,
   res.energy = opt[n];
   res.case_index = static_cast<int>(blocks.size());
   res.sleep_time = (sorted[n - 1].deadline - sorted.min_release()) - busy;
+  SDEM_OBS_INC("agreeable/solves");
+  SDEM_OBS_COUNT("agreeable/blocks_on_optimal_path", blocks.size());
+  SDEM_OBS_DIST("agreeable/sleep_time_s", res.sleep_time);
   return res;
 }
 

@@ -168,6 +168,7 @@ double BlockContext::piece(const Pre& p, double window) const {
 }
 
 double BlockContext::eval_box(double s, double e) const {
+  SDEM_OBS_ONLY(++obs_probes_;)
   double energy = alpha_m_ * (e - s) + const_energy_;
   for (const Dyn& l : left_) energy += piece(*l.pre, l.bound - s);
   for (const Dyn& r : right_) energy += piece(*r.pre, e - r.bound);
@@ -175,6 +176,7 @@ double BlockContext::eval_box(double s, double e) const {
 
   if (g_cross_check.load(std::memory_order_relaxed)) {
     g_probes.fetch_add(1, std::memory_order_relaxed);
+    SDEM_OBS_INC("block/cross_check_probes");
     const double exact = block_energy_at(tasks_, cfg_, s, e);
     const bool fast_inf = !std::isfinite(energy);
     const bool exact_inf = !std::isfinite(exact);
@@ -184,6 +186,7 @@ double BlockContext::eval_box(double s, double e) const {
                          1e-9 * std::max({1.0, std::abs(energy), std::abs(exact)}));
     if (!ok) {
       g_failures.fetch_add(1, std::memory_order_relaxed);
+      SDEM_OBS_INC("block/cross_check_failures");
       assert(false && "BlockContext fast probe diverged from block_energy_at");
     }
   }
@@ -342,10 +345,16 @@ BlockSolution BlockContext::solve_fallback() const {
 BlockSolution BlockContext::solve() {
   BlockSolution out;
   if (tasks_.empty() || infeasible_) return out;
-  if (!sorted_) return solve_fallback();
+  if (!sorted_) {
+    SDEM_OBS_INC("block/fallback_solves");
+    return solve_fallback();
+  }
 
   build_e_breakpoints();
 
+  SDEM_OBS_ONLY(std::uint64_t boxes = 0; std::uint64_t boxes_pruned = 0;
+                std::uint64_t cls_left = 0; std::uint64_t cls_right = 0;
+                std::uint64_t cls_coupled = 0; std::uint64_t cls_const = 0;)
   double best = kInf;
   double best_s = r_min_, best_e = d_max_;
   for (std::size_t si = 0; si + 1 < sb_.size(); ++si) {
@@ -353,7 +362,14 @@ BlockSolution BlockContext::solve() {
       const double s_lo = sb_[si], s_hi = sb_[si + 1];
       const double e_lo = eb_[ei], e_hi = eb_[ei + 1];
       if (e_hi <= s_lo) continue;  // would force e' <= s'
-      if (!setup_box(s_lo, s_hi, e_lo, e_hi)) continue;  // pruned: infeasible
+      if (!setup_box(s_lo, s_hi, e_lo, e_hi)) {
+        SDEM_OBS_ONLY(++boxes_pruned;)
+        continue;  // pruned: infeasible
+      }
+      SDEM_OBS_ONLY(++boxes; cls_left += left_.size();
+                    cls_right += right_.size(); cls_coupled += coupled_.size();
+                    cls_const += nr_.size() - left_.size() - right_.size() -
+                                 coupled_.size();)
       const BoxMin m = minimize_box(s_lo, s_hi, e_lo, e_hi);
       if (m.feasible && m.value < best) {
         best = m.value;
@@ -362,6 +378,17 @@ BlockSolution BlockContext::solve() {
       }
     }
   }
+  SDEM_OBS_INC("block/solves");
+  SDEM_OBS_COUNT("block/boxes_opened", boxes);
+  SDEM_OBS_COUNT("block/boxes_pruned_infeasible", boxes_pruned);
+  SDEM_OBS_COUNT("block/box_tasks_const", cls_const);
+  SDEM_OBS_COUNT("block/box_tasks_left_clipped", cls_left);
+  SDEM_OBS_COUNT("block/box_tasks_right_clipped", cls_right);
+  SDEM_OBS_COUNT("block/box_tasks_coupled", cls_coupled);
+#if SDEM_OBS
+  SDEM_OBS_COUNT("block/probes", obs_probes_);
+  obs_probes_ = 0;
+#endif
   if (!std::isfinite(best)) return out;
   out.feasible = true;
   out.s = best_s;

@@ -48,6 +48,7 @@
 #include "core/block.hpp"
 #include "model/power.hpp"
 #include "model/task.hpp"
+#include "obs/obs.hpp"
 
 namespace sdem {
 
@@ -152,6 +153,13 @@ class BlockContext {
   std::vector<Dyn> left_, right_;
   std::vector<const Pre*> coupled_;
   double const_energy_ = 0.0;
+
+#if SDEM_OBS
+  // Probe tally for the current solve(), flushed to the obs registry once
+  // per solve (mutable: eval_box is const). Gated so OFF builds carry no
+  // extra state and eval_box stays untouched.
+  mutable std::uint64_t obs_probes_ = 0;
+#endif
 };
 
 }  // namespace sdem

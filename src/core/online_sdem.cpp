@@ -8,6 +8,7 @@
 #include "core/common_release_alpha.hpp"
 #include "core/common_release_alpha0.hpp"
 #include "core/transition.hpp"
+#include "obs/obs.hpp"
 
 namespace sdem {
 namespace {
@@ -54,6 +55,9 @@ std::vector<Segment> SdemOnPolicy::plan(double now,
                                         bool procrastinate) {
   std::vector<Segment> plan;
   if (pending.empty()) return plan;
+  SDEM_OBS_TIMER("online_sdem/replan");
+  SDEM_OBS_INC("online_sdem/replans");
+  SDEM_OBS_COUNT("online_sdem/tasks_replanned", pending.size());
   const double s_up = cfg.core.max_speed();
   const double s_up_capped = std::min(s_up, 1e9);
 
@@ -76,6 +80,9 @@ std::vector<Segment> SdemOnPolicy::plan(double now,
     const double min_span =
         std::isfinite(s_up) ? p.remaining / s_up : 1e-9;
     t.deadline = std::max(p.task.deadline, now + std::max(min_span, 1e-12));
+    // The max() engaged its second arm: the task cannot make its real
+    // deadline any more, i.e. it is past the admission test and races.
+    if (t.deadline > p.task.deadline) SDEM_OBS_INC("online_sdem/admission_rejects");
     const int slot = rs.slots.intern(t.id);
     if (slot >= static_cast<int>(rs.eff_deadline.size())) {
       const std::size_t size = rs.slots.size();
@@ -93,6 +100,7 @@ std::vector<Segment> SdemOnPolicy::plan(double now,
 
   const OfflineResult local =
       plan_common_release(rs.virt, cfg, rs.tw, rs.cw, trusted);
+  if (!local.feasible) SDEM_OBS_INC("online_sdem/local_plan_infeasible");
 
   // Per-task execution length p_j and speed from the local optimum.
   for (const auto& seg : local.schedule.segments()) {
@@ -109,6 +117,8 @@ std::vector<Segment> SdemOnPolicy::plan(double now,
   }
   if (!std::isfinite(wake)) return plan;
   wake = procrastinate ? std::max(wake, now) : now;
+  if (wake > now) SDEM_OBS_INC("online_sdem/procrastinated_replans");
+  SDEM_OBS_DIST("online_sdem/wake_delay_s", wake - now);
 
   // All tasks start when the memory wakes; tasks sharing a core serialize
   // in EDF order, compressing up to s_up when needed. Groups are formed by
@@ -156,6 +166,7 @@ std::vector<Segment> SdemOnPolicy::plan(double now,
         const double min_len =
             std::isfinite(s_up) ? p->remaining / s_up : 1e-12;
         len = std::max(d - cur, min_len);
+        SDEM_OBS_INC("online_sdem/tasks_compressed");
       }
       if (cfg.core.s_min > 0.0) {
         // DVFS floor: a plan slower than s_min runs at s_min and the core

@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "support/numeric.hpp"
 
 namespace sdem {
@@ -123,6 +124,7 @@ OfflineResult solve_common_release_transition(const TaskSet& tasks,
                                               const SystemConfig& cfg,
                                               TransitionWorkspace& ws,
                                               bool validated) {
+  SDEM_OBS_TIMER("transition/solve");
   OfflineResult res;
   if (tasks.empty() || !tasks.is_common_release()) return res;
   if (!validated && !tasks.validate().empty()) return res;
@@ -179,8 +181,19 @@ OfflineResult solve_common_release_transition(const TaskSet& tasks,
   }
   const bool has_work = total_work > 0.0;
 
+  // Probe accounting, flushed to the registry once per solve. A "probe" is
+  // one evaluation of the total-energy objective E(T); live/replayed task
+  // evals split each probe's inner loop by whether the per-task cost was
+  // recomputed or served from the capped-cost cache. Counted at call entry
+  // so the tallies are a pure function of the probe sequence.
+  SDEM_OBS_ONLY(std::uint64_t obs_probes = 0; std::uint64_t obs_live = 0;
+                std::uint64_t obs_replay = 0; std::uint64_t obs_pieces = 0;
+                std::uint64_t obs_pruned = 0; std::uint64_t obs_cap_dl = 0;
+                std::uint64_t obs_cap_race = 0; std::size_t obs_capped = 0;)
+
   // Total energy as a function of the memory busy end T.
   auto energy = [&](double T) {
+    SDEM_OBS_ONLY(++obs_probes; obs_live += n;)
     if (T <= 0.0) return has_work ? kInf : 0.0;
     double e = alpha_m * T + tail_cost(alpha_m, H - T, xi_m);
     for (const auto& tc : ws.tasks) {
@@ -266,12 +279,17 @@ OfflineResult solve_common_release_transition(const TaskSet& tasks,
   ws.capped.assign(n, 0);
   ws.capped_cost.assign(n, 0.0);
   for (std::size_t k = 0; k < n; ++k) {
-    if (ws.tasks[k].work <= 0.0) ws.capped[k] = 1;
+    if (ws.tasks[k].work <= 0.0) {
+      ws.capped[k] = 1;
+      SDEM_OBS_ONLY(++obs_capped;)
+    }
   }
 
   // Same value sequence as `energy`: the cached costs replay bit-for-bit
   // what task_cost_ctx would return, added in the same task order.
   auto energy_piece = [&](double T) {
+    SDEM_OBS_ONLY(++obs_probes; obs_replay += obs_capped;
+                  obs_live += n - obs_capped;)
     if (T <= 0.0) return has_work ? kInf : 0.0;
     double e = alpha_m * T + tail_cost(alpha_m, H - T, xi_m);
     for (std::size_t k = 0; k < n; ++k) {
@@ -297,13 +315,16 @@ OfflineResult solve_common_release_transition(const TaskSet& tasks,
       if (ws.capped[k] != 1 && tc.window_cap <= lo) {
         double run = 0.0, speed = 0.0;
         ws.capped_cost[k] = task_cost_ctx(sc, tc, tc.window_cap, run, speed);
+        SDEM_OBS_ONLY(if (ws.capped[k] == 0) ++obs_capped; ++obs_cap_dl;)
         ws.capped[k] = 1;
       } else if (ws.capped[k] == 0 && tail_free && sc.s_m > 0.0 && lo > 0.0 &&
                  tc.work / lo <= cert_speed) {
         ws.capped_cost[k] = tc.race_cost;
         ws.capped[k] = 2;
+        SDEM_OBS_ONLY(++obs_capped; ++obs_cap_race;)
       }
     }
+    SDEM_OBS_ONLY(++obs_pieces;)
     if (can_prune) {
       // Lower bound of E(T) anywhere in [lo, hi]: the memory terms at their
       // piece minima (alpha_m*T at lo; the tail is nonincreasing in T, so at
@@ -318,7 +339,10 @@ OfflineResult solve_common_release_transition(const TaskSet& tasks,
       for (std::size_t k = 0; k < n; ++k) {
         lb += ws.capped[k] ? ws.capped_cost[k] : ws.tasks[k].cost_floor;
       }
-      if (lb - 1e-12 * std::abs(lb) >= best) continue;
+      if (lb - 1e-12 * std::abs(lb) >= best) {
+        SDEM_OBS_ONLY(++obs_pruned;)
+        continue;
+      }
     }
     const double t = golden_min_t(energy_piece, lo, hi, 1e-13);
     for (double cand : {t, lo, hi}) {
@@ -329,11 +353,21 @@ OfflineResult solve_common_release_transition(const TaskSet& tasks,
       }
     }
   }
+  SDEM_OBS_INC("transition/solves");
+  SDEM_OBS_COUNT("transition/tasks", n);
+  SDEM_OBS_COUNT("transition/probes", obs_probes);
+  SDEM_OBS_COUNT("transition/task_evals_live", obs_live);
+  SDEM_OBS_COUNT("transition/task_evals_cached", obs_replay);
+  SDEM_OBS_COUNT("transition/pieces", obs_pieces);
+  SDEM_OBS_COUNT("transition/pieces_pruned", obs_pruned);
+  SDEM_OBS_COUNT("transition/tasks_capped_deadline", obs_cap_dl);
+  SDEM_OBS_COUNT("transition/tasks_capped_race", obs_cap_race);
   if (!std::isfinite(best)) return res;
 
   res.feasible = true;
   res.energy = best;
   res.sleep_time = H - best_T;
+  SDEM_OBS_DIST("transition/sleep_time_s", res.sleep_time);
   int core = 0;
   for (std::size_t i = 0; i < n; ++i) {
     const Task& t = tasks[i];

@@ -1,0 +1,109 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace sdem::obs::trace {
+
+namespace {
+
+struct Event {
+  const char* name;
+  std::uint64_t ts_ns;
+  char phase;  // 'B' or 'E'
+};
+
+struct ThreadBuffer {
+  int tid = 0;
+  std::vector<Event> events;
+};
+
+struct State {
+  std::mutex mu;
+  std::deque<ThreadBuffer> buffers;  // node-stable; owned for process life
+  std::uint64_t epoch_ns = 0;
+  int next_tid = 0;
+};
+
+State& state() {
+  static State* s = new State();
+  return *s;
+}
+
+std::atomic<bool> g_enabled{false};
+
+ThreadBuffer& local_buffer() {
+  static thread_local ThreadBuffer* buf = nullptr;
+  if (buf == nullptr) {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.buffers.emplace_back();
+    buf = &s.buffers.back();
+    buf->tid = s.next_tid++;
+  }
+  return *buf;
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void start() {
+  State& s = state();
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (auto& b : s.buffers) b.events.clear();
+    s.epoch_ns = now_ns();
+  }
+  g_enabled.store(true, std::memory_order_release);
+}
+
+void stop() { g_enabled.store(false, std::memory_order_release); }
+
+void begin(const char* name, std::uint64_t ts_ns) {
+  local_buffer().events.push_back(Event{name, ts_ns, 'B'});
+}
+
+void end(const char* name, std::uint64_t ts_ns) {
+  local_buffer().events.push_back(Event{name, ts_ns, 'E'});
+}
+
+Json to_json() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  Json events = Json::array();
+  for (const auto& buf : s.buffers) {
+    for (const Event& e : buf.events) {
+      Json j = Json::object();
+      j.set("name", Json(std::string(e.name)));
+      j.set("cat", Json(std::string("sdem")));
+      j.set("ph", Json(std::string(1, e.phase)));
+      j.set("pid", Json(0.0));
+      j.set("tid", Json(static_cast<double>(buf.tid)));
+      // Chrome expects microseconds; fractional values keep full ns
+      // precision.
+      j.set("ts", Json(static_cast<double>(e.ts_ns - s.epoch_ns) * 1e-3));
+      events.push_back(std::move(j));
+    }
+  }
+  Json doc = Json::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", Json(std::string("ms")));
+  return doc;
+}
+
+bool write_file(const std::string& path) {
+  stop();
+  const std::string text = to_json().dump(2);  // dump(2) ends with '\n'
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace sdem::obs::trace

@@ -1,0 +1,41 @@
+// Chrome-trace event sink (chrome://tracing / Perfetto "JSON Array
+// Format"). Recording is off by default; `--trace out.json` on the tools
+// calls start() before the workload and write_file() after. While
+// recording, every ScopedTimer emits a B/E duration pair into a per-thread
+// buffer; serialization assigns dense tids in thread-registration order
+// and reports timestamps as microseconds since start().
+//
+// Event names are stored as `const char*` and must outlive serialization
+// (string literals, or strings owned by a static registry).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/json.hpp"
+
+namespace sdem::obs::trace {
+
+/// Whether a trace is currently being recorded (one relaxed atomic load —
+/// the only cost a ScopedTimer pays for tracing when it is off).
+bool enabled();
+
+/// Clear buffered events and begin recording (sets the trace epoch).
+void start();
+
+/// Stop recording; buffered events stay available for serialization.
+void stop();
+
+/// Append a B (begin) / E (end) duration event on the calling thread.
+/// `ts_ns` is an obs::now_ns() timestamp.
+void begin(const char* name, std::uint64_t ts_ns);
+void end(const char* name, std::uint64_t ts_ns);
+
+/// Serialize buffered events as a Chrome-trace JSON document
+/// ({"traceEvents": [...], "displayTimeUnit": "ms"}).
+Json to_json();
+
+/// stop() + serialize + write to `path`. Returns false on IO failure.
+bool write_file(const std::string& path);
+
+}  // namespace sdem::obs::trace

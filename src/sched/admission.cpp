@@ -5,6 +5,8 @@
 #include <limits>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace sdem {
 
 double demand_bound(const TaskSet& tasks, double t1, double t2) {
@@ -66,6 +68,8 @@ AdmissionReport admit(const TaskSet& tasks, const SystemConfig& cfg) {
   }
   if (std::isfinite(s_up)) r.peak_density /= s_up;
   r.schedulable = schedulable_unbounded(tasks, cfg.core.s_up);
+  SDEM_OBS_INC("admission/checks");
+  if (!r.schedulable) SDEM_OBS_INC("admission/rejects");
   return r;
 }
 

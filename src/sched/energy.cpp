@@ -4,36 +4,52 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace sdem {
 namespace {
 
 struct GapCosts {
-  double idle = 0.0;    ///< time spent idle-awake in gaps
-  double sleeps = 0.0;  ///< number of sleep cycles taken
-  double asleep = 0.0;  ///< time spent asleep
+  double idle = 0.0;       ///< time spent idle-awake in gaps
+  double sleeps = 0.0;     ///< number of sleep cycles taken
+  double asleep = 0.0;     ///< time spent asleep
+  double sleep_min = 0.0;  ///< shortest single sleep interval (0 when none)
+  double sleep_max = 0.0;  ///< longest single sleep interval
 };
 
 /// Decide idle-vs-sleep for every gap between consecutive busy intervals,
 /// including leading/trailing gaps against the horizon when one is given.
 /// Gaps are folded in place (leading, trailing, then internal in order)
-/// rather than materialized.
+/// rather than materialized. `is_memory` routes per-gap samples to the
+/// memory sleep/idle gauges (the device the paper's race-vs-stretch
+/// tension is about).
 GapCosts account_gaps(const std::vector<Interval>& busy, double break_even,
                       SleepDiscipline disc, double horizon_lo,
-                      double horizon_hi) {
+                      double horizon_hi, bool is_memory) {
   GapCosts out;
+  auto sleep_for = [&](double g) {
+    out.sleeps += 1.0;
+    out.asleep += g;
+    if (out.sleeps == 1.0 || g < out.sleep_min) out.sleep_min = g;
+    if (g > out.sleep_max) out.sleep_max = g;
+    if (is_memory) SDEM_OBS_DIST("energy/memory_sleep_interval_s", g);
+  };
+  auto idle_for = [&](double g) {
+    out.idle += g;
+    if (is_memory) SDEM_OBS_DIST("energy/memory_idle_gap_s", g);
+  };
   if (busy.empty()) {
     // A device that never runs: idle-awake across the horizon under kNever,
     // otherwise it sleeps through it (one cycle if the horizon is nonempty).
     if (horizon_hi > horizon_lo) {
       const double span = horizon_hi - horizon_lo;
       if (disc == SleepDiscipline::kNever) {
-        out.idle = span;
+        idle_for(span);
       } else if (disc == SleepDiscipline::kAlways ||
                  (disc == SleepDiscipline::kOptimal && span >= break_even)) {
-        out.sleeps = 1.0;
-        out.asleep = span;
+        sleep_for(span);
       } else {
-        out.idle = span;
+        idle_for(span);
       }
     }
     return out;
@@ -43,20 +59,18 @@ GapCosts account_gaps(const std::vector<Interval>& busy, double break_even,
     if (g <= 0.0) return;
     switch (disc) {
       case SleepDiscipline::kNever:
-        out.idle += g;
+        idle_for(g);
         break;
       case SleepDiscipline::kAlways:
-        out.sleeps += 1.0;
-        out.asleep += g;
+        sleep_for(g);
         break;
       case SleepDiscipline::kOptimal:
         // Sleep iff the gap is at least the break-even time (with a free
         // transition, always sleep).
         if (break_even <= 0.0 || g >= break_even) {
-          out.sleeps += 1.0;
-          out.asleep += g;
+          sleep_for(g);
         } else {
-          out.idle += g;
+          idle_for(g);
         }
         break;
     }
@@ -100,7 +114,8 @@ EnergyBreakdown compute_energy(const Schedule& sched, const SystemConfig& cfg,
           merge_intervals(std::move(per_core[static_cast<std::size_t>(c)]));
       for (const auto& i : busy) e.core_static += cfg.core.alpha * i.length();
       const auto gaps = account_gaps(busy, cfg.core.xi, opts.core_gaps,
-                                     opts.horizon_lo, opts.horizon_hi);
+                                     opts.horizon_lo, opts.horizon_hi,
+                                     /*is_memory=*/false);
       e.core_idle += cfg.core.alpha * gaps.idle;
       e.core_transition += cfg.core.alpha * cfg.core.xi * gaps.sleeps;
     }
@@ -112,11 +127,15 @@ EnergyBreakdown compute_energy(const Schedule& sched, const SystemConfig& cfg,
       e.memory_active += cfg.memory.alpha_m * i.length();
     }
     const auto gaps = account_gaps(busy, cfg.memory.xi_m, opts.memory_gaps,
-                                   opts.horizon_lo, opts.horizon_hi);
+                                   opts.horizon_lo, opts.horizon_hi,
+                                   /*is_memory=*/true);
     e.memory_idle += cfg.memory.alpha_m * gaps.idle;
     e.memory_transition +=
         cfg.memory.alpha_m * cfg.memory.xi_m * gaps.sleeps;
     e.memory_sleep_time = gaps.asleep;
+    e.memory_sleep_cycles = gaps.sleeps;
+    e.memory_sleep_min = gaps.sleep_min;
+    e.memory_sleep_max = gaps.sleep_max;
   }
 
   return e;

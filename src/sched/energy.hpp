@@ -42,6 +42,19 @@ struct EnergyBreakdown {
   double memory_transition = 0.0; ///< alpha_m * xi_m per sleep cycle
   double memory_sleep_time = 0.0; ///< total time the memory spends asleep
 
+  // Memory sleep-interval statistics (paper §3's central quantity): how
+  // many sleep cycles the discipline took and the shortest/longest single
+  // interval. Zero when the memory never sleeps.
+  double memory_sleep_cycles = 0.0;
+  double memory_sleep_min = 0.0;
+  double memory_sleep_max = 0.0;
+
+  /// Mean sleep-interval length (0 when the memory never sleeps).
+  double memory_sleep_mean() const {
+    return memory_sleep_cycles > 0.0 ? memory_sleep_time / memory_sleep_cycles
+                                     : 0.0;
+  }
+
   double core_total() const {
     return core_dynamic + core_static + core_idle + core_transition;
   }

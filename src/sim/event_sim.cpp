@@ -5,10 +5,41 @@
 #include <map>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "support/id_slots.hpp"
 
 namespace sdem {
 namespace {
+
+#if SDEM_OBS
+/// A context switch is a core running a different task than the one it ran
+/// last. Segments are appended chronologically (event windows in time
+/// order, per-core EDF order within a window), so one pass with a per-core
+/// last-task map counts switches; a pure function of the schedule.
+std::uint64_t count_context_switches(const Schedule& schedule) {
+  std::map<int, int> last_task;
+  std::uint64_t switches = 0;
+  for (const auto& seg : schedule.segments()) {
+    const auto [it, fresh] = last_task.emplace(seg.core, seg.task_id);
+    if (!fresh && it->second != seg.task_id) {
+      ++switches;
+      it->second = seg.task_id;
+    }
+  }
+  return switches;
+}
+
+/// End-of-run counter flush shared by both simulate variants.
+void flush_sim_counters(const SimResult& res) {
+  SDEM_OBS_INC("sim/runs");
+  SDEM_OBS_COUNT("sim/replans", res.replans);
+  SDEM_OBS_COUNT("sim/segments", res.schedule.segments().size());
+  SDEM_OBS_COUNT("sim/context_switches",
+                 count_context_switches(res.schedule));
+  SDEM_OBS_COUNT("sim/deadline_misses", res.deadline_misses);
+  SDEM_OBS_COUNT("sim/unfinished_tasks", res.unfinished);
+}
+#endif  // SDEM_OBS
 
 /// Per-run buffers for the event loop. Task ids are interned into dense
 /// slots at admission; completion times and the pending-position index then
@@ -59,6 +90,7 @@ struct SimWorkspace {
 
 SimResult simulate(const TaskSet& arrivals, const SystemConfig& cfg,
                    OnlinePolicy& policy) {
+  SDEM_OBS_TIMER("sim/simulate");
   SimResult res;
   if (arrivals.empty()) return res;
   policy.reset();
@@ -118,6 +150,7 @@ SimResult simulate(const TaskSet& arrivals, const SystemConfig& cfg,
   while (next_arrival < sorted.size() || !pending.empty()) {
     if (next_arrival < sorted.size()) {
       const double t = sorted[next_arrival].release;
+      SDEM_OBS_INC("sim/arrival_events");
       account(t);
       // Admit every task released at this instant.
       while (next_arrival < sorted.size() &&
@@ -154,6 +187,9 @@ SimResult simulate(const TaskSet& arrivals, const SystemConfig& cfg,
     }
   }
   res.horizon_hi = std::max(sorted.max_deadline(), res.schedule.end_time());
+#if SDEM_OBS
+  flush_sim_counters(res);
+#endif
   return res;
 }
 
@@ -161,6 +197,7 @@ SimResult simulate_with_actuals(const TaskSet& arrivals,
                                 const SystemConfig& cfg, OnlinePolicy& policy,
                                 const std::map<int, double>& actual_fraction,
                                 bool replan_on_completion) {
+  SDEM_OBS_TIMER("sim/simulate_with_actuals");
   SimResult res;
   if (arrivals.empty()) return res;
   policy.reset();
@@ -305,10 +342,12 @@ SimResult simulate_with_actuals(const TaskSet& arrivals,
       break;
     }
     if (t_done < t_arr) {
+      SDEM_OBS_INC("sim/completion_events");
       account(t_done);
       replan_now(t_done, /*completion=*/true);
       continue;
     }
+    SDEM_OBS_INC("sim/arrival_events");
     account(t_arr);
     while (next_arrival < sorted.size() &&
            sorted[next_arrival].release == t_arr) {
@@ -345,6 +384,9 @@ SimResult simulate_with_actuals(const TaskSet& arrivals,
     }
   }
   res.horizon_hi = std::max(sorted.max_deadline(), res.schedule.end_time());
+#if SDEM_OBS
+  flush_sim_counters(res);
+#endif
   return res;
 }
 

@@ -2,6 +2,7 @@
 
 #include "baseline/mbkp.hpp"
 #include "core/online_sdem.hpp"
+#include "obs/obs.hpp"
 
 namespace sdem {
 
@@ -46,6 +47,7 @@ double Comparison::memory_saving_sdem() const {
 }
 
 Comparison run_comparison(const TaskSet& arrivals, const SystemConfig& cfg) {
+  SDEM_OBS_TIMER("metrics/run_comparison");
   Comparison cmp;
 
   MbkpPolicy mbkp;
@@ -58,6 +60,10 @@ Comparison run_comparison(const TaskSet& arrivals, const SystemConfig& cfg) {
   const SimResult sdem_sim = simulate(arrivals, cfg, sdem);
   cmp.sdem =
       evaluate_policy(sdem_sim, cfg, SleepDiscipline::kOptimal, "SDEM-ON");
+  // Per-run headline gauges: how long the memory sleeps under each policy's
+  // schedule across the whole comparison horizon.
+  SDEM_OBS_DIST("metrics/sdem_memory_sleep_s", cmp.sdem.memory_sleep_time);
+  SDEM_OBS_DIST("metrics/mbkps_memory_sleep_s", cmp.mbkps.memory_sleep_time);
   return cmp;
 }
 

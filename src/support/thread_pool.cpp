@@ -3,6 +3,8 @@
 #include <atomic>
 #include <memory>
 
+#include "obs/obs.hpp"
+
 namespace sdem {
 
 ThreadPool::ThreadPool(int threads) {
@@ -69,13 +71,18 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
+      SDEM_OBS_ONLY(const std::uint64_t idle0 = obs::now_ns();)
       std::unique_lock<std::mutex> lock(mu_);
       work_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      SDEM_OBS_RUNTIME_DIST("thread_pool/worker_idle_s",
+                            static_cast<double>(obs::now_ns() - idle0) * 1e-9);
       task = std::move(queue_.front());
       queue_.pop();
     }
     try {
+      SDEM_OBS_RUNTIME_COUNT("thread_pool/tasks_executed", 1);
+      SDEM_OBS_TIMER("thread_pool/task");
       task();
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);

@@ -1,0 +1,170 @@
+// Observability layer (src/obs/, docs/observability.md): the acceptance
+// properties the instrumentation must keep — deterministic-domain counters
+// identical whatever the thread count, reset that keeps cached call-site
+// cells valid, macros that compile to no-ops under SDEM_OBS=0 (this file
+// builds and passes in both modes), and a Chrome-trace sink whose B/E
+// duration pairs are monotone and well-nested per thread.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_registry.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "support/json.hpp"
+#include "support/thread_pool.hpp"
+
+namespace sdem {
+namespace {
+
+using obs::Registry;
+
+TEST(Obs, MacroCountersReachTheRegistry) {
+  Registry::instance().reset();
+  SDEM_OBS_COUNT("test_obs/macro", 3);
+  SDEM_OBS_INC("test_obs/macro");
+  SDEM_OBS_INC("test_obs/macro");
+  const obs::Snapshot snap = Registry::instance().snapshot();
+  const std::uint64_t* c = snap.counter("test_obs/macro");
+  if (obs::compiled()) {
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(*c, 5u);
+  } else {
+    // SDEM_OBS=0: the macros vanish, the registry stays linked but empty.
+    EXPECT_EQ(c, nullptr);
+  }
+}
+
+TEST(Obs, DistTracksCountMinMeanMax) {
+  if (!obs::compiled()) GTEST_SKIP() << "built with SDEM_OBS=0";
+  Registry::instance().reset();
+  SDEM_OBS_DIST("test_obs/dist", 0.5);
+  SDEM_OBS_DIST("test_obs/dist", 2.0);
+  SDEM_OBS_DIST("test_obs/dist", 1.5);
+  const obs::Snapshot snap = Registry::instance().snapshot();
+  const obs::DistValue* d = snap.dist("test_obs/dist");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->count, 3u);
+  EXPECT_DOUBLE_EQ(d->min, 0.5);
+  EXPECT_DOUBLE_EQ(d->max, 2.0);
+  EXPECT_NEAR(d->mean(), 4.0 / 3.0, 1e-6);
+}
+
+TEST(Obs, ResetZeroesButKeepsRegistration) {
+  if (!obs::compiled()) GTEST_SKIP() << "built with SDEM_OBS=0";
+  Registry::instance().reset();
+  SDEM_OBS_COUNT("test_obs/reset_me", 7);
+  Registry::instance().reset();
+  const obs::Snapshot snap = Registry::instance().snapshot();
+  const std::uint64_t* c = snap.counter("test_obs/reset_me");
+  ASSERT_NE(c, nullptr);  // registration survives (cached cells stay valid)
+  EXPECT_EQ(*c, 0u);
+  // The cached call-site cell still works after the reset.
+  SDEM_OBS_COUNT("test_obs/reset_me", 2);
+  const obs::Snapshot snap2 = Registry::instance().snapshot();
+  EXPECT_EQ(*snap2.counter("test_obs/reset_me"), 2u);
+}
+
+TEST(Obs, ShardsFromOtherThreadsMergeIntoTheSnapshot) {
+  if (!obs::compiled()) GTEST_SKIP() << "built with SDEM_OBS=0";
+  Registry::instance().reset();
+  SDEM_OBS_COUNT("test_obs/merged", 1);
+  std::thread t([] { SDEM_OBS_COUNT("test_obs/merged", 10); });
+  t.join();
+  const obs::Snapshot snap = Registry::instance().snapshot();
+  EXPECT_EQ(*snap.counter("test_obs/merged"), 11u);
+}
+
+// The tentpole acceptance property: the deterministic counter domain of a
+// real experiment is a pure function of the work done, so running the same
+// sweep serially and on four workers yields byte-identical counters JSON.
+TEST(Obs, CounterMergeIsJobCountIndependent) {
+  bench::RunOptions opt;
+  opt.seeds = 2;
+  const bench::Experiment* e = bench::find_experiment("online_vs_offline");
+  ASSERT_NE(e, nullptr);
+
+  Registry::instance().reset();
+  opt.pool = nullptr;  // serial reference
+  (void)e->run(opt);
+  const std::string serial =
+      Registry::instance().snapshot().counters_json().dump(2);
+
+  ThreadPool pool(4);
+  Registry::instance().reset();
+  opt.pool = &pool;
+  (void)e->run(opt);
+  const std::string pooled =
+      Registry::instance().snapshot().counters_json().dump(2);
+
+  EXPECT_EQ(serial, pooled);
+  if (obs::compiled()) {
+    // Not vacuous: the run populated simulator and solver counters.
+    EXPECT_NE(serial.find("sim/runs"), std::string::npos);
+    EXPECT_NE(serial.find("agreeable/solves"), std::string::npos);
+  }
+}
+
+// Walk a Chrome-trace document: per tid, timestamps must be monotone
+// non-decreasing and B/E events must form a balanced, well-nested stack
+// (every E closes the innermost open B of the same name).
+void check_trace_events(const Json& doc, std::size_t* total) {
+  const Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  std::map<int, std::vector<std::string>> stacks;
+  std::map<int, double> last_ts;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const Json& e = events->at(i);
+    const std::string ph = e.at("ph").as_string();
+    const int tid = static_cast<int>(e.at("tid").as_number());
+    const double ts = e.at("ts").as_number();
+    const auto it = last_ts.find(tid);
+    if (it != last_ts.end()) {
+      EXPECT_GE(ts, it->second) << "timestamps regress on tid " << tid;
+    }
+    last_ts[tid] = ts;
+    if (ph == "B") {
+      stacks[tid].push_back(e.at("name").as_string());
+    } else if (ph == "E") {
+      ASSERT_FALSE(stacks[tid].empty()) << "E without B on tid " << tid;
+      EXPECT_EQ(stacks[tid].back(), e.at("name").as_string());
+      stacks[tid].pop_back();
+    }
+  }
+  for (const auto& [tid, stack] : stacks) {
+    EXPECT_TRUE(stack.empty()) << "unclosed B events on tid " << tid;
+  }
+  *total = events->size();
+}
+
+TEST(ObsTrace, EventsAreMonotoneAndWellNestedPerThread) {
+  obs::trace::start();
+  {
+    SDEM_OBS_TIMER("test_obs/outer");
+    {
+      SDEM_OBS_TIMER("test_obs/inner");
+    }
+    std::thread t([] { SDEM_OBS_TIMER("test_obs/worker"); });
+    t.join();
+  }
+  obs::trace::stop();
+
+  // Round-trip through text: the file the tools write must parse with the
+  // same JSON implementation chrome://tracing-bound consumers start from.
+  const Json doc = Json::parse(obs::trace::to_json().dump(2));
+  std::size_t total = 0;
+  check_trace_events(doc, &total);
+  if (obs::compiled()) {
+    EXPECT_GE(total, 6u);  // three timers -> three B/E pairs
+  } else {
+    EXPECT_EQ(total, 0u);  // timers are no-ops; recording stays empty
+  }
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+}
+
+}  // namespace
+}  // namespace sdem

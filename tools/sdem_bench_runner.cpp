@@ -26,6 +26,8 @@
 #include <vector>
 
 #include "bench_registry.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "support/json.hpp"
 #include "support/thread_pool.hpp"
 
@@ -47,8 +49,10 @@ int usage(int code) {
       "  --jobs N          worker threads; 1 = serial (default: hardware)\n"
       "  --out PATH        JSON path for a single-experiment run; '-' for\n"
       "                    stdout; default BENCH_<name>.json per experiment\n"
-      "  --stable          omit timings and job count from the JSON\n"
-      "                    (byte-reproducible across runs and --jobs)\n"
+      "  --stable          omit timings, job count, and observability\n"
+      "                    sections from the JSON (byte-reproducible across\n"
+      "                    runs and --jobs)\n"
+      "  --trace PATH      record a chrome://tracing JSON of the whole run\n"
       "  --md              print tables as markdown (EXPERIMENTS.md format)\n"
       "  --quiet           suppress tables; JSON and summary only\n"
       "  --help            this message\n");
@@ -74,6 +78,15 @@ Json make_document(const Experiment& e, const ExperimentResult& r, int seeds,
     doc.set("solver_seconds_total", r.solver_seconds_total);
   }
   doc.set("data", stable ? r.data.without_key("solver_seconds") : r.data);
+  // Observability sections (docs/observability.md): "counters" holds the
+  // deterministic domain (identical values at any --jobs), "runtime" the
+  // scheduling/clock-dependent one. Strictly additive, and omitted under
+  // --stable so golden byte comparisons predate-obs stay valid.
+  if (!stable && sdem::obs::compiled()) {
+    const sdem::obs::Snapshot snap = sdem::obs::Registry::instance().snapshot();
+    doc.set("counters", snap.counters_json());
+    doc.set("runtime", snap.runtime_json());
+  }
   return doc;
 }
 
@@ -98,6 +111,7 @@ bool write_file(const std::string& path, const std::string& bytes) {
 int main(int argc, char** argv) {
   std::string filter;
   std::string out_path;
+  std::string trace_path;
   int seeds = 0;
   int jobs = ThreadPool::hardware_jobs();
   bool list = false, md = false, quiet = false, stable = false;
@@ -131,6 +145,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--out") {
       out_path = value("--out");
+    } else if (arg == "--trace") {
+      trace_path = value("--trace");
     } else if (arg == "--stable") {
       stable = true;
     } else if (arg == "--md") {
@@ -172,12 +188,18 @@ int main(int argc, char** argv) {
   std::unique_ptr<ThreadPool> pool;
   if (jobs > 1) pool = std::make_unique<ThreadPool>(jobs);
 
+  if (!trace_path.empty()) obs::trace::start();
+
   double total_wall = 0.0;
   for (const Experiment* e : selected) {
     RunOptions opt;
     opt.seeds = seeds;
     opt.pool = pool.get();
+    // Fresh counters per experiment: the "counters" section of
+    // BENCH_<name>.json covers exactly this experiment's work.
+    obs::Registry::instance().reset();
     const auto t0 = std::chrono::steady_clock::now();
+    const obs::ScopedTimer exp_timer(e->name.c_str());
     const ExperimentResult r = e->run(opt);
     const double wall = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - t0)
@@ -208,6 +230,14 @@ int main(int argc, char** argv) {
                    e->name.c_str(), wall, r.solver_seconds_total,
                    path.c_str());
     }
+  }
+  if (!trace_path.empty()) {
+    if (!obs::trace::write_file(trace_path)) {
+      std::fprintf(stderr, "cannot write trace %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace -> %s (open in chrome://tracing)\n",
+                 trace_path.c_str());
   }
   std::fprintf(stderr, "%zu experiment(s), %d job(s), %.2fs total\n",
                selected.size(), jobs, total_wall);

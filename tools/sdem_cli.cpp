@@ -19,8 +19,10 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/agreeable.hpp"
+#include "obs/trace.hpp"
 #include "core/common_release_alpha.hpp"
 #include "core/common_release_alpha0.hpp"
 #include "core/online_sdem.hpp"
@@ -54,7 +56,9 @@ int usage() {
                "agreeable} < tasks.csv |\n"
                "       sdem_cli simulate {sdem-on|mbkp|race|stretch|critical}"
                " < tasks.csv |\n"
-               "       sdem_cli compare < tasks.csv | sdem_cli selftest\n");
+               "       sdem_cli compare < tasks.csv | sdem_cli selftest\n"
+               "  --trace PATH   (any command) record a chrome://tracing "
+               "JSON\n");
   return 2;
 }
 
@@ -229,18 +233,44 @@ int cmd_selftest() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Pre-scan for the global --trace flag (valid on any command) so the
+  // per-command argv parsing below stays untouched.
+  std::string trace_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
+  if (!trace_path.empty()) sdem::obs::trace::start();
+
+  int rc = 2;
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
-    if (cmd == "gen") return cmd_gen(argc - 2, argv + 2);
-    if (cmd == "solve") return cmd_solve(argc - 2, argv + 2);
-    if (cmd == "simulate") return cmd_simulate(argc - 2, argv + 2);
-    if (cmd == "svg") return cmd_svg(argc - 2, argv + 2);
-    if (cmd == "compare") return cmd_compare();
-    if (cmd == "selftest") return cmd_selftest();
+    if (cmd == "gen") rc = cmd_gen(argc - 2, argv + 2);
+    else if (cmd == "solve") rc = cmd_solve(argc - 2, argv + 2);
+    else if (cmd == "simulate") rc = cmd_simulate(argc - 2, argv + 2);
+    else if (cmd == "svg") rc = cmd_svg(argc - 2, argv + 2);
+    else if (cmd == "compare") rc = cmd_compare();
+    else if (cmd == "selftest") rc = cmd_selftest();
+    else rc = usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    rc = 1;
   }
-  return usage();
+  if (!trace_path.empty()) {
+    if (!sdem::obs::trace::write_file(trace_path)) {
+      std::fprintf(stderr, "cannot write trace %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace -> %s (open in chrome://tracing)\n",
+                 trace_path.c_str());
+  }
+  return rc;
 }

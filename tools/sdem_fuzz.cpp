@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "support/thread_pool.hpp"
 #include "testing/fuzz_driver.hpp"
 
@@ -46,7 +47,8 @@ int usage(const char* argv0) {
       << "  --no-reference      skip the slow grid-reference oracles\n"
       << "  --quiet             no per-failure regression-test dump\n"
       << "  --replay FILE...    replay repro files instead of fuzzing\n"
-      << "  --replay-dir DIR    replay every *.repro.json in DIR\n";
+      << "  --replay-dir DIR    replay every *.repro.json in DIR\n"
+      << "  --trace PATH        record a chrome://tracing JSON of the run\n";
   return 2;
 }
 
@@ -61,6 +63,7 @@ int main(int argc, char** argv) {
   int jobs = 2;
   std::vector<std::string> replay_files;
   std::string replay_dir;
+  std::string trace_path;
 
   const auto need_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
@@ -113,6 +116,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--replay-dir") {
       replay_dir = need_value(i);
+    } else if (arg == "--trace") {
+      trace_path = need_value(i);
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -125,6 +130,18 @@ int main(int argc, char** argv) {
     opts.models = {ModelClass::kCommonRelease, ModelClass::kAgreeable,
                    ModelClass::kGeneral};
   }
+
+  if (!trace_path.empty()) sdem::obs::trace::start();
+  const auto finish = [&](int rc) {
+    if (trace_path.empty()) return rc;
+    if (!sdem::obs::trace::write_file(trace_path)) {
+      std::cerr << "cannot write trace " << trace_path << "\n";
+      return rc == 0 ? 1 : rc;
+    }
+    std::cerr << "trace -> " << trace_path
+              << " (open in chrome://tracing)\n";
+    return rc;
+  };
 
   std::unique_ptr<sdem::ThreadPool> pool;
   if (jobs > 0) {
@@ -142,7 +159,7 @@ int main(int argc, char** argv) {
       failing += sdem::testing::replay_corpus(replay_dir, opts.check,
                                               std::cout);
     }
-    return failing == 0 ? 0 : 1;
+    return finish(failing == 0 ? 0 : 1);
   }
 
   const auto report = sdem::testing::run_fuzz(opts, std::cout);
@@ -153,5 +170,5 @@ int main(int argc, char** argv) {
             << report.seconds << "s"
             << (report.budget_exhausted ? " [budget]" : "") << ", "
             << report.failures.size() << " failure(s)\n";
-  return report.clean() ? 0 : 1;
+  return finish(report.clean() ? 0 : 1);
 }
