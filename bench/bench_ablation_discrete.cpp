@@ -4,56 +4,11 @@
 // two-level splits close the gap as ladders densify. This bench quantifies
 // that: realize Section 4.2 optimal schedules on ladders of increasing
 // density (plus the A57's actual OPP table) and report the energy penalty.
-#include "bench_util.hpp"
-#include "core/common_release_alpha.hpp"
-#include "core/discrete_solver.hpp"
-#include "core/discretize.hpp"
-#include "sched/energy.hpp"
-#include "workload/generator.hpp"
+//
+// The sweep itself lives in bench/bench_experiments.cpp as the registered
+// experiment "ablation_discrete"; this binary prints its default run (same
+// bytes as the pre-registry standalone). `sdem_bench_runner --filter
+// ablation_discrete` adds JSON output, seed/job control, and markdown.
+#include "bench_registry.hpp"
 
-using namespace sdem;
-using namespace sdem::bench;
-
-int main() {
-  auto cfg = paper_cfg();
-  cfg.core.s_min = 0.0;
-  cfg.memory.xi_m = 0.0;
-  cfg.num_cores = 0;
-  constexpr int kSeeds = 20;
-
-  print_header("Ablation — discrete DVFS ladders vs continuous speeds",
-               "Section 4.2 optimum realized on uniform ladders spanning "
-               "700..1900 MHz; penalty = (E_disc - E_cont) / E_cont");
-
-  Table t({"ladder", "post-hoc penalty %", "ladder-aware penalty %",
-           "max post-hoc %", "avg splits"});
-  auto run = [&](const std::string& label, const FrequencyLadder& ladder) {
-    double sum = 0.0, worst = 0.0, splits = 0.0, aware_sum = 0.0;
-    for (int seed = 1; seed <= kSeeds; ++seed) {
-      const TaskSet ts = make_common_release(10, 0.0, seed * 61);
-      const auto cont = solve_common_release_alpha(ts, cfg);
-      if (!cont.feasible) continue;
-      const double base = system_energy(cont.schedule, cfg);
-      const auto d = discretize_schedule(cont.schedule, ladder);
-      const double e = system_energy(d.schedule, cfg);
-      const double pen = (e - base) / base;
-      sum += pen;
-      worst = std::max(worst, pen);
-      splits += d.splits;
-      // Solving directly over the ladder (discrete-aware optimum).
-      const auto aware = solve_common_release_discrete(ts, cfg, ladder);
-      aware_sum += (aware.energy - base) / base;
-    }
-    t.add_row({label, Table::fmt(100.0 * sum / kSeeds, 3),
-               Table::fmt(100.0 * aware_sum / kSeeds, 3),
-               Table::fmt(100.0 * worst, 3), Table::fmt(splits / kSeeds, 1)});
-  };
-
-  for (int n : {2, 3, 4, 6, 8, 16, 32}) {
-    run(std::to_string(n) + " uniform",
-        FrequencyLadder::uniform(n, 700.0, 1900.0));
-  }
-  run("A57 OPPs (6)", FrequencyLadder::a57_opps());
-  print_table(t);
-  return 0;
-}
+int main() { return sdem::bench::run_standalone("ablation_discrete"); }

@@ -5,46 +5,12 @@
 // SDEM-ON/eager keeps the Section 4 execution lengths but starts every
 // batch immediately. The gap between the two columns is the value of the
 // paper's step 5 — it should grow as the system idles (more room to align).
-#include "bench_util.hpp"
-#include "core/online_sdem.hpp"
-#include "workload/generator.hpp"
+//
+// The sweep itself lives in bench/bench_experiments.cpp as the registered
+// experiment "ablation_procrastination"; this binary prints its default run
+// (same bytes as the pre-registry standalone). `sdem_bench_runner --filter
+// ablation_procrastination` adds JSON output, seed/job control, and
+// markdown.
+#include "bench_registry.hpp"
 
-using namespace sdem;
-using namespace sdem::bench;
-
-int main() {
-  const auto cfg = paper_cfg();
-  constexpr int kSeeds = 10;
-  constexpr int kTasks = 120;
-
-  print_header("Ablation — procrastination (step 5 of the online listing)",
-               "system energy saving vs MBKP; eager = same speeds, no "
-               "alignment sleep");
-
-  Table t({"x (ms)", "SDEM-ON saving %", "eager saving %",
-           "procrastination value (pp)"});
-  for (int x = 100; x <= 800; x += 100) {
-    double e_mbkp = 0, e_sdem = 0, e_eager = 0;
-    for (int seed = 1; seed <= kSeeds; ++seed) {
-      SyntheticParams p;
-      p.num_tasks = kTasks;
-      p.max_interarrival = x / 1000.0;
-      const TaskSet trace = make_synthetic(p, seed * 4241 + x);
-
-      const auto cmp = run_comparison(trace, cfg);
-      e_mbkp += cmp.mbkp.energy.system_total();
-      e_sdem += cmp.sdem.energy.system_total();
-
-      SdemOnPolicy eager(/*procrastinate=*/false);
-      const auto sim = simulate(trace, cfg, eager);
-      e_eager += evaluate_policy(sim, cfg, SleepDiscipline::kOptimal, "eager")
-                     .energy.system_total();
-    }
-    const double s_sdem = 100.0 * (e_mbkp - e_sdem) / e_mbkp;
-    const double s_eager = 100.0 * (e_mbkp - e_eager) / e_mbkp;
-    t.add_row({std::to_string(x), Table::fmt(s_sdem, 2),
-               Table::fmt(s_eager, 2), Table::fmt(s_sdem - s_eager, 2)});
-  }
-  print_table(t);
-  return 0;
-}
+int main() { return sdem::bench::run_standalone("ablation_procrastination"); }

@@ -5,43 +5,12 @@
 // of the main benches). Shows why break-even awareness matters: with busy
 // systems and a large xi_m, kAlways is WORSE than never sleeping at all —
 // the pathology the paper's Table 3 analysis exists to avoid.
-#include "baseline/mbkp.hpp"
-#include "bench_util.hpp"
-#include "workload/generator.hpp"
+//
+// The sweep itself lives in bench/bench_experiments.cpp as the registered
+// experiment "ablation_sleep_discipline"; this binary prints its default
+// run (same bytes as the pre-registry standalone). `sdem_bench_runner
+// --filter ablation_sleep_discipline` adds JSON output, seed/job control,
+// and markdown.
+#include "bench_registry.hpp"
 
-using namespace sdem;
-using namespace sdem::bench;
-
-int main() {
-  constexpr int kSeeds = 10;
-  constexpr int kTasks = 120;
-
-  print_header("Ablation — memory gap discipline on the MBKP schedule",
-               "system energy (J, avg over seeds); x sweeps utilization; "
-               "xi_m = 40 ms, alpha_m = 4 W");
-
-  Table t({"x (ms)", "never (MBKP)", "always", "break-even (MBKPS)",
-           "always vs never %"});
-  const auto cfg = paper_cfg();
-  for (int x = 100; x <= 800; x += 100) {
-    double e_never = 0, e_always = 0, e_opt = 0;
-    for (int seed = 1; seed <= kSeeds; ++seed) {
-      SyntheticParams p;
-      p.num_tasks = kTasks;
-      p.max_interarrival = x / 1000.0;
-      MbkpPolicy pol;
-      const auto sim = simulate(make_synthetic(p, seed * 31 + x), cfg, pol);
-      e_never += evaluate_policy(sim, cfg, SleepDiscipline::kNever, "n")
-                     .energy.system_total();
-      e_always += evaluate_policy(sim, cfg, SleepDiscipline::kAlways, "a")
-                      .energy.system_total();
-      e_opt += evaluate_policy(sim, cfg, SleepDiscipline::kOptimal, "o")
-                   .energy.system_total();
-    }
-    t.add_row({std::to_string(x), Table::fmt(e_never / kSeeds, 4),
-               Table::fmt(e_always / kSeeds, 4), Table::fmt(e_opt / kSeeds, 4),
-               Table::fmt(100.0 * (e_always - e_never) / e_never, 2)});
-  }
-  print_table(t);
-  return 0;
-}
+int main() { return sdem::bench::run_standalone("ablation_sleep_discipline"); }

@@ -5,59 +5,11 @@
 // (load phase), the realized memory busy time shrinks — this bench measures
 // how much energy the conservative assumption leaves on the table, for both
 // SDEM-ON and MBKP schedules, across access fractions.
-#include "baseline/mbkp.hpp"
-#include "bench_util.hpp"
-#include "core/online_sdem.hpp"
-#include "model/access.hpp"
-#include "workload/generator.hpp"
+//
+// The sweep itself lives in bench/bench_experiments.cpp as the registered
+// experiment "access_sensitivity"; this binary prints its default run (same
+// bytes as the pre-registry standalone). `sdem_bench_runner --filter
+// access_sensitivity` adds JSON output, seed/job control, and markdown.
+#include "bench_registry.hpp"
 
-using namespace sdem;
-using namespace sdem::bench;
-
-int main() {
-  const auto cfg = paper_cfg();
-  constexpr int kSeeds = 10;
-
-  print_header("Extension — memory energy vs per-task access fraction",
-               "tasks access DRAM only during the first f of each run; "
-               "schedules unchanged (planned with f = 1), accounting "
-               "refined; x = 400 ms");
-
-  Table t({"fraction f", "SDEM-ON mem (J)", "vs f=1 %", "MBKP-sched mem (J)",
-           "vs f=1 %"});
-  double sdem_base = 0.0, mbkp_base = 0.0;
-  for (double f : {1.0, 0.8, 0.6, 0.4, 0.2}) {
-    double e_sdem = 0.0, e_mbkp = 0.0;
-    for (int seed = 1; seed <= kSeeds; ++seed) {
-      SyntheticParams p;
-      p.num_tasks = 120;
-      p.max_interarrival = 0.400;
-      const TaskSet ts = make_synthetic(p, seed * 29);
-
-      std::map<int, TaskAccess> acc;
-      for (const auto& task : ts.tasks()) {
-        acc[task.id] = {AccessPattern::kPrefix, f};
-      }
-      SdemOnPolicy sdem;
-      const auto s1 = simulate(ts, cfg, sdem);
-      e_sdem += access_aware_memory_energy(s1.schedule, acc, cfg.memory,
-                                           s1.horizon_lo, s1.horizon_hi)
-                    .total();
-      MbkpPolicy mbkp;
-      const auto s2 = simulate(ts, cfg, mbkp);
-      e_mbkp += access_aware_memory_energy(s2.schedule, acc, cfg.memory,
-                                           s2.horizon_lo, s2.horizon_hi)
-                    .total();
-    }
-    if (f == 1.0) {
-      sdem_base = e_sdem;
-      mbkp_base = e_mbkp;
-    }
-    t.add_row({Table::fmt(f, 1), Table::fmt(e_sdem / kSeeds, 3),
-               Table::fmt(100.0 * (e_sdem / sdem_base - 1.0), 2),
-               Table::fmt(e_mbkp / kSeeds, 3),
-               Table::fmt(100.0 * (e_mbkp / mbkp_base - 1.0), 2)});
-  }
-  print_table(t);
-  return 0;
-}
+int main() { return sdem::bench::run_standalone("access_sensitivity"); }

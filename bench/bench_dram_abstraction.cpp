@@ -6,60 +6,11 @@
 // either tiny (everything stays active) or long (self refresh dominates),
 // largest in the mid-gap band where the machine uses power-down, a state
 // the two-level abstraction cannot express.
-#include "baseline/mbkp.hpp"
-#include "bench_util.hpp"
-#include "core/online_sdem.hpp"
-#include "mem/dram.hpp"
-#include "workload/generator.hpp"
+//
+// The sweep itself lives in bench/bench_experiments.cpp as the registered
+// experiment "dram_abstraction"; this binary prints its default run (same
+// bytes as the pre-registry standalone). `sdem_bench_runner --filter
+// dram_abstraction` adds JSON output, seed/job control, and markdown.
+#include "bench_registry.hpp"
 
-using namespace sdem;
-using namespace sdem::bench;
-
-int main() {
-  const auto dram = DramPowerParams::paper_50nm();
-  const auto abs = abstraction_for(dram);
-  auto cfg = paper_cfg();
-  cfg.memory.alpha_m = abs.alpha_m;
-  cfg.memory.xi_m = abs.xi_m;
-  constexpr int kSeeds = 10;
-
-  print_header("Substrate — DRAM state machine vs the paper's abstraction",
-               "machine: active 4.25 W / power-down 1.4 W / self-refresh "
-               "0.25 W; abstraction: alpha_m = " + Table::fmt(abs.alpha_m, 2) +
-                   " W, xi_m = " + Table::fmt(abs.xi_m * 1e3, 0) + " ms");
-
-  Table t({"x (ms)", "SDEM-ON machine (J)", "SDEM-ON abstract (J)", "err %",
-           "naps/sleeps"});
-  for (int x = 100; x <= 800; x += 100) {
-    double machine = 0.0, abstract = 0.0;
-    int naps = 0, sleeps = 0;
-    for (int seed = 1; seed <= kSeeds; ++seed) {
-      SyntheticParams p;
-      p.num_tasks = 120;
-      p.max_interarrival = x / 1000.0;
-      const TaskSet ts = make_synthetic(p, seed * 53 + x);
-      SdemOnPolicy pol;
-      const SimResult sim = simulate(ts, cfg, pol);
-      OracleDramPolicy oracle;
-      const auto r =
-          replay_dram(sim.schedule, dram, oracle, sim.horizon_lo,
-                      sim.horizon_hi);
-      machine += r.total();
-      naps += r.powerdown_cycles;
-      sleeps += r.selfrefresh_cycles;
-      const auto ev =
-          evaluate_policy(sim, cfg, SleepDiscipline::kOptimal, "sdem");
-      abstract += ev.energy.memory_total() +
-                  abs.floor_power * (sim.horizon_hi - sim.horizon_lo);
-    }
-    t.add_row({std::to_string(x), Table::fmt(machine / kSeeds, 3),
-               Table::fmt(abstract / kSeeds, 3),
-               Table::fmt(100.0 * (abstract - machine) / machine, 2),
-               std::to_string(naps / kSeeds) + "/" +
-                   std::to_string(sleeps / kSeeds)});
-  }
-  print_table(t);
-  std::printf("positive err %% = the abstraction over-charges (machine finds "
-              "cheaper shallow states).\n");
-  return 0;
-}
+int main() { return sdem::bench::run_standalone("dram_abstraction"); }

@@ -6,49 +6,11 @@
 // This bench re-accounts the SDEM-ON and MBKP schedules under 1/2/4/8
 // ranks: the coordination advantage (SDEM-ON vs the memory-oblivious
 // schedule) should shrink as ranks decouple the cores.
-#include "baseline/mbkp.hpp"
-#include "bench_util.hpp"
-#include "core/online_sdem.hpp"
-#include "mem/ranks.hpp"
-#include "workload/generator.hpp"
+//
+// The sweep itself lives in bench/bench_experiments.cpp as the registered
+// experiment "rank_granularity"; this binary prints its default run (same
+// bytes as the pre-registry standalone). `sdem_bench_runner --filter
+// rank_granularity` adds JSON output, seed/job control, and markdown.
+#include "bench_registry.hpp"
 
-using namespace sdem;
-using namespace sdem::bench;
-
-int main() {
-  const auto cfg = paper_cfg();
-  constexpr int kSeeds = 10;
-
-  print_header("Extension — rank-granular memory power-down",
-               "memory energy (J, avg) of the same schedules accounted with "
-               "1..8 ranks; x = 300 ms, alpha_m = 4 W, xi_m = 40 ms");
-
-  Table t({"ranks", "SDEM-ON mem (J)", "MBKP-sched mem (J)",
-           "SDEM-ON advantage %"});
-  for (int ranks : {1, 2, 4, 8}) {
-    double e_sdem = 0.0, e_mbkp = 0.0;
-    for (int seed = 1; seed <= kSeeds; ++seed) {
-      SyntheticParams p;
-      p.num_tasks = 120;
-      p.max_interarrival = 0.300;
-      const TaskSet ts = make_synthetic(p, seed * 41);
-      SdemOnPolicy sdem;
-      const auto s1 = simulate(ts, cfg, sdem);
-      e_sdem += rank_memory_energy(s1.schedule, cfg.memory, ranks, 8,
-                                   s1.horizon_lo, s1.horizon_hi)
-                    .total();
-      MbkpPolicy mbkp;
-      const auto s2 = simulate(ts, cfg, mbkp);
-      e_mbkp += rank_memory_energy(s2.schedule, cfg.memory, ranks, 8,
-                                   s2.horizon_lo, s2.horizon_hi)
-                    .total();
-    }
-    t.add_row({std::to_string(ranks), Table::fmt(e_sdem / kSeeds, 3),
-               Table::fmt(e_mbkp / kSeeds, 3),
-               Table::fmt(100.0 * (e_mbkp - e_sdem) / e_mbkp, 2)});
-  }
-  print_table(t);
-  std::printf("monolithic memory (1 rank) is where coordinating the common "
-              "idle time — this paper — matters most.\n");
-  return 0;
-}
+int main() { return sdem::bench::run_standalone("rank_granularity"); }

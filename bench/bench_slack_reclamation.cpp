@@ -4,65 +4,11 @@
 // Tasks execute only a fraction of their declared WCET. SDEM-ON replans on
 // early completions, redistributing the slack into slower speeds and longer
 // memory sleep; the no-replan variant just idles the freed time away.
-#include "bench_util.hpp"
-#include "core/online_sdem.hpp"
-#include "workload/generator.hpp"
+//
+// The sweep itself lives in bench/bench_experiments.cpp as the registered
+// experiment "slack_reclamation"; this binary prints its default run (same
+// bytes as the pre-registry standalone). `sdem_bench_runner --filter
+// slack_reclamation` adds JSON output, seed/job control, and markdown.
+#include "bench_registry.hpp"
 
-using namespace sdem;
-using namespace sdem::bench;
-
-int main() {
-  const auto cfg = paper_cfg();
-  constexpr int kSeeds = 10;
-
-  print_header("Extension — slack reclamation (actual / WCET sweep)",
-               "system energy (J, avg); 'reclaim' replans on completions, "
-               "'no-reclaim' keeps the WCET plan; x = 300 ms.\n"
-               "Two regimes: the default alpha != 0 races at the critical "
-               "speed (per-cycle-optimal already — nothing to reclaim), the "
-               "alpha = 0 model stretches, so freed work slows the rest.");
-
-  auto run = [&](const SystemConfig& c, double f, double& e_with,
-                 double& e_without) {
-    for (int seed = 1; seed <= kSeeds; ++seed) {
-      SyntheticParams p;
-      p.num_tasks = 120;
-      p.max_interarrival = 0.300;
-      const TaskSet ts = make_synthetic(p, seed * 67);
-      std::map<int, double> frac;
-      for (const auto& task : ts.tasks()) frac[task.id] = f;
-      SdemOnPolicy a, b;
-      const auto with = simulate_with_actuals(ts, c, a, frac, true);
-      const auto without = simulate_with_actuals(ts, c, b, frac, false);
-      e_with += evaluate_policy(with, c, SleepDiscipline::kOptimal, "r")
-                    .energy.system_total();
-      e_without +=
-          evaluate_policy(without, c, SleepDiscipline::kOptimal, "n")
-              .energy.system_total();
-    }
-  };
-
-  auto cfg0 = cfg;
-  cfg0.core.alpha = 0.0;
-  cfg0.core.s_min = 0.0;
-  Table t({"actual/WCET", "a!=0 reclaim", "a!=0 none", "gain %",
-           "a=0 reclaim", "a=0 none", "gain %"});
-  for (double f : {1.0, 0.9, 0.7, 0.5, 0.3}) {
-    double w1 = 0, n1 = 0, w0 = 0, n0 = 0;
-    run(cfg, f, w1, n1);
-    run(cfg0, f, w0, n0);
-    t.add_row({Table::fmt(f, 1), Table::fmt(w1 / kSeeds, 3),
-               Table::fmt(n1 / kSeeds, 3),
-               Table::fmt(100.0 * (n1 - w1) / n1, 2),
-               Table::fmt(w0 / kSeeds, 4), Table::fmt(n0 / kSeeds, 4),
-               Table::fmt(100.0 * (n0 - w0) / n0, 2)});
-  }
-  print_table(t);
-  std::printf(
-      "Finding: energy falls with actual/WCET (freed work shortens the\n"
-      "memory busy time by itself), but replanning to *slow down* the rest\n"
-      "adds nothing: speeds already sit at their per-cycle optima and the\n"
-      "shared memory punishes any stretch — classic single-core slack\n"
-      "reclamation does not transfer to the system-wide problem.\n");
-  return 0;
-}
+int main() { return sdem::bench::run_standalone("slack_reclamation"); }

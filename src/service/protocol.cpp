@@ -1,0 +1,127 @@
+#include "service/protocol.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sdem::service {
+namespace {
+
+/// Integer-valued, in-range member read for island ids.
+bool read_island(const Json& obj, int* out, std::string* err) {
+  const Json* v = obj.find("island");
+  if (v == nullptr || !v->is_number()) {
+    *err = "missing or non-numeric \"island\"";
+    return false;
+  }
+  const double d = v->as_number();
+  if (!(d >= 0) || d != std::floor(d) || d > 1e9) {
+    *err = "\"island\" must be a non-negative integer";
+    return false;
+  }
+  *out = static_cast<int>(d);
+  return true;
+}
+
+bool read_task(const Json& obj, Task* out, std::string* err) {
+  const Json* t = obj.find("task");
+  if (t == nullptr || !t->is_object()) {
+    *err = "missing \"task\" object";
+    return false;
+  }
+  const auto field = [&](const char* name, double* dst) {
+    const Json* v = t->find(name);
+    if (v == nullptr || !v->is_number() || !std::isfinite(v->as_number())) {
+      *err = std::string("task field \"") + name + "\" must be a finite number";
+      return false;
+    }
+    *dst = v->as_number();
+    return true;
+  };
+  double id = 0.0;
+  if (!field("id", &id) || !field("release", &out->release) ||
+      !field("deadline", &out->deadline) || !field("work", &out->work)) {
+    return false;
+  }
+  if (id != std::floor(id) || std::abs(id) > 2e9) {
+    *err = "task field \"id\" must be an integer";
+    return false;
+  }
+  out->id = static_cast<int>(id);
+  if (out->work < 0.0) {
+    *err = "task field \"work\" must be >= 0";
+    return false;
+  }
+  if (!(out->deadline > out->release)) {
+    *err = "task \"deadline\" must be > \"release\"";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kSubmit: return "SUBMIT";
+    case Op::kQuery: return "QUERY";
+    case Op::kStats: return "STATS";
+    case Op::kShutdown: return "SHUTDOWN";
+  }
+  return "?";
+}
+
+Parsed parse_request(const std::string& line) {
+  Parsed p;
+  Json doc;
+  try {
+    doc = Json::parse(line);
+  } catch (const std::invalid_argument& e) {
+    p.error = std::string("parse: ") + e.what();
+    return p;
+  }
+  if (!doc.is_object()) {
+    p.error = "request must be a JSON object";
+    return p;
+  }
+  const Json* op = doc.find("op");
+  if (op == nullptr || !op->is_string()) {
+    p.error = "missing \"op\"";
+    return p;
+  }
+  const std::string& name = op->as_string();
+  if (name == "SUBMIT") {
+    p.request.op = Op::kSubmit;
+    if (!read_island(doc, &p.request.island, &p.error)) return p;
+    if (!read_task(doc, &p.request.task, &p.error)) return p;
+  } else if (name == "QUERY") {
+    p.request.op = Op::kQuery;
+    if (!read_island(doc, &p.request.island, &p.error)) return p;
+  } else if (name == "STATS") {
+    p.request.op = Op::kStats;
+  } else if (name == "SHUTDOWN") {
+    p.request.op = Op::kShutdown;
+  } else {
+    p.error = "unknown op \"" + name + "\"";
+    return p;
+  }
+  p.ok = true;
+  return p;
+}
+
+Json error_response(std::uint64_t seq, const std::string& message) {
+  Json j = Json::object();
+  j.set("ok", false);
+  j.set("seq", seq);
+  j.set("error", message);
+  return j;
+}
+
+Json ok_response(Op op, std::uint64_t seq) {
+  Json j = Json::object();
+  j.set("ok", true);
+  j.set("op", op_name(op));
+  j.set("seq", seq);
+  return j;
+}
+
+}  // namespace sdem::service

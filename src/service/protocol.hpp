@@ -1,0 +1,59 @@
+// Wire protocol for sdem_service (docs/service.md is the normative spec).
+//
+// Newline-delimited JSON: every request is one JSON object on one line,
+// every response is one JSON object on one line, and response order equals
+// request order (per connection). Four operations:
+//
+//   {"op":"SUBMIT","island":0,"task":{"id":1,"release":0.0,
+//                                     "deadline":0.5,"work":200.0}}
+//   {"op":"QUERY","island":0}
+//   {"op":"STATS"}
+//   {"op":"SHUTDOWN"}
+//
+// This header owns the request grammar (parse + validation diagnostics) and
+// the response envelopes; src/service/service.hpp owns the semantics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "model/task.hpp"
+#include "support/json.hpp"
+
+namespace sdem::service {
+
+enum class Op { kSubmit, kQuery, kStats, kShutdown };
+
+/// Wire spelling of an op ("SUBMIT", ...).
+const char* op_name(Op op);
+
+struct Request {
+  Op op = Op::kStats;
+  int island = 0;         ///< SUBMIT/QUERY routing key
+  Task task;              ///< SUBMIT payload
+  std::uint64_t seq = 0;  ///< ingest order; assigned by the daemon
+  int conn = -1;          ///< daemon-side origin tag (not wire data)
+};
+
+/// Outcome of parsing one request line. `ok == false` carries a diagnostic
+/// suitable for an error response; the line is consumed either way.
+struct Parsed {
+  bool ok = false;
+  Request request;
+  std::string error;
+};
+
+/// Parse and validate one request line against the grammar above. Never
+/// throws: malformed JSON, wrong types, unknown ops, negative islands and
+/// invalid tasks (work < 0, deadline <= release, non-finite fields) all
+/// come back as `ok == false` with a one-line diagnostic.
+Parsed parse_request(const std::string& line);
+
+/// {"ok":false,"seq":...,"error":"..."} — the uniform failure envelope.
+Json error_response(std::uint64_t seq, const std::string& message);
+
+/// {"ok":true,"op":...,"seq":...} — success envelope; callers append the
+/// op-specific fields.
+Json ok_response(Op op, std::uint64_t seq);
+
+}  // namespace sdem::service

@@ -1,0 +1,373 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "baseline/mbkp.hpp"
+#include "baseline/simple_policies.hpp"
+#include "core/online_sdem.hpp"
+#include "obs/obs.hpp"
+
+namespace sdem::service {
+namespace {
+
+/// Approximate quantile from a merged log2 histogram: the upper edge of the
+/// bucket where the cumulative count crosses q, clamped to the observed
+/// max. Coarse (factor-of-two buckets) but allocation-free and mergeable —
+/// exactly what the runtime domain stores.
+double dist_percentile(const obs::DistValue& d, double q) {
+  if (d.count == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(d.count))));
+  std::uint64_t cum = 0;
+  for (const auto& [exp2, n] : d.buckets) {
+    cum += n;
+    if (cum >= target) {
+      if (exp2 <= -9999) return 0.0;  // nonpositive-sample bucket
+      return std::min(d.max, std::ldexp(1.0, exp2 + 1));
+    }
+  }
+  return d.max;
+}
+
+}  // namespace
+
+std::unique_ptr<OnlinePolicy> make_policy(const std::string& name) {
+  if (name == "sdem-on") return std::make_unique<SdemOnPolicy>();
+  if (name == "sdem-on-eager") return std::make_unique<SdemOnPolicy>(false);
+  if (name == "mbkp") return std::make_unique<MbkpPolicy>();
+  if (name == "race") return std::make_unique<RaceToIdlePolicy>();
+  if (name == "stretch") return std::make_unique<StretchPolicy>();
+  if (name == "critical") return std::make_unique<CriticalSpeedPolicy>();
+  return nullptr;
+}
+
+/// One memory island: its own policy instance and resumable simulation.
+/// Owned exclusively by one shard; only that shard's drain touches it.
+struct Service::Island {
+  Island(const SystemConfig& cfg, std::unique_ptr<OnlinePolicy> pol)
+      : policy(std::move(pol)), sim(cfg, *policy, cfg.num_cores) {}
+
+  std::unique_ptr<OnlinePolicy> policy;
+  StreamSim sim;
+  std::unordered_set<int> task_ids;  ///< duplicate-submit detection
+  std::uint64_t submits = 0;
+  bool finalized = false;
+};
+
+struct Service::Shard {
+  explicit Shard(int index, std::size_t capacity)
+      : ring(capacity),
+        replan_metric("service/shard" + std::to_string(index) + "/replan_ns"),
+        requests_metric("service/shard" + std::to_string(index) +
+                        "/requests") {}
+
+  // SPSC ring. head/tail are free-running; producer is the ingest thread,
+  // consumer is the single in-flight drain (enforced by `scheduled`).
+  std::vector<Request> ring;
+  std::atomic<std::size_t> head{0};  ///< next pop
+  std::atomic<std::size_t> tail{0};  ///< next push
+  std::atomic<bool> scheduled{false};
+  std::atomic<std::uint64_t> processed{0};
+
+  std::map<int, std::unique_ptr<Island>> islands;
+  std::string replan_metric;
+  std::string requests_metric;
+
+  bool try_push(Request&& r) {
+    const std::size_t t = tail.load(std::memory_order_relaxed);
+    if (t - head.load(std::memory_order_acquire) == ring.size()) return false;
+    ring[t % ring.size()] = std::move(r);
+    tail.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool try_pop(Request& out) {
+    const std::size_t h = head.load(std::memory_order_relaxed);
+    if (tail.load(std::memory_order_acquire) == h) return false;
+    out = std::move(ring[h % ring.size()]);
+    head.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool empty() const {
+    return tail.load(std::memory_order_acquire) ==
+           head.load(std::memory_order_acquire);
+  }
+};
+
+Service::Service(ServiceOptions opt, ThreadPool* pool,
+                 std::function<void(const Request&, Json)> done)
+    : opt_(std::move(opt)), pool_(pool), done_(std::move(done)) {
+  if (opt_.cfg.unbounded()) {
+    throw std::invalid_argument(
+        "service: cfg must bound num_cores (an online stream has no task "
+        "count to size an unbounded system from)");
+  }
+  if (opt_.shards < 1) throw std::invalid_argument("service: shards < 1");
+  if (opt_.queue_capacity < 1) {
+    throw std::invalid_argument("service: queue_capacity < 1");
+  }
+  if (make_policy(opt_.policy) == nullptr) {
+    throw std::invalid_argument("service: unknown policy \"" + opt_.policy +
+                                "\"");
+  }
+  shards_.reserve(static_cast<std::size_t>(opt_.shards));
+  for (int i = 0; i < opt_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(i, opt_.queue_capacity));
+  }
+  start_ns_ = obs::now_ns();
+}
+
+Service::~Service() {
+  try {
+    drain_all();
+  } catch (...) {
+    // Destruction must not throw; a worker exception is already surfaced
+    // through the response callback of the request that raised it.
+  }
+}
+
+Service::Shard& Service::shard_of(int island) const {
+  return *shards_[static_cast<std::size_t>(island) % shards_.size()];
+}
+
+Service::Island& Service::island_of(Shard& s, int island) {
+  auto it = s.islands.find(island);
+  if (it == s.islands.end()) {
+    it = s.islands
+             .emplace(island, std::make_unique<Island>(
+                                  opt_.cfg, make_policy(opt_.policy)))
+             .first;
+  }
+  return *it->second;
+}
+
+void Service::schedule_drain(Shard& s) {
+  if (pool_ != nullptr) {
+    pool_->submit([this, sp = &s] { drain(*sp); });
+  } else {
+    drain(s);
+  }
+}
+
+void Service::route(Request req) {
+  if (req.op != Op::kSubmit && req.op != Op::kQuery) {
+    throw std::logic_error(
+        "service: only SUBMIT/QUERY route to shards (STATS/SHUTDOWN are "
+        "service-wide)");
+  }
+  Shard& s = shard_of(req.island);
+  // Bounded ring: a full queue blocks the ingest thread, which stops the
+  // daemon from reading input — backpressure by construction.
+  while (!s.try_push(std::move(req))) {
+    if (!s.scheduled.exchange(true, std::memory_order_acq_rel)) {
+      schedule_drain(s);
+    }
+    std::this_thread::yield();
+  }
+  if (!s.scheduled.exchange(true, std::memory_order_acq_rel)) {
+    schedule_drain(s);
+  }
+}
+
+void Service::drain(Shard& s) {
+  // Cells live in the calling thread's obs shard — resolve per drain, not
+  // per service, because successive drains may land on different workers.
+  obs::DistCell* replan_dist = nullptr;
+#if SDEM_OBS
+  replan_dist = obs::dist_cell(s.replan_metric.c_str(), obs::Domain::kRuntime);
+  std::uint64_t* req_count =
+      obs::counter_cell(s.requests_metric.c_str(), obs::Domain::kRuntime);
+#endif
+  for (;;) {
+    Request r;
+    while (s.try_pop(r)) {
+      process(s, r, replan_dist);
+      s.processed.fetch_add(1, std::memory_order_release);
+#if SDEM_OBS
+      ++*req_count;
+#endif
+    }
+    // Standard actor hand-off: unpublish, re-check, re-acquire or retire.
+    s.scheduled.store(false, std::memory_order_release);
+    if (s.empty()) return;
+    if (s.scheduled.exchange(true, std::memory_order_acq_rel)) return;
+  }
+}
+
+void Service::process(Shard& s, Request& r, obs::DistCell* replan_dist) {
+  try {
+    if (r.op == Op::kSubmit) {
+      Island& isl = island_of(s, r.island);
+      if (isl.finalized) {
+        done_(r, error_response(r.seq,
+                                "island " + std::to_string(r.island) +
+                                    " already finalized"));
+        return;
+      }
+      if (!isl.task_ids.insert(r.task.id).second) {
+        done_(r, error_response(r.seq,
+                                "duplicate task id " +
+                                    std::to_string(r.task.id) + " on island " +
+                                    std::to_string(r.island)));
+        return;
+      }
+      try {
+        isl.sim.inject_arrival(r.task);
+      } catch (const std::invalid_argument& e) {
+        isl.task_ids.erase(r.task.id);
+        done_(r, error_response(r.seq, e.what()));
+        return;
+      }
+      ++isl.submits;
+      Json resp = ok_response(Op::kSubmit, r.seq);
+      resp.set("island", r.island);
+      resp.set("id", r.task.id);
+      // Advisory admission: the paper's standing assumption (filled speed
+      // within s_up). The task is scheduled either way; a false here
+      // predicts a deadline miss unless other slack appears.
+      const double s_up = opt_.cfg.core.s_up;
+      const double fs = r.task.filled_speed();
+      resp.set("admitted", s_up <= 0.0 || fs <= s_up * (1.0 + 1e-12));
+      resp.set("filled_speed", fs);
+      if (opt_.eager) {
+        const std::uint64_t t0 = obs::now_ns();
+        isl.sim.commit();
+        const std::uint64_t dt = obs::now_ns() - t0;
+        if (replan_dist != nullptr) replan_dist->add(static_cast<double>(dt));
+        resp.set("pending", static_cast<std::uint64_t>(isl.sim.pending().size()));
+        resp.set("replans", isl.sim.replans());
+        double plan_end = isl.sim.plan_from();
+        for (const auto& seg : isl.sim.current_plan()) {
+          plan_end = std::max(plan_end, seg.end);
+        }
+        resp.set("plan_end", plan_end);
+      }
+      done_(r, std::move(resp));
+      return;
+    }
+    // QUERY: read-only view of an existing island.
+    const auto it = s.islands.find(r.island);
+    if (it == s.islands.end()) {
+      done_(r, error_response(
+                   r.seq, "unknown island " + std::to_string(r.island)));
+      return;
+    }
+    const Island& isl = *it->second;
+    Json resp = ok_response(Op::kQuery, r.seq);
+    resp.set("island", r.island);
+    resp.set("policy", isl.policy->name());
+    resp.set("now", isl.sim.now());
+    resp.set("arrivals", static_cast<std::uint64_t>(isl.sim.arrivals()));
+    resp.set("pending", static_cast<std::uint64_t>(isl.sim.pending().size()));
+    resp.set("replans", isl.sim.replans());
+    resp.set("plan_from", isl.sim.plan_from());
+    Json plan = Json::array();
+    for (const auto& seg : isl.sim.current_plan()) {
+      Json js = Json::object();
+      js.set("task", seg.task_id);
+      js.set("core", seg.core);
+      js.set("start", seg.start);
+      js.set("end", seg.end);
+      js.set("speed", seg.speed);
+      plan.push_back(std::move(js));
+    }
+    resp.set("plan", std::move(plan));
+    done_(r, std::move(resp));
+  } catch (const std::exception& e) {
+    done_(r, error_response(r.seq, std::string("internal: ") + e.what()));
+  }
+}
+
+void Service::drain_all() {
+  for (const auto& s : shards_) {
+    while (!s->empty() || s->scheduled.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+  // Retire the drain tasks themselves (and rethrow anything fatal).
+  if (pool_ != nullptr) pool_->wait_idle();
+}
+
+std::uint64_t Service::requests_processed() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->processed.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+Json Service::stats(std::uint64_t seq) {
+  drain_all();  // quiesce: obs snapshots require no concurrent writers
+  const double uptime =
+      static_cast<double>(obs::now_ns() - start_ns_) / 1e9;
+  Json resp = ok_response(Op::kStats, seq);
+  resp.set("policy", opt_.policy);
+  resp.set("eager", opt_.eager);
+  resp.set("uptime_s", uptime);
+  resp.set("requests", requests_processed());
+  std::uint64_t islands = 0;
+  for (const auto& s : shards_) islands += s->islands.size();
+  resp.set("islands", islands);
+  resp.set("obs_compiled", obs::compiled());
+
+  Json shard_arr = Json::array();
+#if SDEM_OBS
+  const obs::Snapshot snap = obs::Registry::instance().snapshot();
+#endif
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& s = *shards_[i];
+    const std::uint64_t n = s.processed.load(std::memory_order_acquire);
+    Json js = Json::object();
+    js.set("shard", static_cast<std::uint64_t>(i));
+    js.set("islands", static_cast<std::uint64_t>(s.islands.size()));
+    js.set("requests", n);
+    js.set("throughput_rps",
+           uptime > 0.0 ? static_cast<double>(n) / uptime : 0.0);
+#if SDEM_OBS
+    // p50/p99 replan latency from the runtime-domain log2 histogram.
+    for (const auto& [name, dist] : snap.runtime_dists) {
+      if (name != s.replan_metric) continue;
+      Json lat = Json::object();
+      lat.set("count", dist.count);
+      lat.set("p50_ns", dist_percentile(dist, 0.50));
+      lat.set("p99_ns", dist_percentile(dist, 0.99));
+      lat.set("mean_ns", dist.mean());
+      lat.set("max_ns", dist.max);
+      js.set("replan_latency", std::move(lat));
+      break;
+    }
+#endif
+    shard_arr.push_back(std::move(js));
+  }
+  resp.set("shards", std::move(shard_arr));
+  return resp;
+}
+
+std::vector<Service::IslandResult> Service::finalize_all() {
+  drain_all();
+  std::vector<IslandResult> out;
+  for (const auto& s : shards_) {
+    for (auto& [id, isl] : s->islands) {
+      IslandResult r;
+      r.island = id;
+      r.policy = isl->policy->name();
+      r.submits = isl->submits;
+      r.tasks = isl->sim.injected();
+      r.result = isl->sim.finalize();
+      isl->finalized = true;
+      out.push_back(std::move(r));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const IslandResult& a, const IslandResult& b) {
+              return a.island < b.island;
+            });
+  return out;
+}
+
+}  // namespace sdem::service

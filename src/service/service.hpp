@@ -1,0 +1,125 @@
+// Online scheduling service: memory islands sharded across the thread pool.
+//
+// One Service hosts many *memory islands* — independent (cores + DRAM rank)
+// domains, each with its own policy instance and resumable StreamSim.
+// Islands are sharded by id (island → shard `id % shards`); each shard owns
+// its islands exclusively, so island state needs no locks. Request routing
+// is a lock-free SPSC ring per shard: the single ingest thread is the
+// producer, and a drain task on the PR 1 ThreadPool is the consumer (an
+// atomic `scheduled` flag guarantees at most one drain per shard in flight,
+// which is what makes the ring single-consumer).
+//
+// Determinism: an island's schedule is a pure function of its own arrival
+// stream — shards never exchange state — so any `--shards` value produces
+// identical per-island results (pinned by tests/test_service.cpp).
+//
+// Backpressure: rings are bounded (ServiceOptions::queue_capacity). When a
+// ring is full, route() spin-yields until the drain catches up, which stops
+// the ingest loop from reading more input — kernel socket buffers then push
+// the backpressure to clients.
+//
+// Observability: each shard records per-request counts and per-commit
+// replan latency into the obs *runtime* domain (`service/shard<k>/...`),
+// summarized (p50/p99 from the log2 histograms) by stats().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "model/power.hpp"
+#include "obs/obs.hpp"
+#include "service/protocol.hpp"
+#include "sim/event_sim.hpp"
+#include "support/thread_pool.hpp"
+
+namespace sdem::service {
+
+/// Policy instances by wire name: sdem-on | sdem-on-eager | mbkp | race |
+/// stretch | critical. Returns nullptr for unknown names. Every island gets
+/// its own instance (policies are stateful between replans).
+std::unique_ptr<OnlinePolicy> make_policy(const std::string& name);
+
+struct ServiceOptions {
+  SystemConfig cfg = SystemConfig::paper_default();
+  std::string policy = "sdem-on";
+  int shards = 1;
+  /// Live mode commits (replan + answer) on every SUBMIT; replay mode
+  /// batches same-instant arrivals exactly like the batch simulator so the
+  /// full SimResult (replans included) matches simulate().
+  bool eager = true;
+  std::size_t queue_capacity = 1024;
+};
+
+class Service {
+ public:
+  /// `done(request, response)` fires once per routed request, possibly on a
+  /// pool thread; responses for one connection arrive in seq order only
+  /// after the caller re-orders them (tools/sdem_service.cpp does).
+  /// `pool` may be null: requests are then drained inline by route() — the
+  /// serial reference the sharded runs must match.
+  /// Throws std::invalid_argument for an unknown policy name, an unbounded
+  /// cfg (an online stream has no task count to size cores from), or
+  /// shards < 1.
+  Service(ServiceOptions opt, ThreadPool* pool,
+          std::function<void(const Request&, Json)> done);
+  ~Service();
+
+  /// Route one SUBMIT/QUERY to its island's shard (blocking while the
+  /// shard's ring is full). STATS/SHUTDOWN are service-wide barriers and
+  /// are answered by stats() / the daemon instead.
+  void route(Request req);
+
+  /// Block until every routed request has been processed (queues empty,
+  /// drains retired). Only the ingest thread may call this.
+  void drain_all();
+
+  /// Service-wide statistics (drains first, so the snapshot is quiesced):
+  /// uptime, totals, and per-shard requests/throughput plus p50/p99/mean/max
+  /// replan latency from the obs runtime domain (omitted when the obs layer
+  /// is compiled out).
+  Json stats(std::uint64_t seq);
+
+  struct IslandResult {
+    int island = 0;
+    std::string policy;
+    std::uint64_t submits = 0;
+    std::vector<Task> tasks;  ///< injected arrivals, injection order
+    SimResult result;
+  };
+
+  /// Drain, then finalize every island (ascending id) and return the
+  /// per-island simulation results. Ends the current runs; a later SUBMIT
+  /// to a finalized island is answered with an error.
+  std::vector<IslandResult> finalize_all();
+
+  std::uint64_t requests_processed() const;
+  int shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct Island;
+  struct Shard;
+
+  Shard& shard_of(int island) const;
+  Island& island_of(Shard& s, int island);
+  void schedule_drain(Shard& s);
+  void drain(Shard& s);
+  /// `replan_dist` is the shard's runtime-domain latency cell, resolved by
+  /// drain() once per invocation on the executing thread (cell resolution
+  /// takes the registry lock; the hot path must not). Null when the obs
+  /// layer is compiled out.
+  void process(Shard& s, Request& req, obs::DistCell* replan_dist);
+
+  ServiceOptions opt_;
+  ThreadPool* pool_;
+  std::function<void(const Request&, Json)> done_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace sdem::service

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <stdexcept>
 #include <vector>
 
 #include "obs/obs.hpp"
-#include "support/id_slots.hpp"
 
 namespace sdem {
 namespace {
@@ -41,155 +41,214 @@ void flush_sim_counters(const SimResult& res) {
 }
 #endif  // SDEM_OBS
 
-/// Per-run buffers for the event loop. Task ids are interned into dense
-/// slots at admission; completion times and the pending-position index then
-/// live in flat arrays instead of per-event std::maps. Position and
-/// remaining-work entries are epoch-stamped so rebuilding them is a write
-/// pass with no clearing.
-struct SimWorkspace {
-  IdSlots slots;
-  std::vector<double> finished_at;  ///< per-slot completion time
-  std::vector<char> finished;       ///< per-slot: finished_at valid
-  std::vector<int> pos_val;         ///< per-slot first index in pending
-  std::vector<int> pos_gen;         ///< per-slot stamp for pos_val
-  std::vector<double> rem;          ///< per-slot remaining (next_completion)
-  std::vector<int> rem_gen;         ///< per-slot stamp for rem
-  int gen = 0;                      ///< current stamp
-
-  int intern(int id) {
-    const int slot = slots.intern(id);
-    const std::size_t n = static_cast<std::size_t>(slots.size());
-    if (finished_at.size() < n) {
-      finished_at.resize(n, 0.0);
-      finished.resize(n, 0);
-      pos_val.resize(n, 0);
-      pos_gen.resize(n, 0);
-      rem.resize(n, 0.0);
-      rem_gen.resize(n, 0);
-    }
-    return slot;
-  }
-
-  void finish(int slot, double at) {
-    finished[static_cast<std::size_t>(slot)] = 1;
-    finished_at[static_cast<std::size_t>(slot)] = at;
-  }
-
-  /// Completion time of `id`, or +inf when it never finished — stands in
-  /// for the old finished_at map's find() in the deadline-miss scan.
-  double finished_time(int id) const {
-    const int slot = slots.slot_of(id);
-    if (slot < 0 || !finished[static_cast<std::size_t>(slot)]) {
-      return std::numeric_limits<double>::infinity();
-    }
-    return finished_at[static_cast<std::size_t>(slot)];
-  }
-};
-
 }  // namespace
+
+namespace detail {
+
+int SimWorkspace::intern(int id) {
+  const int slot = slots.intern(id);
+  const std::size_t n = static_cast<std::size_t>(slots.size());
+  if (finished_at.size() < n) {
+    finished_at.resize(n, 0.0);
+    finished.resize(n, 0);
+    pos_val.resize(n, 0);
+    pos_gen.resize(n, 0);
+    rem.resize(n, 0.0);
+    rem_gen.resize(n, 0);
+  }
+  return slot;
+}
+
+void SimWorkspace::finish(int slot, double at) {
+  finished[static_cast<std::size_t>(slot)] = 1;
+  finished_at[static_cast<std::size_t>(slot)] = at;
+}
+
+double SimWorkspace::finished_time(int id) const {
+  const int slot = slots.slot_of(id);
+  if (slot < 0 || !finished[static_cast<std::size_t>(slot)]) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return finished_at[static_cast<std::size_t>(slot)];
+}
+
+void SimWorkspace::clear() {
+  slots.clear();
+  finished_at.clear();
+  finished.clear();
+  pos_val.clear();
+  pos_gen.clear();
+  rem.clear();
+  rem_gen.clear();
+  gen = 0;
+}
+
+}  // namespace detail
+
+StreamSim::StreamSim(const SystemConfig& cfg, OnlinePolicy& policy, int cores)
+    : cfg_(cfg), policy_(&policy), cores_(std::max(1, cores)) {
+  policy_->reset();
+}
+
+void StreamSim::reset() {
+  ws_.clear();
+  pending_.clear();
+  plan_.clear();
+  batch_.clear();
+  tasks_seen_.clear();
+  batch_time_ = 0.0;
+  plan_from_ = 0.0;
+  now_ = 0.0;
+  rr_ = 0;
+  finalized_ = false;
+  res_ = SimResult{};
+  policy_->reset();
+}
+
+void StreamSim::account(double upto) {
+  // Execute the current plan on [plan_from_, upto): clip segments, charge
+  // work, record completed pieces. Work is charged to the first pending
+  // entry carrying the segment's task id (the position index replaces the
+  // old per-segment linear scan; pending order is stable within a call).
+  const int gen = ++ws_.gen;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    const std::size_t slot = static_cast<std::size_t>(
+        ws_.slots.slot_of(pending_[i].task.id));
+    if (ws_.pos_gen[slot] != gen) {
+      ws_.pos_gen[slot] = gen;
+      ws_.pos_val[slot] = static_cast<int>(i);
+    }
+  }
+  for (const auto& seg : plan_) {
+    const double lo = std::max(seg.start, plan_from_);
+    const double hi = std::min(seg.end, upto);
+    if (hi <= lo) continue;
+    Segment piece = seg;
+    piece.start = lo;
+    piece.end = hi;
+    res_.schedule.add(piece);
+    const int slot = ws_.slots.slot_of(piece.task_id);
+    if (slot < 0 || ws_.pos_gen[static_cast<std::size_t>(slot)] != gen) {
+      continue;  // no pending task carries this id
+    }
+    PendingTask& p = pending_[static_cast<std::size_t>(
+        ws_.pos_val[static_cast<std::size_t>(slot)])];
+    p.remaining -= piece.work();
+    if (p.remaining < 1e-9 * std::max(1.0, p.task.work)) {
+      p.remaining = 0.0;
+      ws_.finish(slot, hi);
+    }
+  }
+  std::erase_if(pending_,
+                [](const PendingTask& p) { return p.remaining <= 0.0; });
+}
+
+void StreamSim::inject_arrival(const Task& t) {
+  if (finalized_) {
+    throw std::logic_error(
+        "StreamSim: inject_arrival after finalize (call reset() first)");
+  }
+  // The stream must be non-decreasing in release time: an arrival earlier
+  // than the last committed instant (or the currently buffered batch) would
+  // need already-emitted schedule segments rewritten.
+  const double floor = batch_.empty() ? now_ : batch_time_;
+  if (tasks_seen_.empty()) {
+    res_.horizon_lo = t.release;
+    plan_from_ = t.release;
+  } else if (t.release < floor) {
+    throw std::invalid_argument("StreamSim: arrival out of order (release " +
+                                std::to_string(t.release) + " < " +
+                                std::to_string(floor) + ")");
+  }
+  if (!batch_.empty() && t.release != batch_time_) commit();
+  batch_time_ = t.release;
+  batch_.push_back(t);
+  tasks_seen_.push_back(t);
+}
+
+void StreamSim::commit() {
+  if (batch_.empty()) return;
+  const double t = batch_time_;
+  SDEM_OBS_INC("sim/arrival_events");
+  account(t);
+  // Admit the batch in the batch loop's within-instant order: deadline, then
+  // id (TaskSet::sorted_by_release ties). stable_sort keeps injection order
+  // for exact duplicates, so driving StreamSim from an already-sorted set is
+  // a no-op permutation.
+  std::stable_sort(batch_.begin(), batch_.end(),
+                   [](const Task& a, const Task& b) {
+                     if (a.deadline != b.deadline) return a.deadline < b.deadline;
+                     return a.id < b.id;
+                   });
+  for (const Task& task : batch_) {
+    PendingTask p;
+    p.task = task;
+    p.remaining = task.work;
+    p.core = rr_ % cores_;
+    ++rr_;
+    if (p.remaining > 0.0) {
+      ws_.intern(p.task.id);
+      pending_.push_back(p);
+    }
+  }
+  batch_.clear();
+  plan_ = policy_->replan(t, pending_, cfg_);
+  plan_from_ = t;
+  now_ = t;
+  ++res_.replans;
+}
+
+void StreamSim::advance_to(double t) {
+  if (!batch_.empty() && batch_time_ <= t) commit();
+  if (t < now_) {
+    throw std::invalid_argument("StreamSim: advance_to moves time backwards");
+  }
+  now_ = t;
+}
+
+const SimResult& StreamSim::finalize() {
+  if (finalized_) return res_;
+  commit();
+  if (!pending_.empty()) {
+    // Run the current plan to completion.
+    double end = plan_from_;
+    for (const auto& seg : plan_) end = std::max(end, seg.end);
+    account(end);
+    now_ = std::max(now_, end);
+  }
+  res_.unfinished = static_cast<int>(pending_.size());
+  double max_deadline = -std::numeric_limits<double>::infinity();
+  for (const auto& t : tasks_seen_) {
+    max_deadline = std::max(max_deadline, t.deadline);
+    if (t.work <= 0.0) continue;
+    if (ws_.finished_time(t.id) >
+        t.deadline + 1e-9 * std::max(1.0, t.deadline)) {
+      ++res_.deadline_misses;
+    }
+  }
+  res_.horizon_hi = std::max(max_deadline, res_.schedule.end_time());
+  finalized_ = true;
+#if SDEM_OBS
+  flush_sim_counters(res_);
+#endif
+  return res_;
+}
 
 SimResult simulate(const TaskSet& arrivals, const SystemConfig& cfg,
                    OnlinePolicy& policy) {
   SDEM_OBS_TIMER("sim/simulate");
   SimResult res;
   if (arrivals.empty()) return res;
-  policy.reset();
 
+  // The batch run is the streamed run: sort once, inject in order, finalize.
+  // An unbounded config means "as many cores as tasks" — a count only a
+  // closed set has, so it is resolved here rather than inside StreamSim.
   const TaskSet sorted = arrivals.sorted_by_release();
   const int cores = cfg.unbounded() ? static_cast<int>(sorted.size())
                                     : cfg.num_cores;
-
-  SimWorkspace ws;
-  std::vector<PendingTask> pending;
-  std::size_t next_arrival = 0;
-  int rr = 0;  // round-robin core cursor
-
-  res.horizon_lo = sorted[0].release;
-
-  std::vector<Segment> plan;
-  double plan_from = sorted[0].release;
-
-  auto account = [&](double upto) {
-    // Execute the current plan on [plan_from, upto): clip segments, charge
-    // work, record completed pieces. Work is charged to the first pending
-    // entry carrying the segment's task id (the position index replaces the
-    // old per-segment linear scan; pending order is stable within a call).
-    const int gen = ++ws.gen;
-    for (std::size_t i = 0; i < pending.size(); ++i) {
-      const std::size_t slot = static_cast<std::size_t>(
-          ws.slots.slot_of(pending[i].task.id));
-      if (ws.pos_gen[slot] != gen) {
-        ws.pos_gen[slot] = gen;
-        ws.pos_val[slot] = static_cast<int>(i);
-      }
-    }
-    for (const auto& seg : plan) {
-      const double lo = std::max(seg.start, plan_from);
-      const double hi = std::min(seg.end, upto);
-      if (hi <= lo) continue;
-      Segment piece = seg;
-      piece.start = lo;
-      piece.end = hi;
-      res.schedule.add(piece);
-      const int slot = ws.slots.slot_of(piece.task_id);
-      if (slot < 0 || ws.pos_gen[static_cast<std::size_t>(slot)] != gen) {
-        continue;  // no pending task carries this id
-      }
-      PendingTask& p = pending[static_cast<std::size_t>(
-          ws.pos_val[static_cast<std::size_t>(slot)])];
-      p.remaining -= piece.work();
-      if (p.remaining < 1e-9 * std::max(1.0, p.task.work)) {
-        p.remaining = 0.0;
-        ws.finish(slot, hi);
-      }
-    }
-    std::erase_if(pending,
-                  [](const PendingTask& p) { return p.remaining <= 0.0; });
-  };
-
-  while (next_arrival < sorted.size() || !pending.empty()) {
-    if (next_arrival < sorted.size()) {
-      const double t = sorted[next_arrival].release;
-      SDEM_OBS_INC("sim/arrival_events");
-      account(t);
-      // Admit every task released at this instant.
-      while (next_arrival < sorted.size() &&
-             sorted[next_arrival].release == t) {
-        PendingTask p;
-        p.task = sorted[next_arrival];
-        p.remaining = p.task.work;
-        p.core = rr % cores;
-        ++rr;
-        ++next_arrival;
-        if (p.remaining > 0.0) {
-          ws.intern(p.task.id);
-          pending.push_back(p);
-        }
-      }
-      plan = policy.replan(t, pending, cfg);
-      plan_from = t;
-      ++res.replans;
-    } else {
-      // No more arrivals: run the current plan to completion.
-      double end = plan_from;
-      for (const auto& seg : plan) end = std::max(end, seg.end);
-      account(end);
-      break;
-    }
-  }
-
-  res.unfinished = static_cast<int>(pending.size());
-  for (const auto& t : sorted.tasks()) {
-    if (t.work <= 0.0) continue;
-    if (ws.finished_time(t.id) >
-        t.deadline + 1e-9 * std::max(1.0, t.deadline)) {
-      ++res.deadline_misses;
-    }
-  }
-  res.horizon_hi = std::max(sorted.max_deadline(), res.schedule.end_time());
-#if SDEM_OBS
-  flush_sim_counters(res);
-#endif
+  StreamSim sim(cfg, policy, cores);
+  for (const auto& t : sorted.tasks()) sim.inject_arrival(t);
+  res = sim.finalize();
   return res;
 }
 
@@ -211,7 +270,7 @@ SimResult simulate_with_actuals(const TaskSet& arrivals,
     PendingTask declared;    ///< what the policy sees (WCET-based)
     double actual = 0.0;     ///< true remaining megacycles
   };
-  SimWorkspace ws;
+  detail::SimWorkspace ws;
   std::vector<Live> pending;
   std::size_t next_arrival = 0;
   int rr = 0;

@@ -10,11 +10,23 @@
 // The simulator never edits a plan: if a policy emits overlapping segments
 // on one core or misses a deadline, that surfaces in the result counters —
 // policies own feasibility, the simulator owns bookkeeping.
+//
+// Two driving modes share one event loop:
+//   * simulate() — the batch harness: one task set in, one SimResult out;
+//   * StreamSim — the resumable loop behind tools/sdem_service: arrivals
+//     are injected one at a time as they reach the server, the clock
+//     advances between replans, and the run is finalized on demand.
+// simulate() is a thin driver over StreamSim, so a streamed run replayed
+// from the same arrival sequence is byte-identical to the batch run by
+// construction (pinned by tests/test_service.cpp and the service-smoke CI
+// job against the frozen sim_reference oracle).
 #pragma once
 
 #include <map>
+#include <vector>
 
 #include "sim/policy.hpp"
+#include "support/id_slots.hpp"
 
 namespace sdem {
 
@@ -25,6 +37,134 @@ struct SimResult {
   int replans = 0;           ///< number of policy invocations
   double horizon_lo = 0.0;   ///< first release
   double horizon_hi = 0.0;   ///< max(last deadline, last segment end)
+};
+
+namespace detail {
+
+/// Per-run buffers for the event loop. Task ids are interned into dense
+/// slots at admission; completion times and the pending-position index then
+/// live in flat arrays instead of per-event std::maps. Position and
+/// remaining-work entries are epoch-stamped so rebuilding them is a write
+/// pass with no clearing.
+struct SimWorkspace {
+  IdSlots slots;
+  std::vector<double> finished_at;  ///< per-slot completion time
+  std::vector<char> finished;       ///< per-slot: finished_at valid
+  std::vector<int> pos_val;         ///< per-slot first index in pending
+  std::vector<int> pos_gen;         ///< per-slot stamp for pos_val
+  std::vector<double> rem;          ///< per-slot remaining (next_completion)
+  std::vector<int> rem_gen;         ///< per-slot stamp for rem
+  int gen = 0;                      ///< current stamp
+
+  int intern(int id);
+  void finish(int slot, double at);
+
+  /// Completion time of `id`, or +inf when it never finished — stands in
+  /// for the old finished_at map's find() in the deadline-miss scan.
+  double finished_time(int id) const;
+
+  void clear();
+};
+
+}  // namespace detail
+
+/// The event loop decoupled from batch runs: a resumable simulation that an
+/// external arrival stream drives. One StreamSim owns one memory island's
+/// timeline; tools/sdem_service keeps one per island and feeds it SUBMIT
+/// requests as they arrive.
+///
+/// Protocol:
+///   * inject_arrival(t) buffers a task; tasks sharing one release instant
+///     form one admission batch (the batch loop admits all simultaneous
+///     releases before the single replan);
+///   * a batch commits — account the running plan up to the instant, admit
+///     the batch in (deadline, id) order, replan once — when an arrival
+///     with a later release lands, on commit()/advance_to(), or at
+///     finalize();
+///   * finalize() runs the last plan out and produces the SimResult.
+///
+/// Equivalence contract: injecting a task set in non-decreasing release
+/// order and finalizing produces byte-identical SimResult (schedule
+/// segments, replans, misses, horizons) to simulate() on that set — the
+/// batch function is implemented as exactly that loop. Committing a batch
+/// early (the live service answers every SUBMIT immediately, so it commits
+/// per request) adds replans at the same instant but cannot change the
+/// schedule: the superseded same-instant plan is clipped to the empty
+/// window [t, t), contributing no segments, and the final replan at t sees
+/// the same pending set the batched commit would have seen.
+///
+/// Accounting is lazy: advance_to() moves the clock without executing the
+/// plan, so segments are recorded whole at the next commit/finalize instead
+/// of being split at query points (splitting would break byte-equality with
+/// the batch loop).
+class StreamSim {
+ public:
+  /// `cores` is the round-robin width. Pass cfg.num_cores for bounded
+  /// systems; the batch driver passes the task-set size when cfg is
+  /// unbounded (an online stream has no task count to default to).
+  StreamSim(const SystemConfig& cfg, OnlinePolicy& policy, int cores);
+
+  /// Forget the whole run (workspace, pending set, plan, result) and
+  /// reset() the policy; buffers keep their capacity for the next run.
+  void reset();
+
+  /// Buffer a task arriving at t.release. Throws std::invalid_argument if
+  /// the release precedes the last committed instant (the stream must be
+  /// non-decreasing in release time; the service rejects late arrivals at
+  /// the protocol layer).
+  void inject_arrival(const Task& t);
+
+  /// Commit the buffered admission batch (account + admit + one replan).
+  /// No-op when nothing is buffered.
+  void commit();
+
+  /// Commit any batch at an instant <= t and advance the clock to t.
+  /// Throws std::invalid_argument when t would move the clock backwards
+  /// past a committed instant.
+  void advance_to(double t);
+
+  /// Latest committed/advanced instant.
+  double now() const { return now_; }
+
+  /// The active plan (segments from the last replan) and its start.
+  const std::vector<Segment>& current_plan() const { return plan_; }
+  double plan_from() const { return plan_from_; }
+
+  /// Pending tasks as of the last commit (admitted, unfinished work).
+  const std::vector<PendingTask>& pending() const { return pending_; }
+
+  /// Number of tasks injected so far (admitted or still buffered).
+  std::size_t arrivals() const { return tasks_seen_.size(); }
+  int replans() const { return res_.replans; }
+
+  /// Every injected task, in injection order (the replay verifier rebuilds
+  /// the batch TaskSet from this).
+  const std::vector<Task>& injected() const { return tasks_seen_; }
+
+  /// Commit the final batch, run the plan to completion, and account the
+  /// run: deadline misses over every injected task, unfinished count,
+  /// horizons. The StreamSim stays readable afterwards; reset() starts a
+  /// fresh run.
+  const SimResult& finalize();
+
+ private:
+  void account(double upto);
+
+  SystemConfig cfg_;
+  OnlinePolicy* policy_;
+  int cores_;
+
+  detail::SimWorkspace ws_;
+  std::vector<PendingTask> pending_;
+  std::vector<Segment> plan_;
+  std::vector<Task> batch_;       ///< arrivals buffered at batch_time_
+  std::vector<Task> tasks_seen_;  ///< every injected task, for the miss scan
+  double batch_time_ = 0.0;
+  double plan_from_ = 0.0;
+  double now_ = 0.0;
+  int rr_ = 0;  ///< round-robin core cursor
+  bool finalized_ = false;
+  SimResult res_;
 };
 
 SimResult simulate(const TaskSet& arrivals, const SystemConfig& cfg,

@@ -1,0 +1,401 @@
+// Service-layer tests: wire-protocol validation, online/replay semantics,
+// and the determinism contracts from docs/service.md —
+//
+//   * replay equals batch: a Service fed an arrival stream in replay mode
+//     (lazy commits) finalizes to byte-identical SimResults to simulate()
+//     and to the frozen simulate_reference() oracle;
+//   * shard invariance: the per-island results do not depend on --shards;
+//   * live mode: eager per-SUBMIT commits change the replan count but not
+//     one byte of the schedule.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "baseline/mbkp.hpp"
+#include "core/online_sdem.hpp"
+#include "obs/obs.hpp"
+#include "sched/trace_io.hpp"
+#include "service/protocol.hpp"
+#include "service/service.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/sim_reference.hpp"
+#include "support/thread_pool.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace sdem;
+using namespace sdem::service;
+
+// ---------------------------------------------------------------- protocol
+
+TEST(ServiceProtocol, RejectsMalformedRequests) {
+  const struct {
+    const char* line;
+    const char* why;
+  } cases[] = {
+      {"not json", "parse"},
+      {"{\"op\":\"SUBMIT\",", "parse"},
+      {"[1,2,3]", "object"},
+      {"{}", "op"},
+      {"{\"op\":7}", "op"},
+      {"{\"op\":\"NOPE\"}", "unknown op"},
+      {"{\"op\":\"SUBMIT\"}", "island"},
+      {"{\"op\":\"SUBMIT\",\"island\":-1}", "island"},
+      {"{\"op\":\"SUBMIT\",\"island\":0.5}", "island"},
+      {"{\"op\":\"SUBMIT\",\"island\":0}", "task"},
+      {"{\"op\":\"SUBMIT\",\"island\":0,\"task\":3}", "task"},
+      {"{\"op\":\"SUBMIT\",\"island\":0,\"task\":{}}", "id"},
+      {"{\"op\":\"SUBMIT\",\"island\":0,\"task\":{\"id\":1,\"release\":0,"
+       "\"deadline\":1}}",
+       "work"},
+      {"{\"op\":\"SUBMIT\",\"island\":0,\"task\":{\"id\":1,\"release\":0,"
+       "\"deadline\":1,\"work\":-2}}",
+       "work"},
+      {"{\"op\":\"SUBMIT\",\"island\":0,\"task\":{\"id\":1,\"release\":1,"
+       "\"deadline\":1,\"work\":5}}",
+       "deadline"},
+      {"{\"op\":\"SUBMIT\",\"island\":0,\"task\":{\"id\":1.5,\"release\":0,"
+       "\"deadline\":1,\"work\":5}}",
+       "id"},
+      {"{\"op\":\"QUERY\"}", "island"},
+  };
+  for (const auto& c : cases) {
+    const Parsed p = parse_request(c.line);
+    EXPECT_FALSE(p.ok) << c.line;
+    EXPECT_NE(p.error.find(c.why), std::string::npos)
+        << c.line << " -> " << p.error;
+  }
+}
+
+TEST(ServiceProtocol, AcceptsWellFormedRequests) {
+  Parsed p = parse_request(
+      "{\"op\":\"SUBMIT\",\"island\":2,\"task\":{\"id\":7,\"release\":0.25,"
+      "\"deadline\":1.5,\"work\":320.5}}");
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.request.op, Op::kSubmit);
+  EXPECT_EQ(p.request.island, 2);
+  EXPECT_EQ(p.request.task.id, 7);
+  EXPECT_DOUBLE_EQ(p.request.task.release, 0.25);
+  EXPECT_DOUBLE_EQ(p.request.task.deadline, 1.5);
+  EXPECT_DOUBLE_EQ(p.request.task.work, 320.5);
+
+  p = parse_request("{\"op\":\"QUERY\",\"island\":0}");
+  ASSERT_TRUE(p.ok);
+  EXPECT_EQ(p.request.op, Op::kQuery);
+  EXPECT_TRUE(parse_request("{\"op\":\"STATS\"}").ok);
+  EXPECT_TRUE(parse_request("{\"op\":\"SHUTDOWN\"}").ok);
+}
+
+// ----------------------------------------------------------- test harness
+
+/// Synchronous single-threaded driver: routes requests inline (null pool)
+/// and keeps every response by seq.
+struct InlineHarness {
+  explicit InlineHarness(ServiceOptions opt)
+      : svc(std::move(opt), nullptr, [this](const Request& r, Json resp) {
+          responses.emplace(r.seq, std::move(resp));
+        }) {}
+
+  Json submit(int island, int id, double release, double deadline,
+              double work) {
+    Request r;
+    r.op = Op::kSubmit;
+    r.island = island;
+    r.task = Task{id, release, deadline, work};
+    r.seq = next_seq++;
+    svc.route(std::move(r));
+    return responses.at(next_seq - 1);
+  }
+
+  Json query(int island) {
+    Request r;
+    r.op = Op::kQuery;
+    r.island = island;
+    r.seq = next_seq++;
+    svc.route(std::move(r));
+    return responses.at(next_seq - 1);
+  }
+
+  std::map<std::uint64_t, Json> responses;
+  std::uint64_t next_seq = 0;
+  Service svc;
+};
+
+ServiceOptions eager_opts() {
+  ServiceOptions o;
+  o.eager = true;
+  return o;
+}
+
+// ----------------------------------------------------- semantic validation
+
+TEST(ServiceSemantics, RejectsDuplicateTaskIdPerIsland) {
+  InlineHarness h(eager_opts());
+  EXPECT_TRUE(h.submit(0, 1, 0.0, 0.5, 100.0).at("ok").as_bool());
+  const Json dup = h.submit(0, 1, 0.1, 0.9, 50.0);
+  EXPECT_FALSE(dup.at("ok").as_bool());
+  EXPECT_NE(dup.at("error").as_string().find("duplicate"), std::string::npos);
+  // Same id on a different island is a different task.
+  EXPECT_TRUE(h.submit(1, 1, 0.1, 0.9, 50.0).at("ok").as_bool());
+}
+
+TEST(ServiceSemantics, RejectsUnknownIslandQuery) {
+  InlineHarness h(eager_opts());
+  const Json resp = h.query(42);
+  EXPECT_FALSE(resp.at("ok").as_bool());
+  EXPECT_NE(resp.at("error").as_string().find("unknown island"),
+            std::string::npos);
+}
+
+TEST(ServiceSemantics, RejectsOutOfOrderArrival) {
+  InlineHarness h(eager_opts());
+  EXPECT_TRUE(h.submit(0, 1, 1.0, 2.0, 100.0).at("ok").as_bool());
+  const Json late = h.submit(0, 2, 0.5, 2.0, 100.0);
+  EXPECT_FALSE(late.at("ok").as_bool());
+  EXPECT_NE(late.at("error").as_string().find("out of order"),
+            std::string::npos);
+  // The rejected task must not poison the island: a later id reusing it
+  // succeeds (the duplicate guard was rolled back).
+  EXPECT_TRUE(h.submit(0, 2, 1.5, 3.0, 80.0).at("ok").as_bool());
+}
+
+TEST(ServiceSemantics, QueryReportsThePlan) {
+  InlineHarness h(eager_opts());
+  h.submit(3, 9, 0.0, 1.0, 500.0);
+  const Json q = h.query(3);
+  ASSERT_TRUE(q.at("ok").as_bool());
+  EXPECT_EQ(q.at("pending").as_number(), 1);
+  EXPECT_EQ(q.at("replans").as_number(), 1);
+  const Json& plan = q.at("plan");
+  ASSERT_GE(plan.size(), 1u);
+  EXPECT_EQ(plan.at(0u).at("task").as_number(), 9);
+}
+
+TEST(ServiceSemantics, StatsCountsRequestsAndShards) {
+  ServiceOptions opt = eager_opts();
+  opt.shards = 2;
+  InlineHarness h(opt);
+  h.submit(0, 1, 0.0, 1.0, 100.0);
+  h.submit(1, 1, 0.0, 1.0, 100.0);
+  h.submit(0, 2, 0.2, 1.2, 100.0);
+  const Json stats = h.svc.stats(99);
+  ASSERT_TRUE(stats.at("ok").as_bool());
+  EXPECT_EQ(stats.at("requests").as_number(), 3);
+  EXPECT_EQ(stats.at("islands").as_number(), 2);
+  ASSERT_EQ(stats.at("shards").size(), 2u);
+  if (obs::compiled()) {
+    // Sustained-load latency reporting: the runtime-domain histogram must
+    // surface per-shard p50/p99 replan latency.
+    const Json& shard0 = stats.at("shards").at(0u);
+    ASSERT_TRUE(shard0.has("replan_latency"));
+    EXPECT_GE(shard0.at("replan_latency").at("p99_ns").as_number(),
+              shard0.at("replan_latency").at("p50_ns").as_number());
+    EXPECT_GT(shard0.at("replan_latency").at("count").as_number(), 0);
+  }
+}
+
+// ------------------------------------------------------------ determinism
+
+/// A deterministic multi-island arrival stream: per island a synthetic
+/// trace (non-decreasing releases), interleaved globally by release.
+std::vector<Request> make_stream(int islands, int tasks_per_island,
+                                 std::uint64_t seed) {
+  std::vector<Request> reqs;
+  for (int isl = 0; isl < islands; ++isl) {
+    SyntheticParams p;
+    p.num_tasks = tasks_per_island;
+    p.max_interarrival = 0.050;
+    const TaskSet ts = make_synthetic(p, seed * 97 + isl);
+    for (const Task& t : ts.tasks()) {
+      Request r;
+      r.op = Op::kSubmit;
+      r.island = isl;
+      r.task = t;
+      reqs.push_back(r);
+    }
+  }
+  std::stable_sort(reqs.begin(), reqs.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.task.release < b.task.release;
+                   });
+  for (std::size_t i = 0; i < reqs.size(); ++i) reqs[i].seq = i;
+  return reqs;
+}
+
+std::vector<Service::IslandResult> run_stream(
+    const std::vector<Request>& reqs, const std::string& policy, int shards,
+    bool eager, ThreadPool* pool) {
+  ServiceOptions opt;
+  opt.policy = policy;
+  opt.shards = shards;
+  opt.eager = eager;
+  std::mutex mu;
+  std::vector<std::string> errors;
+  Service svc(opt, pool, [&](const Request& r, Json resp) {
+    if (!resp.at("ok").as_bool()) {
+      std::lock_guard<std::mutex> lock(mu);
+      errors.push_back("seq " + std::to_string(r.seq) + ": " +
+                       resp.at("error").as_string());
+    }
+  });
+  for (const Request& r : reqs) svc.route(r);
+  auto out = svc.finalize_all();
+  EXPECT_TRUE(errors.empty()) << errors.front();
+  return out;
+}
+
+/// The byte surface of one island's result.
+std::string result_bytes(const Service::IslandResult& r) {
+  return schedule_to_csv(r.result.schedule) + "|replans=" +
+         std::to_string(r.result.replans) + "|misses=" +
+         std::to_string(r.result.deadline_misses) + "|unfinished=" +
+         std::to_string(r.result.unfinished);
+}
+
+TEST(ServiceDeterminism, ReplayMatchesBatchAndFrozenReference) {
+  const auto reqs = make_stream(/*islands=*/4, /*tasks_per_island=*/60, 5);
+  ThreadPool pool(4);
+  const auto islands = run_stream(reqs, "sdem-on", 4, /*eager=*/false, &pool);
+  ASSERT_EQ(islands.size(), 4u);
+  for (const auto& isl : islands) {
+    const TaskSet ts(isl.tasks);
+    // Batch simulator, same policy implementation.
+    SdemOnPolicy batch_policy;
+    const SimResult batch = simulate(ts, SystemConfig::paper_default(),
+                                     batch_policy);
+    EXPECT_EQ(schedule_to_csv(isl.result.schedule),
+              schedule_to_csv(batch.schedule))
+        << "island " << isl.island;
+    EXPECT_EQ(isl.result.replans, batch.replans);
+    EXPECT_EQ(isl.result.deadline_misses, batch.deadline_misses);
+    EXPECT_EQ(isl.result.unfinished, batch.unfinished);
+    EXPECT_EQ(isl.result.horizon_lo, batch.horizon_lo);
+    EXPECT_EQ(isl.result.horizon_hi, batch.horizon_hi);
+    // Frozen oracle (docs/testing.md): the reference simulator must agree
+    // byte-for-byte too.
+    SdemOnReferencePolicy ref_policy;
+    const SimResult ref =
+        simulate_reference(ts, SystemConfig::paper_default(), ref_policy);
+    EXPECT_EQ(schedule_to_csv(isl.result.schedule),
+              schedule_to_csv(ref.schedule))
+        << "island " << isl.island;
+  }
+}
+
+TEST(ServiceDeterminism, ShardCountDoesNotChangeResults) {
+  const auto reqs = make_stream(/*islands=*/5, /*tasks_per_island=*/40, 9);
+  const auto serial = run_stream(reqs, "sdem-on", 1, false, nullptr);
+  ThreadPool pool(4);
+  const auto sharded = run_stream(reqs, "sdem-on", 4, false, &pool);
+  ASSERT_EQ(serial.size(), sharded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].island, sharded[i].island);
+    EXPECT_EQ(result_bytes(serial[i]), result_bytes(sharded[i]))
+        << "island " << serial[i].island;
+  }
+}
+
+TEST(ServiceDeterminism, EagerCommitsKeepScheduleBytes) {
+  // Live mode commits on every SUBMIT (same-instant batches split into
+  // several replans); the schedule must not change by a byte. Include
+  // same-release pairs to exercise exactly that splitting.
+  std::vector<Request> reqs;
+  int id = 0;
+  const double releases[] = {0.0, 0.0, 0.1, 0.1, 0.1, 0.25, 0.4, 0.4};
+  for (const double rel : releases) {
+    Request r;
+    r.op = Op::kSubmit;
+    r.island = 0;
+    r.task = Task{id, rel, rel + 0.3 + 0.05 * id, 40.0 + 13.0 * id};
+    r.seq = static_cast<std::uint64_t>(id);
+    ++id;
+    reqs.push_back(r);
+  }
+  const auto lazy = run_stream(reqs, "mbkp", 1, /*eager=*/false, nullptr);
+  const auto eager = run_stream(reqs, "mbkp", 1, /*eager=*/true, nullptr);
+  ASSERT_EQ(lazy.size(), 1u);
+  ASSERT_EQ(eager.size(), 1u);
+  EXPECT_EQ(schedule_to_csv(lazy[0].result.schedule),
+            schedule_to_csv(eager[0].result.schedule));
+  EXPECT_EQ(lazy[0].result.deadline_misses, eager[0].result.deadline_misses);
+  // Eager mode replans once per SUBMIT, lazy once per distinct instant
+  // (releases 0.0, 0.1, 0.25, 0.4).
+  EXPECT_EQ(eager[0].result.replans, 8);
+  EXPECT_EQ(lazy[0].result.replans, 4);
+
+  MbkpPolicy batch_policy;
+  std::vector<Task> tasks;
+  for (const auto& r : reqs) tasks.push_back(r.task);
+  const SimResult batch =
+      simulate(TaskSet(tasks), SystemConfig::paper_default(), batch_policy);
+  EXPECT_EQ(schedule_to_csv(batch.schedule),
+            schedule_to_csv(eager[0].result.schedule));
+}
+
+// -------------------------------------------------------------- StreamSim
+
+TEST(StreamSim, DrivesLikeBatchAndSupportsAdvance) {
+  SyntheticParams p;
+  p.num_tasks = 50;
+  const TaskSet ts = make_synthetic(p, 21);
+  const SystemConfig cfg = SystemConfig::paper_default();
+
+  SdemOnPolicy batch_policy;
+  const SimResult batch = simulate(ts, cfg, batch_policy);
+
+  SdemOnPolicy stream_policy;
+  StreamSim sim(cfg, stream_policy, cfg.num_cores);
+  const TaskSet sorted = ts.sorted_by_release();
+  for (const Task& t : sorted.tasks()) {
+    sim.inject_arrival(t);
+    // advance_to at the batch instant commits it; the interleaved clock
+    // motion must not perturb the schedule (accounting stays lazy).
+    sim.advance_to(t.release);
+    EXPECT_DOUBLE_EQ(sim.now(), t.release);
+  }
+  const SimResult& streamed = sim.finalize();
+  EXPECT_EQ(schedule_to_csv(streamed.schedule),
+            schedule_to_csv(batch.schedule));
+  EXPECT_EQ(streamed.replans, batch.replans);
+  EXPECT_EQ(streamed.deadline_misses, batch.deadline_misses);
+  EXPECT_EQ(streamed.horizon_lo, batch.horizon_lo);
+  EXPECT_EQ(streamed.horizon_hi, batch.horizon_hi);
+}
+
+TEST(StreamSim, ResetStartsAFreshRun) {
+  const SystemConfig cfg = SystemConfig::paper_default();
+  SdemOnPolicy policy;
+  StreamSim sim(cfg, policy, cfg.num_cores);
+  sim.inject_arrival(Task{1, 0.0, 0.5, 120.0});
+  const SimResult first = sim.finalize();  // copy before reset
+  EXPECT_EQ(first.unfinished, 0);
+
+  sim.reset();
+  sim.inject_arrival(Task{1, 0.0, 0.5, 120.0});
+  const SimResult& second = sim.finalize();
+  EXPECT_EQ(schedule_to_csv(first.schedule),
+            schedule_to_csv(second.schedule));
+  EXPECT_EQ(first.replans, second.replans);
+}
+
+TEST(StreamSim, ThrowsOnRegressions) {
+  const SystemConfig cfg = SystemConfig::paper_default();
+  SdemOnPolicy policy;
+  StreamSim sim(cfg, policy, cfg.num_cores);
+  sim.inject_arrival(Task{1, 1.0, 2.0, 100.0});
+  sim.commit();
+  EXPECT_THROW(sim.inject_arrival(Task{2, 0.5, 2.0, 100.0}),
+               std::invalid_argument);
+  EXPECT_THROW(sim.advance_to(0.25), std::invalid_argument);
+  sim.finalize();
+  EXPECT_THROW(sim.inject_arrival(Task{3, 5.0, 6.0, 10.0}),
+               std::logic_error);
+}
+
+}  // namespace

@@ -1,0 +1,500 @@
+// sdem_service — long-running online scheduling daemon (docs/service.md).
+//
+// Ingests task arrivals as newline-delimited JSON over stdin/stdout and,
+// with --port, over a localhost TCP socket, answers admission + schedule
+// queries online, and shards independent memory islands across the thread
+// pool. Three modes:
+//
+//   sdem_service [--policy P] [--shards N] [--port PORT]    live daemon
+//   sdem_service --replay file.ndjson [--verify-batch]      deterministic
+//       batch replay: prints per-island schedules byte-identical to the
+//       batch simulator on the same stream (any --shards value)
+//   sdem_service --gen-stream N [--islands K] [--seed S]    emit a canned
+//       arrival stream (the CI smoke input) to stdout
+//
+// Responses are emitted in request order per connection (a sequence-number
+// reorder buffer; shards complete out of order). STATS is a service-wide
+// barrier: it drains every shard, then reports per-shard throughput and
+// p50/p99 replan latency from the obs runtime domain.
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "model/task.hpp"
+#include "obs/trace.hpp"
+#include "sched/trace_io.hpp"
+#include "service/service.hpp"
+#include "support/json.hpp"
+#include "support/thread_pool.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace sdem;
+using namespace sdem::service;
+
+int usage(int code) {
+  std::fprintf(
+      code == 0 ? stdout : stderr,
+      "usage: sdem_service [options]\n"
+      "  --policy NAME     sdem-on|sdem-on-eager|mbkp|race|stretch|critical\n"
+      "                    (default sdem-on)\n"
+      "  --shards N        worker shards / pool threads (default 1)\n"
+      "  --port PORT       also serve ndjson on 127.0.0.1:PORT (0 = pick a\n"
+      "                    free port; the chosen port is printed to stderr)\n"
+      "  --replay FILE     replay an ndjson arrival stream deterministically\n"
+      "                    and print per-island schedules to stdout\n"
+      "  --verify-batch    with --replay: re-run the batch simulator per\n"
+      "                    island and fail unless byte-identical\n"
+      "  --gen-stream N    emit an N-arrival SUBMIT stream to stdout\n"
+      "  --islands K       islands for --gen-stream (default 4)\n"
+      "  --seed S          seed for --gen-stream (default 1)\n"
+      "  --trace PATH      record a chrome://tracing JSON of the run\n"
+      "  --help            this message\n");
+  return code;
+}
+
+struct Options {
+  std::string policy = "sdem-on";
+  int shards = 1;
+  int port = -1;  ///< -1 = no TCP
+  std::string replay;
+  bool verify_batch = false;
+  long gen_stream = 0;
+  int islands = 4;
+  std::uint64_t seed = 1;
+  std::string trace;
+};
+
+/// Sequence-ordered response writer. Shards complete out of order; output
+/// must follow request order per connection. Global seq order implies
+/// per-connection order, so one buffer suffices. conn -1 writes to stdout.
+class OrderedWriter {
+ public:
+  void deposit(std::uint64_t seq, int conn, std::string line) {
+    std::lock_guard<std::mutex> lock(mu_);
+    held_.emplace(seq, std::make_pair(conn, std::move(line)));
+    while (!held_.empty() && held_.begin()->first == next_) {
+      write_line(held_.begin()->second.first, held_.begin()->second.second);
+      held_.erase(held_.begin());
+      ++next_;
+    }
+  }
+
+ private:
+  static void write_line(int conn, const std::string& line) {
+    std::string out = line;
+    out.push_back('\n');
+    if (conn < 0) {
+      std::fwrite(out.data(), 1, out.size(), stdout);
+      std::fflush(stdout);
+      return;
+    }
+    // Best effort: a disconnected client just loses its responses
+    // (SIGPIPE is ignored; EPIPE is expected).
+    std::size_t off = 0;
+    while (off < out.size()) {
+      const ssize_t n = ::write(conn, out.data() + off, out.size() - off);
+      if (n <= 0) return;
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  std::mutex mu_;
+  std::uint64_t next_ = 0;
+  std::map<std::uint64_t, std::pair<int, std::string>> held_;
+};
+
+int run_gen_stream(const Options& o) {
+  if (o.gen_stream <= 0 || o.islands <= 0) {
+    std::fprintf(stderr, "--gen-stream and --islands need positive values\n");
+    return 2;
+  }
+  // Per-island synthetic streams (paper §8.1.2 generator), merged into one
+  // globally release-sorted ndjson — per island the order is non-decreasing
+  // by construction, which is all the replay contract needs.
+  struct Line {
+    double release;
+    int island;
+    Task task;
+  };
+  std::vector<Line> lines;
+  lines.reserve(static_cast<std::size_t>(o.gen_stream));
+  const long per = o.gen_stream / o.islands;
+  const long extra = o.gen_stream % o.islands;
+  for (int isl = 0; isl < o.islands; ++isl) {
+    SyntheticParams p;
+    p.num_tasks = static_cast<int>(per + (isl < extra ? 1 : 0));
+    p.max_interarrival = 0.050;
+    if (p.num_tasks == 0) continue;
+    const TaskSet ts = make_synthetic(p, o.seed * 1000003 + isl);
+    for (const Task& t : ts.tasks()) lines.push_back({t.release, isl, t});
+  }
+  std::stable_sort(lines.begin(), lines.end(),
+                   [](const Line& a, const Line& b) {
+                     if (a.release != b.release) return a.release < b.release;
+                     if (a.island != b.island) return a.island < b.island;
+                     return a.task.id < b.task.id;
+                   });
+  std::string out;
+  for (const Line& l : lines) {
+    Json task = Json::object();
+    task.set("id", l.task.id);
+    task.set("release", l.task.release);
+    task.set("deadline", l.task.deadline);
+    task.set("work", l.task.work);
+    Json req = Json::object();
+    req.set("op", "SUBMIT");
+    req.set("island", l.island);
+    req.set("task", std::move(task));
+    out += req.dump(0);
+    out.push_back('\n');
+  }
+  std::fwrite(out.data(), 1, out.size(), stdout);
+  return 0;
+}
+
+/// Per-island replay report: a stable header line plus the schedule CSV,
+/// ascending island id. This is the byte surface the determinism and
+/// verify contracts are defined over.
+std::string island_report(const Service::IslandResult& isl) {
+  char head[160];
+  std::snprintf(head, sizeof(head),
+                "island %d policy=%s tasks=%llu replans=%d misses=%d "
+                "unfinished=%d\n",
+                isl.island, isl.policy.c_str(),
+                static_cast<unsigned long long>(isl.submits),
+                isl.result.replans, isl.result.deadline_misses,
+                isl.result.unfinished);
+  return std::string(head) + schedule_to_csv(isl.result.schedule);
+}
+
+int run_replay(const Options& o) {
+  std::ifstream in(o.replay);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", o.replay.c_str());
+    return 1;
+  }
+  ServiceOptions sopt;
+  sopt.policy = o.policy;
+  sopt.shards = o.shards;
+  sopt.eager = false;  // batch same-instant arrivals exactly like simulate()
+  std::unique_ptr<ThreadPool> pool;
+  if (o.shards > 1) pool = std::make_unique<ThreadPool>(o.shards);
+
+  std::mutex err_mu;
+  std::vector<std::string> errors;
+  Service svc(sopt, pool.get(), [&](const Request& r, Json resp) {
+    const Json* ok = resp.find("ok");
+    if (ok != nullptr && ok->is_bool() && !ok->as_bool()) {
+      std::lock_guard<std::mutex> lock(err_mu);
+      errors.push_back("seq " + std::to_string(r.seq) + ": " +
+                       resp.at("error").as_string());
+    }
+  });
+
+  std::string line;
+  std::uint64_t seq = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    Parsed p = parse_request(line);
+    if (!p.ok) {
+      std::fprintf(stderr, "replay line %llu: %s\n",
+                   static_cast<unsigned long long>(seq + 1), p.error.c_str());
+      return 1;
+    }
+    if (p.request.op != Op::kSubmit) {
+      std::fprintf(stderr, "replay line %llu: only SUBMIT is replayable\n",
+                   static_cast<unsigned long long>(seq + 1));
+      return 1;
+    }
+    p.request.seq = seq++;
+    svc.route(std::move(p.request));
+  }
+  const std::vector<Service::IslandResult> islands = svc.finalize_all();
+  if (!errors.empty()) {
+    for (const std::string& e : errors) {
+      std::fprintf(stderr, "replay error: %s\n", e.c_str());
+    }
+    return 1;
+  }
+  std::string report;
+  for (const auto& isl : islands) report += island_report(isl);
+  std::fwrite(report.data(), 1, report.size(), stdout);
+  std::fprintf(stderr, "replay: %zu island(s), %llu task(s), shards=%d\n",
+               islands.size(), static_cast<unsigned long long>(seq),
+               o.shards);
+
+  if (!o.verify_batch) return 0;
+  // Re-run every island through the batch simulator on the same arrivals
+  // and require the identical byte surface (schedule CSV + counters).
+  int rc = 0;
+  for (const auto& isl : islands) {
+    const auto policy = make_policy(o.policy);
+    const SimResult batch =
+        simulate(TaskSet(isl.tasks), sopt.cfg, *policy);
+    Service::IslandResult want;
+    want.island = isl.island;
+    want.policy = isl.policy;
+    want.submits = isl.submits;
+    want.result = batch;
+    const std::string got = island_report(isl);
+    const std::string expect = island_report(want);
+    if (got != expect || isl.result.horizon_lo != batch.horizon_lo ||
+        isl.result.horizon_hi != batch.horizon_hi) {
+      std::fprintf(stderr,
+                   "verify FAILED: island %d differs from batch simulate() "
+                   "(replayed %zu bytes, batch %zu bytes)\n",
+                   isl.island, got.size(), expect.size());
+      rc = 1;
+    }
+  }
+  if (rc == 0) {
+    std::fprintf(stderr,
+                 "verify: %zu island(s) byte-identical to batch simulate()\n",
+                 islands.size());
+  }
+  return rc;
+}
+
+/// Live daemon: poll() multiplexes stdin, the TCP listener and client
+/// connections on one ingest thread (which is what makes the per-shard
+/// rings single-producer).
+class Daemon {
+ public:
+  Daemon(const Options& o) : opt_(o) {}
+
+  int run() {
+    ServiceOptions sopt;
+    sopt.policy = opt_.policy;
+    sopt.shards = opt_.shards;
+    sopt.eager = true;
+    if (opt_.shards > 1) pool_ = std::make_unique<ThreadPool>(opt_.shards);
+    svc_ = std::make_unique<Service>(
+        sopt, pool_.get(), [this](const Request& r, Json resp) {
+          writer_.deposit(r.seq, r.conn, resp.dump(0));
+        });
+
+    if (opt_.port >= 0 && !open_listener()) return 1;
+    bool stdin_open = true;
+
+    while (!stop_) {
+      std::vector<pollfd> fds;
+      if (stdin_open) fds.push_back({0, POLLIN, 0});
+      if (listen_fd_ >= 0) fds.push_back({listen_fd_, POLLIN, 0});
+      for (const auto& [fd, buf] : conns_) fds.push_back({fd, POLLIN, 0});
+      if (fds.empty()) break;  // stdin closed, no TCP: nothing left to serve
+      if (::poll(fds.data(), fds.size(), -1) < 0) {
+        if (errno == EINTR) continue;
+        std::perror("poll");
+        return 1;
+      }
+      for (const pollfd& p : fds) {
+        if ((p.revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        if (p.fd == 0) {
+          if (!read_chunk(0, &stdin_buf_)) {
+            flush_partial(0, &stdin_buf_);
+            stdin_open = false;
+            // stdin EOF with no TCP surface: drain and exit cleanly.
+            if (listen_fd_ < 0) stop_ = true;
+          }
+        } else if (p.fd == listen_fd_) {
+          accept_client();
+        } else {
+          auto it = conns_.find(p.fd);
+          if (it == conns_.end()) continue;
+          if (!read_chunk(p.fd, &it->second)) {
+            flush_partial(p.fd, &it->second);
+            ::close(p.fd);
+            conns_.erase(it);
+          }
+        }
+        if (stop_) break;
+      }
+    }
+    svc_->drain_all();
+    for (const auto& [fd, buf] : conns_) ::close(fd);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    return 0;
+  }
+
+ private:
+  bool open_listener() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      std::perror("socket");
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(opt_.port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0 ||
+        ::listen(listen_fd_, 16) < 0) {
+      std::perror("bind/listen");
+      return false;
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    std::fprintf(stderr, "listening on 127.0.0.1:%d\n",
+                 ntohs(addr.sin_port));
+    return true;
+  }
+
+  void accept_client() {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd >= 0) conns_.emplace(fd, std::string());
+  }
+
+  /// Read once from fd, dispatch complete lines. Returns false on EOF/error.
+  bool read_chunk(int fd, std::string* buf) {
+    char chunk[65536];
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) return false;
+    buf->append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = buf->find('\n', start);
+      if (nl == std::string::npos) break;
+      dispatch(buf->substr(start, nl - start), fd == 0 ? -1 : fd);
+      start = nl + 1;
+      if (stop_) break;
+    }
+    buf->erase(0, start);
+    return true;
+  }
+
+  /// A final line without a trailing newline still counts at EOF.
+  void flush_partial(int fd, std::string* buf) {
+    if (!buf->empty() && !stop_) dispatch(*buf, fd == 0 ? -1 : fd);
+    buf->clear();
+  }
+
+  void dispatch(const std::string& line, int conn) {
+    if (line.empty()) return;
+    const std::uint64_t seq = seq_++;
+    Parsed p = parse_request(line);
+    if (!p.ok) {
+      writer_.deposit(seq, conn, error_response(seq, p.error).dump(0));
+      return;
+    }
+    p.request.seq = seq;
+    p.request.conn = conn;
+    switch (p.request.op) {
+      case Op::kSubmit:
+      case Op::kQuery:
+        svc_->route(std::move(p.request));
+        break;
+      case Op::kStats:
+        // Barrier: drains every shard first, so all earlier responses have
+        // already been deposited and seq order is preserved.
+        writer_.deposit(seq, conn, svc_->stats(seq).dump(0));
+        break;
+      case Op::kShutdown: {
+        svc_->drain_all();
+        Json resp = ok_response(Op::kShutdown, seq);
+        resp.set("requests", svc_->requests_processed());
+        writer_.deposit(seq, conn, resp.dump(0));
+        stop_ = true;
+        break;
+      }
+    }
+  }
+
+  Options opt_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<Service> svc_;
+  OrderedWriter writer_;
+  std::map<int, std::string> conns_;  ///< client fd -> partial line buffer
+  std::string stdin_buf_;
+  std::uint64_t seq_ = 0;
+  int listen_fd_ = -1;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::signal(SIGPIPE, SIG_IGN);
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(usage(2));
+      }
+      return argv[++i];
+    };
+    if (arg == "--policy") {
+      o.policy = value("--policy");
+    } else if (arg == "--shards") {
+      o.shards = std::atoi(value("--shards"));
+      if (o.shards < 1) {
+        std::fprintf(stderr, "--shards needs a positive integer\n");
+        return usage(2);
+      }
+    } else if (arg == "--port") {
+      o.port = std::atoi(value("--port"));
+    } else if (arg == "--replay") {
+      o.replay = value("--replay");
+    } else if (arg == "--verify-batch") {
+      o.verify_batch = true;
+    } else if (arg == "--gen-stream") {
+      o.gen_stream = std::atol(value("--gen-stream"));
+    } else if (arg == "--islands") {
+      o.islands = std::atoi(value("--islands"));
+    } else if (arg == "--seed") {
+      o.seed = static_cast<std::uint64_t>(std::atoll(value("--seed")));
+    } else if (arg == "--trace") {
+      o.trace = value("--trace");
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(0);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return usage(2);
+    }
+  }
+
+  if (!o.trace.empty()) sdem::obs::trace::start();
+  int rc = 1;
+  try {
+    if (o.gen_stream > 0) {
+      rc = run_gen_stream(o);
+    } else if (!o.replay.empty()) {
+      rc = run_replay(o);
+    } else {
+      rc = Daemon(o).run();
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    rc = 1;
+  }
+  if (!o.trace.empty()) {
+    if (!sdem::obs::trace::write_file(o.trace)) {
+      std::fprintf(stderr, "cannot write trace %s\n", o.trace.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace -> %s (open in chrome://tracing)\n",
+                 o.trace.c_str());
+  }
+  return rc;
+}
