@@ -75,7 +75,7 @@ ExperimentResult run_fig6(const RunOptions& opt, bool memory) {
         return make_dspstone(p, seed * 977 + u);
       },
       [&](std::size_t) -> const SystemConfig& { return cfg; }, 8, seeds,
-      opt.pool);
+      opt.pool, opt.tile);
 
   Json rows = Json::array();
   double sum_gap = 0.0;
@@ -175,7 +175,7 @@ ExperimentResult run_fig7(const RunOptions& opt, bool sweep_alpham) {
                                               : seed * 7717 + level * 13 + x);
       },
       [&](std::size_t pi) -> const SystemConfig& { return cfgs[pi / 8]; },
-      static_cast<int>(levels.size()) * 8, seeds, opt.pool);
+      static_cast<int>(levels.size()) * 8, seeds, opt.pool, opt.tile);
 
   Json rows = Json::array();
   double sum = 0.0;

@@ -94,6 +94,14 @@ Json seed_comparison_json(const SeedComparison& sc) {
   j.set("memory_sleep_sdem_s", sc.sleep_sdem);
   j.set("memory_sleep_mbkps_s", sc.sleep_mbkps);
   j.set("solver_seconds", sc.solver_seconds);
+  // Per-cell deterministic counter attribution (docs/observability.md):
+  // identical at any --jobs/--tile, but strictly additive schema — the
+  // runner's --stable strips it so pre-attribution goldens stay valid.
+  if (!sc.counters.empty()) {
+    Json c = Json::object();
+    for (const auto& [name, v] : sc.counters) c.set(name, v);
+    j.set("counters", std::move(c));
+  }
   return j;
 }
 

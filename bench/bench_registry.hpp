@@ -27,6 +27,10 @@ namespace sdem::bench {
 struct RunOptions {
   int seeds = 0;               ///< 0 → the experiment's paper default
   ThreadPool* pool = nullptr;  ///< null → serial reference execution
+  /// Grid cells per pool task for grid-shaped sweeps (see
+  /// collect_grid_comparisons): > 1 reuses one comparison scratch across
+  /// that many adjacent (point, seed) cells. Results are tile-invariant.
+  int tile = 1;
 };
 
 struct ExperimentResult {

@@ -14,11 +14,14 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "model/power.hpp"
+#include "obs/obs.hpp"
 #include "sim/metrics.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -68,7 +71,55 @@ struct SeedComparison {
   double sleep_sdem = 0.0;  ///< memory sleep, s
   double sleep_mbkps = 0.0;
   double solver_seconds = 0.0;
+  /// Deterministic-domain counter deltas attributed to this cell's solve
+  /// (name-sorted, zero deltas dropped) — the per-(point, seed) attribution
+  /// the runner JSON exposes so counter regressions localize to a cell.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
 };
+
+/// after - before for two same-thread Registry::local_counters() reads.
+/// Counters only grow and cells are never removed, so `after` is a
+/// superset of `before` with values >= ; both are name-sorted, so one
+/// merge pass suffices. Zero deltas are dropped.
+inline std::vector<std::pair<std::string, std::uint64_t>> counter_delta(
+    const std::vector<std::pair<std::string, std::uint64_t>>& before,
+    const std::vector<std::pair<std::string, std::uint64_t>>& after) {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  std::size_t bi = 0;
+  for (const auto& [name, v] : after) {
+    while (bi < before.size() && before[bi].first < name) ++bi;
+    std::uint64_t prev = 0;
+    if (bi < before.size() && before[bi].first == name) prev = before[bi].second;
+    if (v > prev) out.emplace_back(name, v - prev);
+  }
+  return out;
+}
+
+/// One cell's work, shared by the seed and grid collectors: run the
+/// comparison with the caller's scratch, fill the slot, and attribute the
+/// worker thread's deterministic counter delta to the cell. The cell runs
+/// entirely on one thread, so the delta is a pure function of (trace, cfg)
+/// whatever the job count, tile size, or scheduling.
+inline void fill_seed_comparison(SeedComparison& sc, std::uint64_t seed,
+                                 const TaskSet& trace, const SystemConfig& cfg,
+                                 ComparisonScratch& scratch) {
+  const auto before = obs::Registry::instance().local_counters();
+  const auto t0 = std::chrono::steady_clock::now();
+  const Comparison cmp = run_comparison(trace, cfg, scratch);
+  const auto t1 = std::chrono::steady_clock::now();
+  sc.seed = seed;
+  sc.sdem_system = cmp.system_saving_sdem();
+  sc.mbkps_system = cmp.system_saving_mbkps();
+  sc.sdem_memory = cmp.memory_saving_sdem();
+  sc.mbkps_memory = cmp.memory_saving_mbkps();
+  sc.energy_mbkp = cmp.mbkp.energy.system_total();
+  sc.energy_mbkps = cmp.mbkps.energy.system_total();
+  sc.energy_sdem = cmp.sdem.energy.system_total();
+  sc.sleep_sdem = cmp.sdem.memory_sleep_time;
+  sc.sleep_mbkps = cmp.mbkps.memory_sleep_time;
+  sc.solver_seconds = std::chrono::duration<double>(t1 - t0).count();
+  sc.counters = counter_delta(before, obs::Registry::instance().local_counters());
+}
 
 /// Run `seeds` independent comparisons, in parallel when `pool` is given.
 /// Slot i holds seed i+1; the returned vector is always in seed order.
@@ -79,59 +130,37 @@ std::vector<SeedComparison> collect_seed_comparisons(MakeTrace&& make_trace,
                                                      ThreadPool* pool = nullptr) {
   std::vector<SeedComparison> out(static_cast<std::size_t>(seeds));
   parallel_for_seeds(pool, seeds, [&](std::uint64_t seed, std::size_t i) {
-    const TaskSet trace = make_trace(seed);
-    const auto t0 = std::chrono::steady_clock::now();
-    const Comparison cmp = run_comparison(trace, cfg);
-    const auto t1 = std::chrono::steady_clock::now();
-    SeedComparison& sc = out[i];
-    sc.seed = seed;
-    sc.sdem_system = cmp.system_saving_sdem();
-    sc.mbkps_system = cmp.system_saving_mbkps();
-    sc.sdem_memory = cmp.memory_saving_sdem();
-    sc.mbkps_memory = cmp.memory_saving_mbkps();
-    sc.energy_mbkp = cmp.mbkp.energy.system_total();
-    sc.energy_mbkps = cmp.mbkps.energy.system_total();
-    sc.energy_sdem = cmp.sdem.energy.system_total();
-    sc.sleep_sdem = cmp.sdem.memory_sleep_time;
-    sc.sleep_mbkps = cmp.mbkps.memory_sleep_time;
-    sc.solver_seconds = std::chrono::duration<double>(t1 - t0).count();
+    ComparisonScratch scratch;
+    fill_seed_comparison(out[i], seed, make_trace(seed), cfg, scratch);
   });
   return out;
 }
 
 /// Grid generalization of collect_seed_comparisons: every (operating point,
-/// seed) cell runs independently on the pool (parallel_for_grid), so sweeps
-/// with many points and few seeds — fig7's 64 cells, a --seeds 2 rerun —
-/// still occupy every worker. `make_trace(point, seed)` builds the cell's
-/// trace, `cfg_for(point)` its config. Returns one seed-ordered vector per
-/// point; cells are pure functions of (point, seed), so the result is
-/// bit-identical to the serial point-major loop at any job count.
+/// seed) cell runs independently on the pool, so sweeps with many points
+/// and few seeds — fig7's 64 cells, a --seeds 2 rerun — still occupy every
+/// worker. `make_trace(point, seed)` builds the cell's trace,
+/// `cfg_for(point)` its config. `tile` > 1 batches that many consecutive
+/// point-major cells per pool task and reuses one ComparisonScratch across
+/// the batch (parallel_for_grid_tiled), amortizing the policies' workspace
+/// growth; the serial path always reuses one scratch for the whole grid.
+/// Returns one seed-ordered vector per point; cells are pure functions of
+/// (point, seed) and scratch reuse is semantically stateless, so the
+/// result is bit-identical to the serial point-major loop at any job count
+/// and tile size.
 template <typename MakeTrace, typename CfgFor>
 std::vector<std::vector<SeedComparison>> collect_grid_comparisons(
     MakeTrace&& make_trace, CfgFor&& cfg_for, int points, int seeds,
-    ThreadPool* pool = nullptr) {
+    ThreadPool* pool = nullptr, int tile = 1) {
   std::vector<std::vector<SeedComparison>> out(
       static_cast<std::size_t>(points),
       std::vector<SeedComparison>(static_cast<std::size_t>(seeds)));
-  parallel_for_grid(
-      pool, points, seeds,
-      [&](std::size_t point, std::uint64_t seed, std::size_t) {
-        const TaskSet trace = make_trace(point, seed);
-        const auto t0 = std::chrono::steady_clock::now();
-        const Comparison cmp = run_comparison(trace, cfg_for(point));
-        const auto t1 = std::chrono::steady_clock::now();
-        SeedComparison& sc = out[point][seed - 1];
-        sc.seed = seed;
-        sc.sdem_system = cmp.system_saving_sdem();
-        sc.mbkps_system = cmp.system_saving_mbkps();
-        sc.sdem_memory = cmp.memory_saving_sdem();
-        sc.mbkps_memory = cmp.memory_saving_mbkps();
-        sc.energy_mbkp = cmp.mbkp.energy.system_total();
-        sc.energy_mbkps = cmp.mbkps.energy.system_total();
-        sc.energy_sdem = cmp.sdem.energy.system_total();
-        sc.sleep_sdem = cmp.sdem.memory_sleep_time;
-        sc.sleep_mbkps = cmp.mbkps.memory_sleep_time;
-        sc.solver_seconds = std::chrono::duration<double>(t1 - t0).count();
+  parallel_for_grid_tiled(
+      pool, points, seeds, tile, [] { return ComparisonScratch(); },
+      [&](ComparisonScratch& scratch, std::size_t point, std::uint64_t seed,
+          std::size_t) {
+        fill_seed_comparison(out[point][seed - 1], seed,
+                             make_trace(point, seed), cfg_for(point), scratch);
       });
   return out;
 }

@@ -10,10 +10,6 @@ namespace sdem {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
-// Same relative slack block_energy_at grants optima sitting exactly on the
-// s_up boundary; reused verbatim so feasibility decisions cannot flip
-// between the fast and the exact path.
-constexpr double kUpSlack = 1.0 + 1e-9;
 
 std::atomic<bool> g_cross_check{false};
 std::atomic<std::uint64_t> g_probes{0};
@@ -75,12 +71,30 @@ BlockContext::BlockContext(const SystemConfig& cfg) : cfg_(cfg) {
   lambda_ = cfg_.core.lambda;
   s_m_raw_ = cfg_.core.critical_speed_raw();  // one pow per context, not per probe
   s_up_ = cfg_.core.max_speed();
+  kc_.alpha = alpha_;
+  kc_.lambda = lambda_;
+  kc_.s_m_raw = s_m_raw_;
+  kc_.s_up = s_up_;
+  // Lower-bound pruning needs each lane's energy nonincreasing in its
+  // window, i.e. the fill-regime curve alpha*W + beta*w^λ*W^(1-λ) must have
+  // its stationary point exactly at the race boundary (the definition of
+  // the critical speed) — true for the physical parameter range below.
+  can_prune_ = alpha_ >= 0.0 && alpha_m_ >= 0.0 && lambda_ > 1.0 &&
+               cfg_.core.beta >= 0.0;
   pref_efull_.push_back(0.0);
 }
 
 void BlockContext::reset() {
   tasks_.clear();
-  pre_.clear();
+  pr_.clear();
+  pd_.clear();
+  pw_.clear();
+  pq_.clear();
+  pwpow_.clear();
+  pwrace_.clear();
+  perace_.clear();
+  peup_.clear();
+  pefull_.clear();
   pref_efull_.assign(1, 0.0);
   nr_.clear();
   nd_.clear();
@@ -92,35 +106,47 @@ void BlockContext::reset() {
   infeasible_ = false;
 }
 
+double BlockContext::piece(std::size_t i, double window) const {
+  return block_piece_scalar(kc_, pw_[i], pq_[i], pwpow_[i], perace_[i],
+                            peup_[i], window);
+}
+
 void BlockContext::push_task(const Task& t) {
-  if (!tasks_.empty() &&
-      (t.release < pre_.back().r || t.deadline < pre_.back().d)) {
+  if (!tasks_.empty() && (t.release < pr_.back() || t.deadline < pd_.back())) {
     sorted_ = false;  // not agreeable deadline order: solve() falls back
   }
   tasks_.push_back(t);
 
-  Pre p;
-  p.r = t.release;
-  p.d = t.deadline;
-  p.w = t.work;
+  double q = 0.0, wpow = 0.0, w_race = 0.0, e_race = 0.0, e_up = 0.0,
+         e_full = 0.0;
   if (t.work > 0.0) {
-    p.q = std::isfinite(s_up_) ? t.work / s_up_ : 0.0;
-    p.wpow = cfg_.core.beta * std::pow(t.work, lambda_);
+    q = std::isfinite(s_up_) ? t.work / s_up_ : 0.0;
+    wpow = cfg_.core.beta * std::pow(t.work, lambda_);
     const double c = std::min(s_m_raw_, s_up_);
-    p.w_race = c > 0.0 ? t.work / c : kInf;
-    p.e_race = cfg_.core.exec_energy(t.work, c);
-    p.e_up = std::isfinite(s_up_) ? cfg_.core.exec_energy(t.work, s_up_) : kInf;
-    p.e_full = piece(p, t.deadline - t.release);
-    if (!std::isfinite(p.e_full)) infeasible_ = true;
-    nr_.push_back(p.r);
-    nd_.push_back(p.d);
-    // Slacked copy for the feasibility geometry: piece() keeps windows down
-    // to q / kUpSlack finite, so feasible_e_min/feasible_s_max must accept
-    // them too, or a boundary-tight task collapses every box to its corners.
-    nq_.push_back(p.q / kUpSlack);
+    w_race = c > 0.0 ? t.work / c : kInf;
+    e_race = cfg_.core.exec_energy(t.work, c);
+    e_up = std::isfinite(s_up_) ? cfg_.core.exec_energy(t.work, s_up_) : kInf;
+    e_full = block_piece_scalar(kc_, t.work, q, wpow, e_race, e_up,
+                                t.deadline - t.release);
+    if (!std::isfinite(e_full)) infeasible_ = true;
+    nr_.push_back(t.release);
+    nd_.push_back(t.deadline);
+    // Slacked copy for the feasibility geometry: the piece kernel keeps
+    // windows down to q / kBlockUpSlack finite, so feasible_e_min/
+    // feasible_s_max must accept them too, or a boundary-tight task
+    // collapses every box to its corners.
+    nq_.push_back(q / kBlockUpSlack);
   }
-  pre_.push_back(p);
-  pref_efull_.push_back(pref_efull_.back() + p.e_full);
+  pr_.push_back(t.release);
+  pd_.push_back(t.deadline);
+  pw_.push_back(t.work);
+  pq_.push_back(q);
+  pwpow_.push_back(wpow);
+  pwrace_.push_back(w_race);
+  perace_.push_back(e_race);
+  peup_.push_back(e_up);
+  pefull_.push_back(e_full);
+  pref_efull_.push_back(pref_efull_.back() + e_full);
 
   if (tasks_.size() == 1) {
     r_min_ = t.release;
@@ -144,111 +170,229 @@ void BlockContext::push_task(const Task& t) {
   }
 }
 
-double BlockContext::window_power(double w_pos) const {
-  if (lambda_ == 3.0) return 1.0 / (w_pos * w_pos);
-  if (lambda_ == 2.0) return 1.0 / w_pos;
-  return std::pow(w_pos, 1.0 - lambda_);
+void BlockContext::push_lane(LaneBuf& buf, std::size_t i, double bound) {
+  buf.bound.push_back(bound);
+  buf.w.push_back(pw_[i]);
+  buf.q.push_back(pq_[i]);
+  buf.wpow.push_back(pwpow_[i]);
+  buf.e_race.push_back(perace_[i]);
+  buf.e_up.push_back(peup_[i]);
 }
 
-double BlockContext::piece(const Pre& p, double window) const {
-  // Mirrors task_window_energy's regimes with the per-task constants
-  // hoisted: sigma = min(max(s_m, w/W), s_up).
-  if (!(window > 0.0)) return kInf;
-  const double fill = p.w / window;
-  if (fill < s_m_raw_) {  // race regime: sigma pins at min(s_m, s_up)
-    if (p.q > window * kUpSlack) return kInf;
-    return p.e_race;
-  }
-  if (fill > s_up_) {  // clamped at s_up (feasible only in the slack sliver)
-    if (p.q > window * kUpSlack) return kInf;
-    return p.e_up;
-  }
-  // Fill regime: exec_energy(w, w/W) = alpha*W + beta*w^lambda*W^(1-lambda).
-  return alpha_ * window + p.wpow * window_power(window);
-}
-
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((always_inline)) inline
+#endif
 double BlockContext::eval_box(double s, double e) const {
   SDEM_OBS_ONLY(++obs_probes_;)
   double energy = alpha_m_ * (e - s) + const_energy_;
-  for (const Dyn& l : left_) energy += piece(*l.pre, l.bound - s);
-  for (const Dyn& r : right_) energy += piece(*r.pre, e - r.bound);
-  for (const Pre* c : coupled_) energy += piece(*c, e - s);
-
-  if (g_cross_check.load(std::memory_order_relaxed)) {
-    g_probes.fetch_add(1, std::memory_order_relaxed);
-    SDEM_OBS_INC("block/cross_check_probes");
-    const double exact = block_energy_at(tasks_, cfg_, s, e);
-    const bool fast_inf = !std::isfinite(energy);
-    const bool exact_inf = !std::isfinite(exact);
-    const bool ok =
-        fast_inf == exact_inf &&
-        (fast_inf || std::abs(energy - exact) <=
-                         1e-9 * std::max({1.0, std::abs(energy), std::abs(exact)}));
-    if (!ok) {
-      g_failures.fetch_add(1, std::memory_order_relaxed);
-      SDEM_OBS_INC("block/cross_check_failures");
-      assert(false && "BlockContext fast probe diverged from block_energy_at");
+  // One window per fused lane (left | right | coupled segments), one
+  // batched-kernel call, one serial reduction in task order (left, right,
+  // coupled — the order the scalar loop added them), so the sum is
+  // bit-identical to per-task accumulation.
+  const std::size_t n = lanes_.size();
+  if (n != 0) {
+    const double* bound = lanes_.bound.data();
+    const std::size_t nl = nleft_, nlr = nleft_ + nright_;
+    if (n < kBlockBatchMinLanes) {
+      // Narrow box (the common case): evaluate each lane inline — same
+      // scalar kernel, same accumulation order, so the same bits as the
+      // batched path below — skipping the win_/val_ scratch round-trip,
+      // which costs more than it saves at a handful of lanes.
+      const LaneBuf& L = lanes_;
+      for (std::size_t i = 0; i < nl; ++i) {
+        energy += block_piece_scalar(kc_, L.w[i], L.q[i], L.wpow[i],
+                                     L.e_race[i], L.e_up[i], bound[i] - s);
+      }
+      for (std::size_t i = nl; i < nlr; ++i) {
+        energy += block_piece_scalar(kc_, L.w[i], L.q[i], L.wpow[i],
+                                     L.e_race[i], L.e_up[i], e - bound[i]);
+      }
+      for (std::size_t i = nlr; i < n; ++i) {
+        energy += block_piece_scalar(kc_, L.w[i], L.q[i], L.wpow[i],
+                                     L.e_race[i], L.e_up[i], e - s);
+      }
+    } else {
+      double* win = win_.data();
+      for (std::size_t i = 0; i < nl; ++i) win[i] = bound[i] - s;  // d - s'
+      for (std::size_t i = nl; i < nlr; ++i) win[i] = e - bound[i];  // e' - r
+      for (std::size_t i = nlr; i < n; ++i) win[i] = e - s;  // e' - s'
+      block_piece_batch(kc_, lanes_.w.data(), lanes_.q.data(),
+                        lanes_.wpow.data(), lanes_.e_race.data(),
+                        lanes_.e_up.data(), win, val_.data(), n);
+      const double* val = val_.data();
+      for (std::size_t i = 0; i < n; ++i) energy += val[i];
     }
   }
+
+  if (g_cross_check.load(std::memory_order_relaxed)) audit_probe(s, e, energy);
   return std::isfinite(energy) ? energy : kInf;
+}
+
+void BlockContext::prime_fixed_left(double s) const {
+  const LaneBuf& L = lanes_;
+  const double* bound = L.bound.data();
+  for (std::size_t i = 0; i < nleft_; ++i) {
+    fixv_[i] = block_piece_scalar(kc_, L.w[i], L.q[i], L.wpow[i], L.e_race[i],
+                                  L.e_up[i], bound[i] - s);
+  }
+}
+
+void BlockContext::prime_fixed_right(double e) const {
+  const LaneBuf& L = lanes_;
+  const double* bound = L.bound.data();
+  for (std::size_t i = nleft_; i < nleft_ + nright_; ++i) {
+    fixv_[i] = block_piece_scalar(kc_, L.w[i], L.q[i], L.wpow[i], L.e_race[i],
+                                  L.e_up[i], e - bound[i]);
+  }
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((always_inline)) inline
+#endif
+double BlockContext::eval_box_fixed_s(double s, double e) const {
+  SDEM_OBS_ONLY(++obs_probes_;)
+  double energy = alpha_m_ * (e - s) + const_energy_;
+  const LaneBuf& L = lanes_;
+  const double* bound = L.bound.data();
+  const std::size_t n = L.size(), nl = nleft_, nlr = nleft_ + nright_;
+  const double* fix = fixv_.data();
+  for (std::size_t i = 0; i < nl; ++i) energy += fix[i];  // primed at this s
+  for (std::size_t i = nl; i < nlr; ++i) {
+    energy += block_piece_scalar(kc_, L.w[i], L.q[i], L.wpow[i], L.e_race[i],
+                                 L.e_up[i], e - bound[i]);
+  }
+  for (std::size_t i = nlr; i < n; ++i) {
+    energy += block_piece_scalar(kc_, L.w[i], L.q[i], L.wpow[i], L.e_race[i],
+                                 L.e_up[i], e - s);
+  }
+  if (g_cross_check.load(std::memory_order_relaxed)) audit_probe(s, e, energy);
+  return std::isfinite(energy) ? energy : kInf;
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((always_inline)) inline
+#endif
+double BlockContext::eval_box_fixed_e(double s, double e) const {
+  SDEM_OBS_ONLY(++obs_probes_;)
+  double energy = alpha_m_ * (e - s) + const_energy_;
+  const LaneBuf& L = lanes_;
+  const double* bound = L.bound.data();
+  const std::size_t n = L.size(), nl = nleft_, nlr = nleft_ + nright_;
+  const double* fix = fixv_.data();
+  for (std::size_t i = 0; i < nl; ++i) {
+    energy += block_piece_scalar(kc_, L.w[i], L.q[i], L.wpow[i], L.e_race[i],
+                                 L.e_up[i], bound[i] - s);
+  }
+  for (std::size_t i = nl; i < nlr; ++i) energy += fix[i];  // primed at e
+  for (std::size_t i = nlr; i < n; ++i) {
+    energy += block_piece_scalar(kc_, L.w[i], L.q[i], L.wpow[i], L.e_race[i],
+                                 L.e_up[i], e - s);
+  }
+  if (g_cross_check.load(std::memory_order_relaxed)) audit_probe(s, e, energy);
+  return std::isfinite(energy) ? energy : kInf;
+}
+
+// Out of line (and kept off the inlining path): the audit body is an order
+// of magnitude bigger than the probe itself, and folding it into eval_box
+// pushes the hot function past the inliner's size budget — gprof shows the
+// probe then stops inlining into minimize_box's line searches.
+void BlockContext::audit_probe(double s, double e, double energy) const {
+  g_probes.fetch_add(1, std::memory_order_relaxed);
+  SDEM_OBS_INC("block/cross_check_probes");
+  const double exact = block_energy_at(tasks_, cfg_, s, e);
+  const bool fast_inf = !std::isfinite(energy);
+  const bool exact_inf = !std::isfinite(exact);
+  const bool ok =
+      fast_inf == exact_inf &&
+      (fast_inf || std::abs(energy - exact) <=
+                       1e-9 * std::max({1.0, std::abs(energy), std::abs(exact)}));
+  if (!ok) {
+    g_failures.fetch_add(1, std::memory_order_relaxed);
+    SDEM_OBS_INC("block/cross_check_failures");
+    assert(false && "BlockContext fast probe diverged from block_energy_at");
+  }
 }
 
 bool BlockContext::setup_box(double s_lo, double s_hi, double e_lo,
                              double e_hi) {
-  left_.clear();
-  right_.clear();
-  coupled_.clear();
+  lanes_.clear();
+  ctmp_.clear();
+  nleft_ = nright_ = 0;
   const_energy_ = 0.0;
+  box_floor_ = 0.0;
+  // Feasibility geometry of the dynamic lanes, for the lower bound's memory
+  // term: a finite probe needs window*slack >= q per lane, so left lanes cap
+  // s' at d - q/slack, right lanes floor e' at r + q/slack, and coupled
+  // lanes floor e' - s' directly. Ulp-level rounding slop against the piece
+  // kernel's own boundary test is absorbed by the 1e-12 prune shave.
+  double s_cap = s_hi;
+  double e_floor = e_lo;
+  double w_floor = 0.0;
+  constexpr double inv_slack = 1.0 / kBlockUpSlack;
 
-  const std::size_t n = pre_.size();
+  const std::size_t n = pr_.size();
   // Boxes are bounded by breakpoints, so no release sits strictly inside
   // (s_lo, s_hi) and no deadline strictly inside (e_lo, e_hi): the window
   // classes are exact and, in agreeable order, contiguous index ranges.
   const std::size_t a =
-      std::upper_bound(pre_.begin(), pre_.end(), s_lo,
-                       [](double v, const Pre& p) { return v < p.r; }) -
-      pre_.begin();
+      std::upper_bound(pr_.begin(), pr_.end(), s_lo) - pr_.begin();
   const std::size_t c =
-      std::upper_bound(pre_.begin(), pre_.end(), e_lo,
-                       [](double v, const Pre& p) { return v < p.d; }) -
-      pre_.begin();
+      std::upper_bound(pd_.begin(), pd_.end(), e_lo) - pd_.begin();
 
+  // Each class's feasibility probe sits at the lane's maximal window over
+  // the box. A lane's energy is nonincreasing in its window (inf below the
+  // q/slack feasibility knee, then the constant clamp energy, then the
+  // decreasing fill curve, then the constant race energy), so that probe
+  // value is also the lane's exact minimum over the box — accumulated into
+  // box_floor_ as the lower bound solve() prunes with.
   const std::size_t left_end = std::min(a, c);
   for (std::size_t i = 0; i < left_end; ++i) {  // W = d - s'
-    const Pre& p = pre_[i];
-    if (p.w <= 0.0) continue;
-    if (!std::isfinite(piece(p, p.d - s_lo))) return false;  // box infeasible
-    if (p.d - s_hi >= p.w_race) {
-      const_energy_ += p.e_race;  // pinned at the race speed across the box
+    if (pw_[i] <= 0.0) continue;
+    const double v = piece(i, pd_[i] - s_lo);
+    if (!std::isfinite(v)) return false;  // box infeasible
+    if (pd_[i] - s_hi >= pwrace_[i]) {
+      const_energy_ += perace_[i];  // pinned at the race speed across the box
     } else {
-      left_.push_back({p.d, &p});
+      push_lane(lanes_, i, pd_[i]);
+      box_floor_ += v;
+      s_cap = std::min(s_cap, pd_[i] - pq_[i] * inv_slack);
     }
   }
+  nleft_ = lanes_.size();
   if (a <= c) {
     // Unclipped middle class: full windows, one subtraction via prefix sums.
     const_energy_ += pref_efull_[c] - pref_efull_[a];
   } else {
+    // Staged in ctmp_: coupled lanes accumulate after the right segment in
+    // eval_box, but the const_energy_ folds must keep this loop order.
     for (std::size_t i = c; i < a; ++i) {  // both-sides-clipped: W = e' - s'
-      const Pre& p = pre_[i];
-      if (p.w <= 0.0) continue;
-      if (!std::isfinite(piece(p, e_hi - s_lo))) return false;
-      if (e_lo - s_hi >= p.w_race) {
-        const_energy_ += p.e_race;
+      if (pw_[i] <= 0.0) continue;
+      const double v = piece(i, e_hi - s_lo);
+      if (!std::isfinite(v)) return false;
+      if (e_lo - s_hi >= pwrace_[i]) {
+        const_energy_ += perace_[i];
       } else {
-        coupled_.push_back(&p);
+        push_lane(ctmp_, i, 0.0);
+        box_floor_ += v;
+        w_floor = std::max(w_floor, pq_[i] * inv_slack);
       }
     }
   }
   for (std::size_t i = std::max(a, c); i < n; ++i) {  // W = e' - r
-    const Pre& p = pre_[i];
-    if (p.w <= 0.0) continue;
-    if (!std::isfinite(piece(p, e_hi - p.r))) return false;
-    if (e_lo - p.r >= p.w_race) {
-      const_energy_ += p.e_race;
+    if (pw_[i] <= 0.0) continue;
+    const double v = piece(i, e_hi - pr_[i]);
+    if (!std::isfinite(v)) return false;
+    if (e_lo - pr_[i] >= pwrace_[i]) {
+      const_energy_ += perace_[i];
     } else {
-      right_.push_back({p.r, &p});
+      push_lane(lanes_, i, pr_[i]);
+      box_floor_ += v;
+      e_floor = std::max(e_floor, pr_[i] + pq_[i] * inv_slack);
     }
   }
+  nright_ = lanes_.size() - nleft_;
+  lanes_.append(ctmp_);
+  box_mem_floor_ = std::max({0.0, e_floor - s_cap, w_floor});
   return true;
 }
 
@@ -287,16 +431,25 @@ BoxMin BlockContext::minimize_box(double s_lo, double s_hi, double e_lo,
   for (int round = 0; round < 64; ++round) {
     const double elo = std::max({e_lo, s, feasible_e_min(s)});
     if (elo > e_hi) break;
+    // The e-line search holds s fixed, so the left lanes' windows — and
+    // values — are constants of the whole search: prime them once and let
+    // the probe re-add the identical doubles instead of re-deriving them.
+    prime_fixed_left(s);
     const double new_e = golden_min_t(
-        [&](double y) { return eval_box(s, y); }, elo, e_hi, 1e-12);
+        [&](double y) { return eval_box_fixed_s(s, y); }, elo, e_hi, 1e-12);
     const double shi = std::min({s_hi, new_e, feasible_s_max(new_e)});
     if (shi < s_lo) break;
+    prime_fixed_right(new_e);  // ditto: e fixed pins the right lanes
     const double new_s = golden_min_t(
-        [&](double x) { return eval_box(x, new_e); }, s_lo, shi, 1e-12);
+        [&](double x) { return eval_box_fixed_e(x, new_e); }, s_lo, shi,
+        1e-12);
     const double t_lo = std::max(s_lo - new_s, e_lo - new_e);
     const double t_hi = std::min(s_hi - new_s, e_hi - new_e);
     double t = 0.0;
     if (t_hi > t_lo) {
+      // No segment is pinned on the diagonal: s and e move together and
+      // even e' - s' changes bitwise ((e+dt) - (s+dt) != e - s in floating
+      // point), so the full evaluator runs.
       t = golden_min_t(
           [&](double dt) { return eval_box(new_s + dt, new_e + dt); }, t_lo,
           t_hi, 1e-12);
@@ -323,9 +476,9 @@ BoxMin BlockContext::minimize_box(double s_lo, double s_hi, double e_lo,
 void BlockContext::build_e_breakpoints() {
   eb_.clear();
   eb_.push_back(r_max_);
-  while (ecur_ < pre_.size() && pre_[ecur_].d <= r_max_) ++ecur_;
-  for (std::size_t j = ecur_; j < pre_.size(); ++j) {
-    const double d = pre_[j].d;
+  while (ecur_ < pd_.size() && pd_[ecur_] <= r_max_) ++ecur_;
+  for (std::size_t j = ecur_; j < pd_.size(); ++j) {
+    const double d = pd_[j];
     if (d >= d_max_) break;  // deadlines are sorted; the rest tie with d_max
     if (d > eb_.back()) eb_.push_back(d);
   }
@@ -351,12 +504,21 @@ BlockSolution BlockContext::solve() {
   }
 
   build_e_breakpoints();
+  win_.resize(pr_.size());
+  val_.resize(pr_.size());
+  fixv_.resize(pr_.size());
 
   SDEM_OBS_ONLY(std::uint64_t boxes = 0; std::uint64_t boxes_pruned = 0;
-                std::uint64_t cls_left = 0; std::uint64_t cls_right = 0;
-                std::uint64_t cls_coupled = 0; std::uint64_t cls_const = 0;)
+                std::uint64_t boxes_lb_pruned = 0; std::uint64_t cls_left = 0;
+                std::uint64_t cls_right = 0; std::uint64_t cls_coupled = 0;
+                std::uint64_t cls_const = 0;)
   double best = kInf;
   double best_s = r_min_, best_e = d_max_;
+  // Pass 1: set up every box once to learn its exact lower bound — the
+  // memory term at its corner minimum plus the constant fold plus each
+  // dynamic lane's maximal-window value (the lane's exact box minimum, see
+  // setup_box). Infeasible boxes drop out here.
+  cand_.clear();
   for (std::size_t si = 0; si + 1 < sb_.size(); ++si) {
     for (std::size_t ei = 0; ei + 1 < eb_.size(); ++ei) {
       const double s_lo = sb_[si], s_hi = sb_[si + 1];
@@ -366,21 +528,94 @@ BlockSolution BlockContext::solve() {
         SDEM_OBS_ONLY(++boxes_pruned;)
         continue;  // pruned: infeasible
       }
-      SDEM_OBS_ONLY(++boxes; cls_left += left_.size();
-                    cls_right += right_.size(); cls_coupled += coupled_.size();
-                    cls_const += nr_.size() - left_.size() - right_.size() -
-                                 coupled_.size();)
-      const BoxMin m = minimize_box(s_lo, s_hi, e_lo, e_hi);
-      if (m.feasible && m.value < best) {
-        best = m.value;
-        best_s = m.s;
-        best_e = m.e;
-      }
+      // lb: the memory term at the least feasible e' - s' (setup_box folds
+      // the box corner and the lanes' q/slack feasibility constraints into
+      // box_mem_floor_) plus the constant fold plus the lanes' exact box
+      // minima. ub: the corner value eval_box(s_lo, e_hi) — every term sits
+      // at its box minimum except the memory one, which sits at its max.
+      const double lb =
+          alpha_m_ * box_mem_floor_ + const_energy_ + box_floor_;
+      const double ub =
+          alpha_m_ * (e_hi - s_lo) + const_energy_ + box_floor_;
+      cand_.push_back({lb, ub, static_cast<std::uint32_t>(si),
+                       static_cast<std::uint32_t>(ei)});
+    }
+  }
+  // Pass 2: best-first branch and bound. With the bounds sorted ascending,
+  // the first box whose bound — minus a 1e-12 relative shave for the
+  // reassociation noise between the bound's sum and eval_box's
+  // accumulation order — fails to strictly beat the best value found so
+  // far ends the scan: every later box is bounded even higher. The search
+  // ORDER must not leak into the result, though: distinct (s', e') can tie
+  // in energy bit-for-bit (flat landscapes under degenerate powers), and
+  // the seed's row-major scan resolves such ties by first arrival. So this
+  // pass only records the searched boxes' minima, and the incumbent fold
+  // below replays them in enumeration order with the original strict `<`.
+  // Skipped boxes cannot affect that fold: their probes sit above lb minus
+  // a few ulp of reassociation noise, and the 1e-12 shave is orders of
+  // magnitude wider, so every skipped box stays strictly above the final
+  // best — bit-identical results, box count independent. Exotic parameter
+  // sets (can_prune_ false: the monotone-lane argument doesn't hold) keep
+  // the enumeration order and search everything.
+  if (can_prune_) {
+    std::stable_sort(cand_.begin(), cand_.end(),
+                     [](const BoxCand& x, const BoxCand& y) {
+                       return x.lb < y.lb;
+                     });
+  }
+  searched_.clear();
+  double best_seen = kInf;  // value-only incumbent for the stop test
+  auto search_box = [&](const BoxCand& c) {
+    const double s_lo = sb_[c.si], s_hi = sb_[c.si + 1];
+    const double e_lo = eb_[c.ei], e_hi = eb_[c.ei + 1];
+    setup_box(s_lo, s_hi, e_lo, e_hi);  // feasible in pass 1, so again here
+    SDEM_OBS_ONLY(++boxes; cls_left += nleft_; cls_right += nright_;
+                  cls_coupled += lanes_.size() - nleft_ - nright_;
+                  cls_const += nr_.size() - lanes_.size();)
+    const BoxMin m = minimize_box(s_lo, s_hi, e_lo, e_hi);
+    if (m.feasible) {
+      best_seen = std::min(best_seen, m.value);
+      searched_.push_back({c.si, c.ei, m});
+    }
+  };
+  // Seed the incumbent from the box with the least corner value: that
+  // corner is minimize_box's first probe, so searching this box first costs
+  // nothing extra, and it usually holds the optimum — the sorted scan below
+  // then stops at its very first candidate. Searching an extra box is
+  // always fold-safe (the fold only gains strictly-better-or-tied entries).
+  std::size_t first = cand_.size();
+  if (can_prune_ && !cand_.empty()) {
+    first = 0;
+    for (std::size_t k = 1; k < cand_.size(); ++k) {
+      if (cand_[k].ub < cand_[first].ub) first = k;
+    }
+    search_box(cand_[first]);
+  }
+  for (std::size_t k = 0; k < cand_.size(); ++k) {
+    if (k == first) continue;
+    const BoxCand& c = cand_[k];
+    if (can_prune_ && c.lb - 1e-12 * std::abs(c.lb) >= best_seen) {
+      SDEM_OBS_ONLY(boxes_lb_pruned +=
+                    cand_.size() - k - (first > k ? 1 : 0);)
+      break;
+    }
+    search_box(c);
+  }
+  std::sort(searched_.begin(), searched_.end(),
+            [](const SearchedBox& x, const SearchedBox& y) {
+              return x.si != y.si ? x.si < y.si : x.ei < y.ei;
+            });
+  for (const SearchedBox& sbx : searched_) {
+    if (sbx.m.value < best) {
+      best = sbx.m.value;
+      best_s = sbx.m.s;
+      best_e = sbx.m.e;
     }
   }
   SDEM_OBS_INC("block/solves");
   SDEM_OBS_COUNT("block/boxes_opened", boxes);
   SDEM_OBS_COUNT("block/boxes_pruned_infeasible", boxes_pruned);
+  SDEM_OBS_COUNT("block/boxes_pruned_lower_bound", boxes_lb_pruned);
   SDEM_OBS_COUNT("block/box_tasks_const", cls_const);
   SDEM_OBS_COUNT("block/box_tasks_left_clipped", cls_left);
   SDEM_OBS_COUNT("block/box_tasks_right_clipped", cls_right);

@@ -11,7 +11,7 @@
 //
 //   * the per-task constants every probe needs — beta·w^λ, the race window
 //     w / min(s_m, s_up), the race/clamped energies, and the full-window
-//     (unclipped) energy,
+//     (unclipped) energy — as parallel structure-of-arrays columns,
 //   * prefix sums of the full-window energies (so a box's unclipped middle
 //     class folds to one subtraction),
 //   * the sorted s'/e' breakpoint sets (releases are non-decreasing in
@@ -20,21 +20,38 @@
 //     feasible-range clamps, and a block-level infeasibility flag that
 //     prunes whole (p, q) pairs before any box is opened.
 //
-// solve() then enumerates the same breakpoint boxes as the seed, but each
-// box first classifies tasks into {constant window, left-clipped (d - s'),
+// solve() then scans the same breakpoint boxes as the seed, but each box
+// first classifies tasks into {constant window, left-clipped (d - s'),
 // right-clipped (e' - r), both-sides-clipped (e' - s')} — contiguous index
 // ranges in agreeable order — folds every constant-energy task (unclipped,
 // or pinned at the race speed across the whole box) into a single scalar,
-// and hands the few remaining "dynamic" tasks to the alternating
-// golden-section minimizer. A probe therefore costs O(#dynamic) cheap
-// flops (for the default λ = 3 the window power is 1/(W·W); no std::pow)
-// instead of O(k) pow-heavy ones — O(1) amortized per probe across a row.
+// and packs the few remaining "dynamic" tasks into one fused SoA lane
+// buffer (left, right, coupled segments). A probe fills the per-lane
+// window array, evaluates every lane with one call to the batched kernel
+// of core/block_kernel.hpp (SIMD for λ ∈ {2, 3} when SDEM_SIMD is on,
+// scalar otherwise — bit-identical either way) and reduces the values
+// serially in task order, so probe values are bit-for-bit the same as the
+// scalar loop they replaced.
+//
+// Because each lane's energy is nonincreasing in its window, the value at
+// the box's maximal windows — already computed by the feasibility check —
+// is the lane's exact box minimum, so every feasible box carries an exact
+// lower bound before any golden-section probing. solve() exploits this as
+// best-first branch and bound: boxes are ranked by bound (stable sort, so
+// equal bounds keep the seed's enumeration order) and minimized in that
+// order, stopping at the first box whose bound (minus a 1e-12 relative
+// shave for reassociation noise) cannot strictly beat the incumbent —
+// every box after it is bounded even higher. Skipping those boxes leaves
+// the result bit-identical because all incumbent updates are strict `<`;
+// in practice the first-ranked box almost always contains the optimum and
+// the rest of the table is never probed.
 //
 // Numerics: the fast evaluator computes algebraically identical energies to
 // core/block.hpp's exact block_energy_at (same regime boundaries, same
 // s_up feasibility slack), differing only by floating-point reassociation
 // (≲1e-12 relative; tests pin ≤1e-9). set_cross_check(true) audits every
-// probe against the exact O(k) path — Debug builds also assert on it.
+// probe — batched evaluator included — against the exact O(k) path; Debug
+// builds also assert on it.
 //
 // Inputs must be pushed in agreeable deadline order (non-decreasing r and
 // d). Anything else trips the sorted-input check and solve() falls back to
@@ -46,6 +63,7 @@
 #include <vector>
 
 #include "core/block.hpp"
+#include "core/block_kernel.hpp"
 #include "model/power.hpp"
 #include "model/task.hpp"
 #include "obs/obs.hpp"
@@ -96,36 +114,56 @@ class BlockContext {
   static void reset_cross_check_counters();
 
  private:
-  /// Per-task probe constants, computed once at push_task.
-  struct Pre {
-    double r = 0.0;       ///< release
-    double d = 0.0;       ///< deadline
-    double w = 0.0;       ///< work
-    double q = 0.0;       ///< w / s_up (0 when s_up is unbounded)
-    double wpow = 0.0;    ///< beta * w^lambda
-    double w_race = 0.0;  ///< w / min(s_m, s_up): window at/above which the
-                          ///< speed pins at the clamped critical speed
-    double e_race = 0.0;  ///< exec_energy(w, min(s_m, s_up))
-    double e_up = 0.0;    ///< exec_energy(w, s_up) (+inf when unbounded)
-    double e_full = 0.0;  ///< energy at the maximal window d - r
-  };
-  /// A dynamic (window-varying) task inside one box: `bound` is d for the
-  /// left-clipped class (W = d - s') and r for the right-clipped one
-  /// (W = e' - r).
-  struct Dyn {
-    double bound;
-    const Pre* pre;
+  /// A box's dynamic lanes, packed as parallel arrays so the batched
+  /// kernel streams them contiguously. `bound` is d for the left-clipped
+  /// segment (W = d - s') and r for the right-clipped one (W = e' - r);
+  /// the both-sides-clipped segment (W = e' - s') ignores it.
+  struct LaneBuf {
+    std::vector<double> bound, w, q, wpow, e_race, e_up;
+
+    void clear() {
+      bound.clear();
+      w.clear();
+      q.clear();
+      wpow.clear();
+      e_race.clear();
+      e_up.clear();
+    }
+    void append(const LaneBuf& o) {
+      bound.insert(bound.end(), o.bound.begin(), o.bound.end());
+      w.insert(w.end(), o.w.begin(), o.w.end());
+      q.insert(q.end(), o.q.begin(), o.q.end());
+      wpow.insert(wpow.end(), o.wpow.begin(), o.wpow.end());
+      e_race.insert(e_race.end(), o.e_race.begin(), o.e_race.end());
+      e_up.insert(e_up.end(), o.e_up.begin(), o.e_up.end());
+    }
+    std::size_t size() const { return w.size(); }
   };
 
-  double window_power(double w_pos) const;   ///< W^(1-lambda), pow-free for λ∈{2,3}
-  double piece(const Pre& p, double window) const;
+  double piece(std::size_t i, double window) const;  ///< lane i over window
+  /// The probe: one window fill + lane evaluation + serial reduction.
+  /// Every call site lives in block_context.cpp's line searches, and the
+  /// few-lane body must inline into them (it is the whole hot path), so
+  /// the definition is marked always_inline there; the slow audit tail
+  /// lives out of line in audit_probe.
   double eval_box(double s, double e) const;
+  void audit_probe(double s, double e, double energy) const;
+  /// Line-search probes: one coordinate is pinned for the whole search, so
+  /// the pinned segment's lane values are search constants. prime_* stores
+  /// them in fixv_ (the exact doubles the full evaluator would compute) and
+  /// the fixed-coordinate probes re-add them in the same chain position —
+  /// bit-identical to eval_box, minus the pinned segment's re-derivation.
+  void prime_fixed_left(double s) const;
+  void prime_fixed_right(double e) const;
+  double eval_box_fixed_s(double s, double e) const;
+  double eval_box_fixed_e(double s, double e) const;
   bool setup_box(double s_lo, double s_hi, double e_lo, double e_hi);
   BoxMin minimize_box(double s_lo, double s_hi, double e_lo, double e_hi) const;
   double feasible_e_min(double s) const;
   double feasible_s_max(double e) const;
   void build_e_breakpoints();
   BlockSolution solve_fallback() const;
+  void push_lane(LaneBuf& buf, std::size_t i, double bound);
 
   SystemConfig cfg_;
   double alpha_ = 0.0;
@@ -133,9 +171,23 @@ class BlockContext {
   double lambda_ = 3.0;
   double s_m_raw_ = 0.0;  ///< hoisted critical_speed_raw (one pow per block row)
   double s_up_ = 0.0;     ///< max_speed() (+inf when unbounded)
+  BlockKernelConsts kc_;  ///< the four constants above, kernel-shaped
+  bool can_prune_ = false;  ///< lower-bound box pruning is sound (see solve)
 
   std::vector<Task> tasks_;  ///< pushed order (exact cross-check, placements)
-  std::vector<Pre> pre_;
+  // Per-task probe constants as SoA columns, parallel to tasks_ (pushed
+  // order). Split from the former AoS `Pre` struct so per-box gathers and
+  // the batched kernel touch only the columns they read.
+  std::vector<double> pr_;      ///< release
+  std::vector<double> pd_;      ///< deadline
+  std::vector<double> pw_;      ///< work
+  std::vector<double> pq_;      ///< w / s_up (0 when s_up is unbounded)
+  std::vector<double> pwpow_;   ///< beta * w^lambda
+  std::vector<double> pwrace_;  ///< w / min(s_m, s_up): window at/above which
+                                ///< the speed pins at the clamped race speed
+  std::vector<double> perace_;  ///< exec_energy(w, min(s_m, s_up))
+  std::vector<double> peup_;    ///< exec_energy(w, s_up) (+inf when unbounded)
+  std::vector<double> pefull_;  ///< energy at the maximal window d - r
   std::vector<double> pref_efull_;  ///< pref_efull_[i] = sum e_full of [0, i)
   // s_up feasibility data of every positive-work task, in pushed order —
   // the seed's per-box `needs` rebuild, hoisted to the block.
@@ -149,10 +201,37 @@ class BlockContext {
   std::vector<double> eb_;  ///< e' breakpoints, rebuilt O(k) per solve
   std::size_t ecur_ = 0;    ///< monotone cursor: first deadline > r_max
 
-  // Per-box scratch, reused across boxes and solves (no allocation).
-  std::vector<Dyn> left_, right_;
-  std::vector<const Pre*> coupled_;
+  // Per-box scratch, reused across boxes and solves (no allocation). All
+  // dynamic lanes live in one fused buffer — segments [0, nleft_),
+  // [nleft_, nleft_ + nright_), [nleft_ + nright_, size) hold the left-,
+  // right- and both-sides-clipped classes — so a probe fills one window
+  // array, makes one batched-kernel call and reduces one value array.
+  // ctmp_ stages the coupled class during setup_box (its lanes are
+  // discovered between the left and right loops but accumulate last).
+  LaneBuf lanes_, ctmp_;
+  std::size_t nleft_ = 0, nright_ = 0;
   double const_energy_ = 0.0;
+  double box_floor_ = 0.0;  ///< exact sum of the dynamic lanes' box minima
+  double box_mem_floor_ = 0.0;  ///< least feasible e' - s' over the box
+  mutable std::vector<double> win_, val_;  ///< per-probe lane windows/values
+  mutable std::vector<double> fixv_;  ///< pinned-segment values (prime_*)
+
+  /// One feasible breakpoint box of the current solve, ranked by its exact
+  /// lower bound for the best-first scan (see solve()). `ub` is the box's
+  /// corner value eval_box(s_lo, e_hi) — achieved by minimize_box's first
+  /// probe, so the min-ub box is searched first to seed the incumbent.
+  struct BoxCand {
+    double lb, ub;
+    std::uint32_t si, ei;
+  };
+  /// A searched box's minimum, replayed in enumeration order by solve()'s
+  /// incumbent fold so energy ties keep the seed's first-arrival winner.
+  struct SearchedBox {
+    std::uint32_t si, ei;
+    BoxMin m;
+  };
+  std::vector<BoxCand> cand_;        ///< per-solve scratch
+  std::vector<SearchedBox> searched_;  ///< per-solve scratch
 
 #if SDEM_OBS
   // Probe tally for the current solve(), flushed to the obs registry once

@@ -40,36 +40,36 @@ inline double exec_energy_c(const SolveConsts& sc, double work, double s) {
   return (sc.alpha + sc.beta * std::pow(s, sc.lambda)) * (work / s);
 }
 
-/// transition_task_cost over precomputed per-task constants. While the
-/// window fill stays at or below the critical speed the race candidate's
-/// speed clamp resolves to min(s_m, s_up) independently of the window, so
-/// its cost is the per-solve constant tc.race_cost; only windows tighter
-/// than w/s_m ("overloaded") still pay a pow here. Bit-identical to the
-/// Task-based function above.
-inline double task_cost_ctx(const SolveConsts& sc,
-                            const TransitionWorkspace::TaskCtx& tc,
-                            double window, double& run, double& speed) {
+/// transition_task_cost over precomputed per-task constants (one SoA lane).
+/// While the window fill stays at or below the critical speed the race
+/// candidate's speed clamp resolves to min(s_m, s_up) independently of the
+/// window, so its cost is the per-solve constant race_cost; only windows
+/// tighter than w/s_m ("overloaded") still pay a pow here. Bit-identical to
+/// the Task-based function above.
+inline double task_cost_ctx(const SolveConsts& sc, double work,
+                            double race_run, double race_cost, double window,
+                            double& run, double& speed) {
   run = 0.0;
   speed = 0.0;
-  if (tc.work <= 0.0) return 0.0;
+  if (work <= 0.0) return 0.0;
   if (window <= 0.0) return kInf;
-  const double fill = tc.work / window;
+  const double fill = work / window;
   if (fill > sc.fill_cap) return kInf;
 
   // Candidate 1: stretch to the window (the execution speed is the fill).
   double best_run = window;
-  double best = exec_energy_c(sc, tc.work, fill) +
+  double best = exec_energy_c(sc, work, fill) +
                 tail_cost(sc.alpha, sc.H - window, sc.xi);
   // Candidate 2: race at the (clamped) critical speed and sleep.
   if (sc.s_m > 0.0) {
     double r, c;
     if (fill <= sc.s_m) {
-      r = tc.race_run;
-      c = tc.race_cost;
+      r = race_run;
+      c = race_cost;
     } else {
       const double s_race = std::min(fill, sc.s_up);
-      r = tc.work / s_race;
-      c = exec_energy_c(sc, tc.work, tc.work / r) +
+      r = work / s_race;
+      c = exec_energy_c(sc, work, work / r) +
           tail_cost(sc.alpha, sc.H - r, sc.xi);
     }
     if (c < best) {
@@ -78,7 +78,7 @@ inline double task_cost_ctx(const SolveConsts& sc,
     }
   }
   run = best_run;
-  speed = tc.work / best_run;
+  speed = work / best_run;
   return best;
 }
 
@@ -153,31 +153,35 @@ OfflineResult solve_common_release_transition(const TaskSet& tasks,
   const double s_race = std::min(sc.s_m > 0.0 ? sc.s_m : sc.s_up, sc.s_up);
 
   // Per-task constants: the pow-bearing race candidate and the cost floor
-  // are paid once here instead of once per golden-section probe.
+  // are paid once here instead of once per golden-section probe. Stored as
+  // SoA columns so the per-probe loops stream contiguously.
   const std::size_t n = tasks.size();
-  ws.tasks.resize(n);
+  ws.work.resize(n);
+  ws.window_cap.resize(n);
+  ws.race_run.resize(n);
+  ws.race_cost.resize(n);
+  ws.cost_floor.resize(n);
   double total_work = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     const Task& t = tasks[i];
-    auto& tc = ws.tasks[i];
-    tc.work = t.work;
-    tc.window_cap = t.deadline - release;
-    tc.race_run = 0.0;
-    tc.race_cost = 0.0;
+    ws.work[i] = t.work;
+    ws.window_cap[i] = t.deadline - release;
+    ws.race_run[i] = 0.0;
+    ws.race_cost[i] = 0.0;
     total_work += t.work;
     if (sc.s_m > 0.0 && t.work > 0.0) {
       const double r = t.work / s_race;
-      tc.race_run = r;
-      tc.race_cost = exec_energy_c(sc, t.work, t.work / r) +
-                     tail_cost(alpha, H - r, sc.xi);
+      ws.race_run[i] = r;
+      ws.race_cost[i] = exec_energy_c(sc, t.work, t.work / r) +
+                        tail_cost(alpha, H - r, sc.xi);
     }
     // Execution energy is convex in the speed with its minimum at the
     // unclamped critical speed, and every tail term is nonnegative, so this
     // bounds the task's cost from below for every window. Only consulted by
     // the piece-skip test; never enters an energy value.
-    tc.cost_floor = (t.work > 0.0 && sc.s_m > 0.0)
-                        ? exec_energy_c(sc, t.work, sc.s_m)
-                        : 0.0;
+    ws.cost_floor[i] = (t.work > 0.0 && sc.s_m > 0.0)
+                           ? exec_energy_c(sc, t.work, sc.s_m)
+                           : 0.0;
   }
   const bool has_work = total_work > 0.0;
 
@@ -196,9 +200,10 @@ OfflineResult solve_common_release_transition(const TaskSet& tasks,
     SDEM_OBS_ONLY(++obs_probes; obs_live += n;)
     if (T <= 0.0) return has_work ? kInf : 0.0;
     double e = alpha_m * T + tail_cost(alpha_m, H - T, xi_m);
-    for (const auto& tc : ws.tasks) {
+    for (std::size_t k = 0; k < n; ++k) {
       double run = 0.0, speed = 0.0;
-      e += task_cost_ctx(sc, tc, std::min(T, tc.window_cap), run, speed);
+      e += task_cost_ctx(sc, ws.work[k], ws.race_run[k], ws.race_cost[k],
+                         std::min(T, ws.window_cap[k]), run, speed);
       if (!std::isfinite(e)) return kInf;
     }
     return e;
@@ -220,8 +225,8 @@ OfflineResult solve_common_release_transition(const TaskSet& tasks,
   // below T_min would walk golden sections into the +inf region.
   double t_min = 0.0;
   if (std::isfinite(sc.s_up)) {
-    for (const auto& tc : ws.tasks) {
-      t_min = std::max(t_min, tc.work / sc.s_up);
+    for (std::size_t k = 0; k < n; ++k) {
+      t_min = std::max(t_min, ws.work[k] / sc.s_up);
     }
   }
 
@@ -232,20 +237,20 @@ OfflineResult solve_common_release_transition(const TaskSet& tasks,
   };
   add(H - sc.xi);
   add(H - xi_m);
-  for (const auto& tc : ws.tasks) {
-    if (tc.work <= 0.0) continue;
-    add(tc.window_cap);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double w = ws.work[k];
+    if (w <= 0.0) continue;
+    add(ws.window_cap[k]);
     if (sc.s_m > 0.0) {
-      add(tc.work / s_race);  // knee
+      add(w / s_race);  // knee
       // Idle-branch crossing tau_k (only meaningful when alpha > 0).
       if (alpha > 0.0 && std::isfinite(s_race)) {
-        const double run = tc.work / s_race;
-        const double race_cost =
-            exec_energy_c(sc, tc.work, s_race) +
-            std::min(alpha * (H - run), alpha * sc.xi);
+        const double run = w / s_race;
+        const double race_cost = exec_energy_c(sc, w, s_race) +
+                                 std::min(alpha * (H - run), alpha * sc.xi);
         const double rhs = race_cost - alpha * H;
         if (rhs > 0.0) {
-          add(std::pow(beta * std::pow(tc.work, lambda) / rhs,
+          add(std::pow(beta * std::pow(w, lambda) / rhs,
                        1.0 / (lambda - 1.0)));
         }
       }
@@ -279,27 +284,59 @@ OfflineResult solve_common_release_transition(const TaskSet& tasks,
   ws.capped.assign(n, 0);
   ws.capped_cost.assign(n, 0.0);
   for (std::size_t k = 0; k < n; ++k) {
-    if (ws.tasks[k].work <= 0.0) {
+    if (ws.work[k] <= 0.0) {
       ws.capped[k] = 1;
       SDEM_OBS_ONLY(++obs_capped;)
     }
   }
 
+  // Batched-probe tables, rebuilt once per piece. The ratcheted capped
+  // state is a left-to-right artifact, but each cached value is
+  // T-independent and tied only to the piece's own lower edge: a task is
+  // deadline-capped on a piece iff window_cap <= lo (cost = the mode-1
+  // capped_cost), race-certified iff its fill at lo clears the margin
+  // (cost = race_cost; when both hold the two caches agree bit-for-bit,
+  // since below the margin task_cost_ctx returns the race candidate). So a
+  // piece's probe table can be rebuilt for ANY piece after the ratchet has
+  // run, which is what lets the scan below visit pieces in bound order
+  // instead of left to right.
+  ws.live.clear();
+  ws.live.reserve(n);
+  ws.probe_cost.assign(n, 0.0);
+  const auto rebuild_piece_tables = [&](double lo) {
+    ws.live.clear();
+    for (std::size_t k = 0; k < n; ++k) {
+      if (ws.work[k] <= 0.0) {
+        ws.probe_cost[k] = 0.0;
+      } else if (ws.window_cap[k] <= lo) {
+        ws.probe_cost[k] = ws.capped_cost[k];
+      } else if (tail_free && sc.s_m > 0.0 && lo > 0.0 &&
+                 ws.work[k] / lo <= cert_speed) {
+        ws.probe_cost[k] = ws.race_cost[k];
+      } else {
+        ws.live.push_back(static_cast<std::uint32_t>(k));
+      }
+    }
+  };
+
   // Same value sequence as `energy`: the cached costs replay bit-for-bit
-  // what task_cost_ctx would return, added in the same task order.
+  // what task_cost_ctx would return. A probe recomputes only the live
+  // lanes' entries of probe_cost, then accumulates every task in index
+  // order with the finiteness check after each add — exactly the pre-SoA
+  // interleaved loop's values and order.
   auto energy_piece = [&](double T) {
     SDEM_OBS_ONLY(++obs_probes; obs_replay += obs_capped;
                   obs_live += n - obs_capped;)
     if (T <= 0.0) return has_work ? kInf : 0.0;
     double e = alpha_m * T + tail_cost(alpha_m, H - T, xi_m);
+    for (const std::uint32_t k : ws.live) {
+      double run = 0.0, speed = 0.0;
+      ws.probe_cost[k] =
+          task_cost_ctx(sc, ws.work[k], ws.race_run[k], ws.race_cost[k],
+                        std::min(T, ws.window_cap[k]), run, speed);
+    }
     for (std::size_t k = 0; k < n; ++k) {
-      if (ws.capped[k]) {
-        e += ws.capped_cost[k];
-      } else {
-        double run = 0.0, speed = 0.0;
-        e += task_cost_ctx(sc, ws.tasks[k],
-                           std::min(T, ws.tasks[k].window_cap), run, speed);
-      }
+      e += ws.probe_cost[k];
       if (!std::isfinite(e)) return kInf;
     }
     return e;
@@ -307,49 +344,99 @@ OfflineResult solve_common_release_transition(const TaskSet& tasks,
 
   double best_T = H;
   double best = energy(H);
+  // Pass 1, left to right: ratchet the capped caches exactly as the line
+  // searches would have seen them and record each piece's lower bound —
+  // the memory terms at their piece minima (alpha_m*T at lo; the tail is
+  // nonincreasing in T, so at hi), the exact T-independent cost for cached
+  // tasks, the convexity floor for live ones.
+  ws.piece_lb.assign(edges.size(), 0.0);  // indexed by lower-edge position
+  ws.piece_order.clear();
   for (std::size_t i = 0; i + 1 < edges.size(); ++i) {
     const double lo = edges[i], hi = edges[i + 1];
     if (hi <= lo) continue;
     for (std::size_t k = 0; k < n; ++k) {
-      auto& tc = ws.tasks[k];
-      if (ws.capped[k] != 1 && tc.window_cap <= lo) {
+      if (ws.capped[k] != 1 && ws.window_cap[k] <= lo) {
         double run = 0.0, speed = 0.0;
-        ws.capped_cost[k] = task_cost_ctx(sc, tc, tc.window_cap, run, speed);
+        ws.capped_cost[k] =
+            task_cost_ctx(sc, ws.work[k], ws.race_run[k], ws.race_cost[k],
+                          ws.window_cap[k], run, speed);
         SDEM_OBS_ONLY(if (ws.capped[k] == 0) ++obs_capped; ++obs_cap_dl;)
         ws.capped[k] = 1;
       } else if (ws.capped[k] == 0 && tail_free && sc.s_m > 0.0 && lo > 0.0 &&
-                 tc.work / lo <= cert_speed) {
-        ws.capped_cost[k] = tc.race_cost;
+                 ws.work[k] / lo <= cert_speed) {
+        ws.capped_cost[k] = ws.race_cost[k];
         ws.capped[k] = 2;
         SDEM_OBS_ONLY(++obs_capped; ++obs_cap_race;)
       }
     }
     SDEM_OBS_ONLY(++obs_pieces;)
+    double lb = -kInf;
     if (can_prune) {
-      // Lower bound of E(T) anywhere in [lo, hi]: the memory terms at their
-      // piece minima (alpha_m*T at lo; the tail is nonincreasing in T, so at
-      // hi), the exact T-independent cost for cached tasks, the convexity
-      // floor for live ones. The final shave absorbs the few-ulp slack the
-      // floors and the differently-shaped base expression may carry, so the
-      // test only fires when every probe in the piece is strictly above the
-      // incumbent — and every update below is a strict `<`, so skipping the
-      // whole line search changes nothing.
-      double lb = alpha_m * lo;
+      lb = alpha_m * lo;
       lb += tail_cost(alpha_m, H - hi, xi_m);
       for (std::size_t k = 0; k < n; ++k) {
-        lb += ws.capped[k] ? ws.capped_cost[k] : ws.tasks[k].cost_floor;
-      }
-      if (lb - 1e-12 * std::abs(lb) >= best) {
-        SDEM_OBS_ONLY(++obs_pruned;)
-        continue;
+        lb += ws.capped[k] ? ws.capped_cost[k] : ws.cost_floor[k];
       }
     }
+    ws.piece_order.push_back(static_cast<std::uint32_t>(i));
+    ws.piece_lb[i] = lb;
+  }
+  // Pass 2: best-first branch and bound over the pieces. Bounds sorted
+  // ascending, and the first piece whose bound — minus a 1e-12 relative
+  // shave for the few-ulp slack the floors and the differently-shaped base
+  // expression may carry — fails to strictly beat the best value found so
+  // far ends the scan: every later piece is bounded even higher. The
+  // evaluation ORDER must not leak into the result, though: distinct T can
+  // tie in energy bit-for-bit (flat pieces under degenerate powers), and
+  // the left-to-right scan resolves such ties by first arrival. So this
+  // pass only records each searched piece's three candidates, and the
+  // incumbent fold below replays them in left-to-right order with the
+  // original strict `<`. Skipped pieces cannot affect that fold: their
+  // probes sit above lb minus a few ulp, and the 1e-12 shave is orders of
+  // magnitude wider, so every skipped candidate is strictly above the
+  // final best — bit-identical results, piece count independent. Exotic
+  // parameter sets (can_prune false: the floors don't hold) keep every
+  // bound at -inf, which keeps the left-to-right order and searches every
+  // piece.
+  if (can_prune) {
+    std::stable_sort(ws.piece_order.begin(), ws.piece_order.end(),
+                     [&](std::uint32_t x, std::uint32_t y) {
+                       return ws.piece_lb[x] < ws.piece_lb[y];
+                     });
+  }
+  ws.searched.clear();
+  double best_seen = best;  // value-only incumbent for the stop test
+  for (std::size_t j = 0; j < ws.piece_order.size(); ++j) {
+    const std::uint32_t i = ws.piece_order[j];
+    const double lb = ws.piece_lb[i];
+    if (can_prune && lb - 1e-12 * std::abs(lb) >= best_seen) {
+      SDEM_OBS_ONLY(obs_pruned += ws.piece_order.size() - j;)
+      break;
+    }
+    const double lo = edges[i], hi = edges[i + 1];
+    rebuild_piece_tables(lo);
     const double t = golden_min_t(energy_piece, lo, hi, 1e-13);
-    for (double cand : {t, lo, hi}) {
-      const double e = energy_piece(cand);
-      if (e < best) {
-        best = e;
-        best_T = cand;
+    TransitionWorkspace::SearchedPiece pc;
+    pc.idx = i;
+    pc.t[0] = t;
+    pc.t[1] = lo;
+    pc.t[2] = hi;
+    for (int m = 0; m < 3; ++m) {
+      pc.e[m] = energy_piece(pc.t[m]);
+      best_seen = std::min(best_seen, pc.e[m]);
+    }
+    ws.searched.push_back(pc);
+  }
+  std::sort(ws.searched.begin(), ws.searched.end(),
+            [](const TransitionWorkspace::SearchedPiece& x,
+               const TransitionWorkspace::SearchedPiece& y) {
+              return x.idx < y.idx;
+            });
+  for (const TransitionWorkspace::SearchedPiece& pc : ws.searched) {
+    for (int m = 0; m < 3; ++m) {
+      if (pc.e[m] < best) {
+        best = pc.e[m];
+        best_T = pc.t[m];
       }
     }
   }
@@ -372,8 +459,8 @@ OfflineResult solve_common_release_transition(const TaskSet& tasks,
   for (std::size_t i = 0; i < n; ++i) {
     const Task& t = tasks[i];
     double run = 0.0, speed = 0.0;
-    task_cost_ctx(sc, ws.tasks[i], std::min(best_T, ws.tasks[i].window_cap),
-                  run, speed);
+    task_cost_ctx(sc, ws.work[i], ws.race_run[i], ws.race_cost[i],
+                  std::min(best_T, ws.window_cap[i]), run, speed);
     if (t.work > 0.0) {
       res.schedule.add(Segment{t.id, core, release, release + run, speed});
     }

@@ -25,6 +25,7 @@
 // and xi_m. With xi == xi_m == 0 the scheme reduces to Section 4.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/result.hpp"
@@ -43,15 +44,21 @@ double transition_task_cost(const Task& t, const SystemConfig& cfg, double H,
 /// fill stays below the critical speed, so its `pow` terms are paid once per
 /// solve instead of once per golden-section probe) and the breakpoint/edge
 /// storage, so a caller that solves once per replan allocates nothing.
+///
+/// Per-task state is structure-of-arrays: the former TaskCtx struct is
+/// split into parallel columns so the per-probe loop streams exactly the
+/// columns it reads, and the per-probe cost table (`probe_cost`) separates
+/// the recompute pass over the live lanes from the fixed-order accumulation
+/// over all tasks — the accumulation order (task index order, finiteness
+/// check after each add) is what pins the probe values bit-identical to the
+/// pre-SoA loop.
 struct TransitionWorkspace {
-  struct TaskCtx {
-    double work = 0.0;
-    double window_cap = 0.0;  ///< d_k - release; the window stops growing here
-    double race_run = 0.0;    ///< w / min(s_m, s_up): run length when racing
-    double race_cost = 0.0;   ///< total race cost while fill <= s_m
-    double cost_floor = 0.0;  ///< lower bound of the task cost over any window
-  };
-  std::vector<TaskCtx> tasks;
+  // Per-task probe constants, parallel columns indexed by task.
+  std::vector<double> work;
+  std::vector<double> window_cap;  ///< d_k - release; window stops growing here
+  std::vector<double> race_run;    ///< w / min(s_m, s_up): run length racing
+  std::vector<double> race_cost;   ///< total race cost while fill <= s_m
+  std::vector<double> cost_floor;  ///< lower bound of the cost over any window
   std::vector<double> edges;  ///< t_min, sorted unique breakpoints, H
   // Per-piece constant-cost cache: once the piece lower edge has passed a
   // task's deadline cap, its window (and hence its cost) no longer depends
@@ -59,6 +66,25 @@ struct TransitionWorkspace {
   // once per probe. `capped` is monotone across the left-to-right piece scan.
   std::vector<char> capped;
   std::vector<double> capped_cost;
+  // Batched-probe scratch, rebuilt once per piece: `live` lists the indices
+  // still evaluated per probe (capped == 0), `probe_cost` holds every
+  // task's cost for the current probe (capped entries prefilled from
+  // capped_cost once per piece, live entries rewritten per probe).
+  std::vector<std::uint32_t> live;
+  std::vector<double> probe_cost;
+  // Best-first piece scan (see transition.cpp): per-piece lower bounds,
+  // the bound-sorted order the line searches run in, and the searched
+  // pieces' candidate probes, replayed in left-to-right order by the
+  // incumbent fold.
+  struct SearchedPiece {
+    std::uint32_t idx;  ///< lower-edge position: canonical piece order
+    double t[3], e[3];  ///< the {interior, lo, hi} probes, in fold order
+  };
+  std::vector<double> piece_lb;
+  std::vector<std::uint32_t> piece_order;
+  std::vector<SearchedPiece> searched;
+
+  std::size_t size() const { return work.size(); }
 };
 
 /// Optimal common-release schedule under transition overheads.

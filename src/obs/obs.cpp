@@ -113,6 +113,17 @@ TimerCell* Registry::timer_cell(const char* name) {
   return it->second;
 }
 
+std::vector<std::pair<std::string, std::uint64_t>> Registry::local_counters() {
+  Shard& shard = local_shard();
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  out.reserve(shard.counters.size());
+  for (const auto& [name, dc] : shard.counters) {
+    if (dc.first == Domain::kDeterministic) out.emplace_back(name, *dc.second);
+  }
+  return out;  // std::map iteration: already name-sorted
+}
+
 void Registry::reset() {
   std::lock_guard<std::mutex> lock(registry_mutex());
   for (void* p : shards_) {
@@ -243,6 +254,7 @@ Json Snapshot::runtime_json() const {
   j.set("dists", dj);
   Json tj = Json::object();
   for (const auto& [name, t] : timers) {
+    if (name.find(kTimerEdgeSep) != std::string::npos) continue;
     Json entry = Json::object();
     entry.set("count", Json(static_cast<double>(t.count)));
     entry.set("total_ms", Json(static_cast<double>(t.total_ns) * 1e-6));
@@ -275,9 +287,43 @@ const DistValue* Snapshot::dist(const std::string& name) const {
 
 #if SDEM_OBS
 
+namespace {
+
+// Per-thread stack of live ScopedTimer names. Timers are strictly nested
+// RAII scopes, so the element below the top is always the closing timer's
+// parent *on this thread* — pool workers start fresh stacks, so a timer
+// whose parent scope lives on another thread is a root of its own subtree
+// (the rollup documents this).
+thread_local std::vector<const char*> t_timer_stack;
+
+// Resolve the parent→child edge cell, cached per (parent, child) name
+// pointer so the composed "parent\x1echild" registry name is built once
+// per pair per thread. \x1e (ASCII record separator) cannot appear in a
+// timer name literal, so edge names never collide with plain timers;
+// runtime_json filters them out and --timer-rollup rebuilds the tree from
+// them. Name literals are pointer-stable (string literals / the static
+// experiment registry), so pointer keys are safe.
+TimerCell* edge_cell(const char* parent, const char* child) {
+  static thread_local std::map<std::pair<const void*, const void*>,
+                               TimerCell*>
+      cache;
+  const auto key = std::make_pair(static_cast<const void*>(parent),
+                                  static_cast<const void*>(child));
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    const std::string name = std::string(parent) + kTimerEdgeSep + child;
+    it = cache.emplace(key, Registry::instance().timer_cell(name.c_str()))
+             .first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
 ScopedTimer::ScopedTimer(const char* name, TimerCell* cell)
     : name_(name), cell_(cell), t0_(now_ns()), traced_(trace::enabled()) {
   if (traced_) trace::begin(name_, t0_);
+  t_timer_stack.push_back(name_);
 }
 
 ScopedTimer::ScopedTimer(const char* name)
@@ -286,6 +332,10 @@ ScopedTimer::ScopedTimer(const char* name)
 ScopedTimer::~ScopedTimer() {
   const std::uint64_t t1 = now_ns();
   cell_->add(t1 - t0_);
+  t_timer_stack.pop_back();
+  if (!t_timer_stack.empty()) {
+    edge_cell(t_timer_stack.back(), name_)->add(t1 - t0_);
+  }
   if (traced_) trace::end(name_, t1);
 }
 

@@ -67,6 +67,15 @@ inline constexpr double kDistFxScale = 1048576.0;  // 2^20
 /// holds v with clamp(ilogb(v), -63, 62) == i - 64.
 inline constexpr int kDistBuckets = 128;
 
+/// Separator of "parent<sep>child" timer-edge cell names (ASCII record
+/// separator, so it can never appear in a plain timer name literal). Every
+/// closing ScopedTimer also accounts its elapsed time to the edge cell of
+/// its innermost enclosing timer on the same thread; the flamegraph-style
+/// rollup (`sdem_bench_runner --timer-rollup`) rebuilds the timer tree
+/// from these edges, and Snapshot::runtime_json skips them so the plain
+/// "timers" JSON section keeps its flat schema.
+inline constexpr char kTimerEdgeSep = '\x1e';
+
 /// A distribution cell (thread-local shard storage). add() is the hot
 /// path: one llround, one ilogb, four integer/double updates.
 struct DistCell {
@@ -142,6 +151,14 @@ class Registry {
 
   /// Merge all shards into a name-sorted snapshot. Quiesce first.
   Snapshot snapshot() const;
+
+  /// The calling thread's deterministic counters, name-sorted — the
+  /// per-cell attribution primitive. A grid cell runs entirely on one
+  /// worker thread, so reading this before and after the cell and diffing
+  /// (bench_util.hpp's counter_delta) yields counts that are a pure
+  /// function of the cell's work, independent of scheduling or job count.
+  /// Only the shard lock is taken; other shards are never touched.
+  std::vector<std::pair<std::string, std::uint64_t>> local_counters();
 
  private:
   Registry() = default;

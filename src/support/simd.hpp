@@ -1,0 +1,138 @@
+// Portable 2-lane double SIMD primitives for the batched solver kernels.
+//
+// The backend is picked at configure time by the SDEM_SIMD CMake option
+// (compile definition SDEM_SIMD=0/1). With SDEM_SIMD=1 the wrapper maps to
+// SSE2 on x86-64 or NEON on AArch64; anywhere else — and always with
+// SDEM_SIMD=0 — it degrades to a 1-lane scalar struct with identical
+// semantics, so kernel code is written once against this API.
+//
+// Determinism contract: every operation here is a per-lane IEEE-754 double
+// operation (add/sub/mul/div/compare/bitwise-select). On the default
+// x86-64 and AArch64 compile flags none of these fuse or reassociate, so a
+// lane computes bit-for-bit what the equivalent scalar expression computes
+// — the property the batched kernels rely on for `--stable` byte-equality
+// between SDEM_SIMD=ON and OFF builds. Kernels must still reduce lanes in
+// a fixed serial order (never a tree/horizontal sum). Builds that enable
+// FP contraction into the *scalar* path (e.g. -march with FMA plus
+// -ffp-contract=fast) would break the cross-build guarantee; the repo's
+// default flags do not, and tests/test_simd_kernels.cpp pins the equality
+// at runtime.
+#pragma once
+
+#include <cstddef>
+
+#ifndef SDEM_SIMD
+#define SDEM_SIMD 0
+#endif
+
+#if SDEM_SIMD && defined(__SSE2__)
+#define SDEM_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif SDEM_SIMD && (defined(__aarch64__) || defined(__ARM_NEON))
+#define SDEM_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace sdem::simd {
+
+#if defined(SDEM_SIMD_SSE2)
+
+/// Number of double lanes per vector (1 in the scalar fallback).
+inline constexpr std::size_t kLanes = 2;
+inline constexpr const char* kBackend = "sse2";
+
+struct DVec {
+  __m128d v;
+};
+/// Lane mask: all-ones / all-zeros bit patterns, as produced by compares.
+struct DMask {
+  __m128d v;
+};
+
+inline DVec load(const double* p) { return {_mm_loadu_pd(p)}; }
+inline void store(double* p, DVec a) { _mm_storeu_pd(p, a.v); }
+inline DVec set1(double x) { return {_mm_set1_pd(x)}; }
+inline DVec add(DVec a, DVec b) { return {_mm_add_pd(a.v, b.v)}; }
+inline DVec sub(DVec a, DVec b) { return {_mm_sub_pd(a.v, b.v)}; }
+inline DVec mul(DVec a, DVec b) { return {_mm_mul_pd(a.v, b.v)}; }
+inline DVec div(DVec a, DVec b) { return {_mm_div_pd(a.v, b.v)}; }
+inline DMask cmp_lt(DVec a, DVec b) { return {_mm_cmplt_pd(a.v, b.v)}; }
+inline DMask cmp_gt(DVec a, DVec b) { return {_mm_cmpgt_pd(a.v, b.v)}; }
+/// Bitwise lane select: mask ? a : b. NaN/inf payloads pass through
+/// untouched (no arithmetic), so rejected lanes cannot contaminate results.
+inline DVec select(DMask m, DVec a, DVec b) {
+  return {_mm_or_pd(_mm_and_pd(m.v, a.v), _mm_andnot_pd(m.v, b.v))};
+}
+inline DMask mask_and(DMask a, DMask b) { return {_mm_and_pd(a.v, b.v)}; }
+/// a & ~b per lane.
+inline DMask mask_andnot(DMask a, DMask b) {
+  return {_mm_andnot_pd(b.v, a.v)};
+}
+/// True iff the mask is set in every lane.
+inline bool all(DMask m) { return _mm_movemask_pd(m.v) == 0x3; }
+
+#elif defined(SDEM_SIMD_NEON)
+
+inline constexpr std::size_t kLanes = 2;
+inline constexpr const char* kBackend = "neon";
+
+struct DVec {
+  float64x2_t v;
+};
+struct DMask {
+  uint64x2_t v;
+};
+
+inline DVec load(const double* p) { return {vld1q_f64(p)}; }
+inline void store(double* p, DVec a) { vst1q_f64(p, a.v); }
+inline DVec set1(double x) { return {vdupq_n_f64(x)}; }
+inline DVec add(DVec a, DVec b) { return {vaddq_f64(a.v, b.v)}; }
+inline DVec sub(DVec a, DVec b) { return {vsubq_f64(a.v, b.v)}; }
+inline DVec mul(DVec a, DVec b) { return {vmulq_f64(a.v, b.v)}; }
+inline DVec div(DVec a, DVec b) { return {vdivq_f64(a.v, b.v)}; }
+inline DMask cmp_lt(DVec a, DVec b) { return {vcltq_f64(a.v, b.v)}; }
+inline DMask cmp_gt(DVec a, DVec b) { return {vcgtq_f64(a.v, b.v)}; }
+inline DVec select(DMask m, DVec a, DVec b) {
+  return {vbslq_f64(m.v, a.v, b.v)};
+}
+inline DMask mask_and(DMask a, DMask b) { return {vandq_u64(a.v, b.v)}; }
+/// a & ~b per lane.
+inline DMask mask_andnot(DMask a, DMask b) { return {vbicq_u64(a.v, b.v)}; }
+/// True iff the mask is set in every lane (compare results are all-ones
+/// or all-zeros per lane, so the lane AND is nonzero exactly then).
+inline bool all(DMask m) {
+  return (vgetq_lane_u64(m.v, 0) & vgetq_lane_u64(m.v, 1)) != 0;
+}
+
+#else  // scalar fallback (SDEM_SIMD=0, or no supported ISA)
+
+inline constexpr std::size_t kLanes = 1;
+inline constexpr const char* kBackend = "scalar";
+
+struct DVec {
+  double v;
+};
+struct DMask {
+  bool v;
+};
+
+inline DVec load(const double* p) { return {*p}; }
+inline void store(double* p, DVec a) { *p = a.v; }
+inline DVec set1(double x) { return {x}; }
+inline DVec add(DVec a, DVec b) { return {a.v + b.v}; }
+inline DVec sub(DVec a, DVec b) { return {a.v - b.v}; }
+inline DVec mul(DVec a, DVec b) { return {a.v * b.v}; }
+inline DVec div(DVec a, DVec b) { return {a.v / b.v}; }
+inline DMask cmp_lt(DVec a, DVec b) { return {a.v < b.v}; }
+inline DMask cmp_gt(DVec a, DVec b) { return {a.v > b.v}; }
+inline DVec select(DMask m, DVec a, DVec b) { return {m.v ? a.v : b.v}; }
+inline DMask mask_and(DMask a, DMask b) { return {a.v && b.v}; }
+inline DMask mask_andnot(DMask a, DMask b) { return {a.v && !b.v}; }
+inline bool all(DMask m) { return m.v; }
+
+#endif
+
+/// Whether a real vector backend is compiled in (false → kLanes == 1).
+inline constexpr bool enabled() { return kLanes > 1; }
+
+}  // namespace sdem::simd

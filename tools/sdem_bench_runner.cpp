@@ -17,10 +17,13 @@
 // is (seeds compute into private slots; folds happen in seed order), so
 // two runs differ only in the recorded timings. `--out` strips timings
 // with --stable, making the whole file byte-reproducible.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -51,7 +54,12 @@ int usage(int code) {
       "                    stdout; default BENCH_<name>.json per experiment\n"
       "  --stable          omit timings, job count, and observability\n"
       "                    sections from the JSON (byte-reproducible across\n"
-      "                    runs and --jobs)\n"
+      "                    runs, --jobs, and --tile)\n"
+      "  --tile N          grid cells per pool task for grid-shaped sweeps;\n"
+      "                    > 1 reuses one solver scratch across N adjacent\n"
+      "                    (point, seed) cells (results are tile-invariant)\n"
+      "  --timer-rollup    after each experiment, print the scoped-timer\n"
+      "                    hierarchy as an indented inclusive/exclusive table\n"
       "  --trace PATH      record a chrome://tracing JSON of the whole run\n"
       "  --md              print tables as markdown (EXPERIMENTS.md format)\n"
       "  --quiet           suppress tables; JSON and summary only\n"
@@ -77,7 +85,12 @@ Json make_document(const Experiment& e, const ExperimentResult& r, int seeds,
     doc.set("wall_seconds", wall_seconds);
     doc.set("solver_seconds_total", r.solver_seconds_total);
   }
-  doc.set("data", stable ? r.data.without_key("solver_seconds") : r.data);
+  // --stable also drops the per-seed "counters" attribution: the values
+  // are deterministic, but the key is additive schema and the stable bytes
+  // must match pre-attribution goldens.
+  doc.set("data", stable ? r.data.without_key("solver_seconds")
+                               .without_key("counters")
+                         : r.data);
   // Observability sections (docs/observability.md): "counters" holds the
   // deterministic domain (identical values at any --jobs), "runtime" the
   // scheduling/clock-dependent one. Strictly additive, and omitted under
@@ -88,6 +101,78 @@ Json make_document(const Experiment& e, const ExperimentResult& r, int seeds,
     doc.set("runtime", snap.runtime_json());
   }
   return doc;
+}
+
+/// --timer-rollup: the scoped-timer hierarchy of one experiment's run,
+/// rebuilt from the parent→child edge cells every closing ScopedTimer
+/// records (obs::kTimerEdgeSep). Parenthood is per-thread: a pool worker's
+/// timers nest under "thread_pool/task", not under the experiment scope on
+/// the main thread. A timer reachable from several parents is placed under
+/// the parent that accounts for most of its time; count/incl/excl columns
+/// are whole-run totals (incl = the timer's own cell, excl = incl minus
+/// every child edge's time, i.e. time spent outside any nested timer).
+void print_timer_rollup(const obs::Snapshot& snap) {
+  std::map<std::string, obs::TimerCell> flat;
+  // parent -> (child, edge cell), and child -> dominant parent.
+  std::map<std::string, std::vector<std::pair<std::string, obs::TimerCell>>>
+      kids;
+  std::map<std::string, std::pair<std::string, std::uint64_t>> parent_of;
+  for (const auto& [name, cell] : snap.timers) {
+    const std::size_t sep = name.find(obs::kTimerEdgeSep);
+    if (sep == std::string::npos) {
+      flat[name] = cell;
+      continue;
+    }
+    const std::string parent = name.substr(0, sep);
+    const std::string child = name.substr(sep + 1);
+    kids[parent].emplace_back(child, cell);
+    auto it = parent_of.find(child);
+    if (it == parent_of.end() || cell.total_ns > it->second.second)
+      parent_of[child] = {parent, cell.total_ns};
+  }
+  if (flat.empty()) {
+    std::printf("timer rollup: no scoped timers recorded\n\n");
+    return;
+  }
+
+  std::printf("timer rollup (whole-run totals; excl = incl - nested):\n");
+  std::printf("  %-44s %10s %12s %12s\n", "timer", "count", "incl ms",
+              "excl ms");
+  const std::function<void(const std::string&, int)> emit =
+      [&](const std::string& name, int depth) {
+        const obs::TimerCell& c = flat[name];
+        std::uint64_t nested_ns = 0;
+        std::vector<std::pair<std::uint64_t, std::string>> here;
+        if (const auto ki = kids.find(name); ki != kids.end()) {
+          for (const auto& [child, edge] : ki->second) {
+            nested_ns += edge.total_ns;
+            // Recurse only where this node is the dominant parent, so the
+            // printout stays a tree even when the timer graph is not.
+            if (parent_of[child].first == name)
+              here.emplace_back(edge.total_ns, child);
+          }
+        }
+        const double incl = static_cast<double>(c.total_ns) * 1e-6;
+        const double excl =
+            static_cast<double>(c.total_ns - std::min(c.total_ns, nested_ns)) *
+            1e-6;
+        std::printf("  %*s%-*s %10llu %12.3f %12.3f\n", 2 * depth, "",
+                    44 - 2 * depth, name.c_str(),
+                    static_cast<unsigned long long>(c.count), incl, excl);
+        std::sort(here.begin(), here.end(),
+                  [](const auto& a, const auto& b) { return a.first > b.first; });
+        for (const auto& [ns, child] : here) emit(child, depth + 1);
+      };
+  // Roots (timers that are nobody's child), busiest first.
+  std::vector<std::pair<std::uint64_t, std::string>> roots;
+  for (const auto& [name, cell] : flat) {
+    if (parent_of.find(name) == parent_of.end())
+      roots.emplace_back(cell.total_ns, name);
+  }
+  std::sort(roots.begin(), roots.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [ns, name] : roots) emit(name, 0);
+  std::printf("\n");
 }
 
 void print_markdown(const ExperimentResult& r) {
@@ -114,7 +199,9 @@ int main(int argc, char** argv) {
   std::string trace_path;
   int seeds = 0;
   int jobs = ThreadPool::hardware_jobs();
+  int tile = 1;
   bool list = false, md = false, quiet = false, stable = false;
+  bool timer_rollup = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -143,6 +230,15 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--jobs needs a positive integer, got '%s'\n", v);
         return usage(2);
       }
+    } else if (arg == "--tile") {
+      const char* v = value("--tile");
+      tile = std::atoi(v);
+      if (tile <= 0) {
+        std::fprintf(stderr, "--tile needs a positive integer, got '%s'\n", v);
+        return usage(2);
+      }
+    } else if (arg == "--timer-rollup") {
+      timer_rollup = true;
     } else if (arg == "--out") {
       out_path = value("--out");
     } else if (arg == "--trace") {
@@ -195,12 +291,17 @@ int main(int argc, char** argv) {
     RunOptions opt;
     opt.seeds = seeds;
     opt.pool = pool.get();
+    opt.tile = tile;
     // Fresh counters per experiment: the "counters" section of
     // BENCH_<name>.json covers exactly this experiment's work.
     obs::Registry::instance().reset();
     const auto t0 = std::chrono::steady_clock::now();
-    const obs::ScopedTimer exp_timer(e->name.c_str());
-    const ExperimentResult r = e->run(opt);
+    // The experiment timer closes before the snapshot below so the rollup
+    // sees its final count (an open timer's cell still reads zero).
+    const ExperimentResult r = [&] {
+      const obs::ScopedTimer exp_timer(e->name.c_str());
+      return e->run(opt);
+    }();
     const double wall = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - t0)
                             .count();
@@ -212,6 +313,8 @@ int main(int argc, char** argv) {
       else
         print_result(r);
     }
+    if (timer_rollup && obs::compiled())
+      print_timer_rollup(obs::Registry::instance().snapshot());
 
     const int used_seeds = seeds > 0 ? seeds : e->default_seeds;
     const Json doc =
