@@ -1,0 +1,7 @@
+// Service ingest throughput: parse-on-shard pipeline vs the single-thread
+// parse baseline across shard/producer counts (docs/benchmarks.md).
+// Registered as "service_throughput"; `sdem_bench_runner --filter
+// service_throughput` runs the same sweep with JSON output.
+#include "bench_registry.hpp"
+
+int main() { return sdem::bench::run_standalone("service_throughput"); }

@@ -32,7 +32,8 @@ struct Request {
   int island = 0;         ///< SUBMIT/QUERY routing key
   Task task;              ///< SUBMIT payload
   std::uint64_t seq = 0;  ///< ingest order; assigned by the daemon
-  int conn = -1;          ///< daemon-side origin tag (not wire data)
+  int conn = -1;          ///< daemon-side connection id (not wire data)
+  std::uint64_t conn_seq = 0;  ///< per-connection request order (not wire)
 };
 
 /// Outcome of parsing one request line. `ok == false` carries a diagnostic
@@ -48,6 +49,34 @@ struct Parsed {
 /// invalid tasks (work < 0, deadline <= release, non-finite fields) all
 /// come back as `ok == false` with a one-line diagnostic.
 Parsed parse_request(const std::string& line);
+
+/// Routing peek: the op and island of a request line, found with one
+/// allocation-free scan instead of a DOM parse. This is what lets the
+/// ingest thread route raw lines to shards and leave the expensive
+/// parse_request() to the shard workers (parse-on-shard, docs/service.md).
+///
+/// The scanner walks the line once, skipping strings (with escapes) and
+/// nested objects/arrays by depth, and records the *last* top-level "op"
+/// and "island" members — matching Json::parse, whose set() semantics keep
+/// the last duplicate key. `island` is only recognized as a plain
+/// non-negative integer literal <= 1e9; anything else (floats, 2e3,
+/// overlong) leaves island at -1.
+///
+/// peek is opportunistic, never authoritative: `routable()` false means
+/// "fall back to parse_request() on the ingest thread", not "malformed" —
+/// e.g. {"island":2.0} is valid to the full parser but not peekable. A
+/// shard that full-parses a peeked line re-checks that the parsed request
+/// still routes to it (service.cpp) so a peek/parse disagreement can never
+/// touch another shard's state.
+struct Peeked {
+  Op op = Op::kStats;
+  bool has_op = false;
+  int island = -1;
+  bool routable() const {
+    return has_op && (op == Op::kSubmit || op == Op::kQuery) && island >= 0;
+  }
+};
+Peeked peek_request(const std::string& line);
 
 /// {"ok":false,"seq":...,"error":"..."} — the uniform failure envelope.
 Json error_response(std::uint64_t seq, const std::string& message);

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
-#include <thread>
 #include <utility>
 
 #include "baseline/mbkp.hpp"
@@ -33,6 +32,12 @@ double dist_percentile(const obs::DistValue& d, double q) {
   return d.max;
 }
 
+/// Lines staged per (producer, shard) before an automatic ring push, and
+/// the drain's pop batch. One acquire/release pair moves this many
+/// requests across the ring.
+constexpr std::size_t kIngestBatch = 64;
+constexpr std::size_t kDrainBatch = 64;
+
 }  // namespace
 
 std::unique_ptr<OnlinePolicy> make_policy(const std::string& name) {
@@ -58,18 +63,28 @@ struct Service::Island {
   bool finalized = false;
 };
 
-struct Service::Shard {
-  explicit Shard(int index, std::size_t capacity)
-      : ring(capacity),
-        replan_metric("service/shard" + std::to_string(index) + "/replan_ns"),
-        requests_metric("service/shard" + std::to_string(index) +
-                        "/requests") {}
+/// One ring entry: either an already-parsed request (raw.empty()) or a raw
+/// line to parse on the shard worker. For raw entries, `req` carries the
+/// routing skeleton — peeked op/island plus seq/conn/conn_seq.
+struct Service::Msg {
+  Request req;
+  std::string raw;
+};
 
-  // SPSC ring. head/tail are free-running; producer is the ingest thread,
-  // consumer is the single in-flight drain (enforced by `scheduled`).
-  std::vector<Request> ring;
-  std::atomic<std::size_t> head{0};  ///< next pop
-  std::atomic<std::size_t> tail{0};  ///< next push
+struct Service::Shard {
+  Shard(int index, std::size_t capacity, int producers)
+      : replan_metric("service/shard" + std::to_string(index) + "/replan_ns"),
+        requests_metric("service/shard" + std::to_string(index) +
+                        "/requests") {
+    rings.reserve(static_cast<std::size_t>(producers));
+    for (int p = 0; p < producers; ++p) {
+      rings.push_back(std::make_unique<SpscRing<Msg>>(capacity));
+    }
+  }
+
+  /// One SPSC ring per producer; the single in-flight drain (enforced by
+  /// `scheduled`) is the common consumer, so each ring stays SPSC.
+  std::vector<std::unique_ptr<SpscRing<Msg>>> rings;
   std::atomic<bool> scheduled{false};
   std::atomic<std::uint64_t> processed{0};
 
@@ -77,26 +92,21 @@ struct Service::Shard {
   std::string replan_metric;
   std::string requests_metric;
 
-  bool try_push(Request&& r) {
-    const std::size_t t = tail.load(std::memory_order_relaxed);
-    if (t - head.load(std::memory_order_acquire) == ring.size()) return false;
-    ring[t % ring.size()] = std::move(r);
-    tail.store(t + 1, std::memory_order_release);
-    return true;
-  }
-
-  bool try_pop(Request& out) {
-    const std::size_t h = head.load(std::memory_order_relaxed);
-    if (tail.load(std::memory_order_acquire) == h) return false;
-    out = std::move(ring[h % ring.size()]);
-    head.store(h + 1, std::memory_order_release);
-    return true;
-  }
-
   bool empty() const {
-    return tail.load(std::memory_order_acquire) ==
-           head.load(std::memory_order_acquire);
+    for (const auto& r : rings) {
+      if (!r->empty()) return false;
+    }
+    return true;
   }
+};
+
+/// Producer-side staging: per-shard batches awaiting a push_n. Owned by
+/// exactly one ingest thread; no synchronization.
+struct Service::Producer {
+  Producer(std::size_t index, std::size_t shards)
+      : index(index), staged(shards) {}
+  std::size_t index;  ///< which ring slot this producer owns in each shard
+  std::vector<std::vector<Msg>> staged;
 };
 
 Service::Service(ServiceOptions opt, ThreadPool* pool,
@@ -108,6 +118,9 @@ Service::Service(ServiceOptions opt, ThreadPool* pool,
         "count to size an unbounded system from)");
   }
   if (opt_.shards < 1) throw std::invalid_argument("service: shards < 1");
+  if (opt_.producers < 1) {
+    throw std::invalid_argument("service: producers < 1");
+  }
   if (opt_.queue_capacity < 1) {
     throw std::invalid_argument("service: queue_capacity < 1");
   }
@@ -117,13 +130,25 @@ Service::Service(ServiceOptions opt, ThreadPool* pool,
   }
   shards_.reserve(static_cast<std::size_t>(opt_.shards));
   for (int i = 0; i < opt_.shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(i, opt_.queue_capacity));
+    shards_.push_back(
+        std::make_unique<Shard>(i, opt_.queue_capacity, opt_.producers));
+  }
+  producers_.reserve(static_cast<std::size_t>(opt_.producers));
+  for (int p = 0; p < opt_.producers; ++p) {
+    producers_.push_back(std::make_unique<Producer>(
+        static_cast<std::size_t>(p), shards_.size()));
   }
   start_ns_ = obs::now_ns();
 }
 
 Service::~Service() {
   try {
+    // Producer threads are gone by the time the Service dies; flushing
+    // their leftovers here is safe and keeps late-staged requests from
+    // vanishing silently.
+    for (std::size_t p = 0; p < producers_.size(); ++p) {
+      flush(static_cast<int>(p));
+    }
     drain_all();
   } catch (...) {
     // Destruction must not throw; a worker exception is already surfaced
@@ -131,8 +156,8 @@ Service::~Service() {
   }
 }
 
-Service::Shard& Service::shard_of(int island) const {
-  return *shards_[static_cast<std::size_t>(island) % shards_.size()];
+std::size_t Service::shard_index(int island) const {
+  return static_cast<std::size_t>(island) % shards_.size();
 }
 
 Service::Island& Service::island_of(Shard& s, int island) {
@@ -154,23 +179,68 @@ void Service::schedule_drain(Shard& s) {
   }
 }
 
-void Service::route(Request req) {
+void Service::flush_shard(Producer& p, std::size_t shard) {
+  std::vector<Msg>& batch = p.staged[shard];
+  if (batch.empty()) return;
+  Shard& s = *shards_[shard];
+  SpscRing<Msg>& ring = *s.rings[p.index];
+  std::size_t off = 0;
+  Backoff backoff;
+  while (off < batch.size()) {
+    const std::size_t pushed =
+        ring.push_n(batch.data() + off, batch.size() - off);
+    off += pushed;
+    // Make sure a consumer exists before (and while) we wait on a full
+    // ring, otherwise backpressure would deadlock the producer.
+    if (!s.scheduled.exchange(true, std::memory_order_acq_rel)) {
+      schedule_drain(s);
+    }
+    if (off == batch.size()) break;
+    if (pushed > 0) {
+      backoff.reset();
+    } else {
+      backoff.pause();
+    }
+  }
+  batch.clear();
+}
+
+void Service::route(Request req, int producer) {
   if (req.op != Op::kSubmit && req.op != Op::kQuery) {
     throw std::logic_error(
         "service: only SUBMIT/QUERY route to shards (STATS/SHUTDOWN are "
         "service-wide)");
   }
-  Shard& s = shard_of(req.island);
-  // Bounded ring: a full queue blocks the ingest thread, which stops the
-  // daemon from reading input — backpressure by construction.
-  while (!s.try_push(std::move(req))) {
-    if (!s.scheduled.exchange(true, std::memory_order_acq_rel)) {
-      schedule_drain(s);
-    }
-    std::this_thread::yield();
-  }
-  if (!s.scheduled.exchange(true, std::memory_order_acq_rel)) {
-    schedule_drain(s);
+  Producer& p = *producers_[static_cast<std::size_t>(producer)];
+  const std::size_t shard = shard_index(req.island);
+  // Keep FIFO order with any raw lines this producer already staged for
+  // the shard: stage the parsed request behind them and flush the batch.
+  Msg m;
+  m.req = std::move(req);
+  p.staged[shard].push_back(std::move(m));
+  flush_shard(p, shard);
+}
+
+void Service::route_raw(int island, Op op, std::string line,
+                        std::uint64_t seq, int conn, std::uint64_t conn_seq,
+                        int producer) {
+  Producer& p = *producers_[static_cast<std::size_t>(producer)];
+  const std::size_t shard = shard_index(island);
+  Msg m;
+  m.req.op = op;
+  m.req.island = island;
+  m.req.seq = seq;
+  m.req.conn = conn;
+  m.req.conn_seq = conn_seq;
+  m.raw = std::move(line);
+  p.staged[shard].push_back(std::move(m));
+  if (p.staged[shard].size() >= kIngestBatch) flush_shard(p, shard);
+}
+
+void Service::flush(int producer) {
+  Producer& p = *producers_[static_cast<std::size_t>(producer)];
+  for (std::size_t shard = 0; shard < p.staged.size(); ++shard) {
+    flush_shard(p, shard);
   }
 }
 
@@ -183,20 +253,59 @@ void Service::drain(Shard& s) {
   std::uint64_t* req_count =
       obs::counter_cell(s.requests_metric.c_str(), obs::Domain::kRuntime);
 #endif
+  Msg buf[kDrainBatch];
   for (;;) {
-    Request r;
-    while (s.try_pop(r)) {
-      process(s, r, replan_dist);
-      s.processed.fetch_add(1, std::memory_order_release);
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (const auto& ring : s.rings) {
+        const std::size_t k = ring->pop_n(buf, kDrainBatch);
+        for (std::size_t i = 0; i < k; ++i) {
+          handle(s, buf[i], replan_dist);
+          buf[i] = Msg{};  // release the line/task payload promptly
+        }
+        if (k > 0) {
+          progressed = true;
+          s.processed.fetch_add(k, std::memory_order_release);
 #if SDEM_OBS
-      ++*req_count;
+          *req_count += k;
 #endif
+        }
+      }
     }
     // Standard actor hand-off: unpublish, re-check, re-acquire or retire.
     s.scheduled.store(false, std::memory_order_release);
     if (s.empty()) return;
     if (s.scheduled.exchange(true, std::memory_order_acq_rel)) return;
   }
+}
+
+void Service::handle(Shard& s, Msg& m, obs::DistCell* replan_dist) {
+  if (!m.raw.empty()) {
+    // Parse-on-shard: the ingest thread shipped the raw line; the DOM
+    // parse and validation happen here, off the ingest critical path.
+    Parsed p = parse_request(m.raw);
+    if (!p.ok) {
+      done_(m.req, error_response(m.req.seq, p.error));
+      return;
+    }
+    p.request.seq = m.req.seq;
+    p.request.conn = m.req.conn;
+    p.request.conn_seq = m.req.conn_seq;
+    if ((p.request.op != Op::kSubmit && p.request.op != Op::kQuery) ||
+        shard_index(p.request.island) != shard_index(m.req.island)) {
+      // The peek that routed the line disagrees with the full parse (only
+      // possible for crafted routing keys the caller mis-peeked). Never
+      // touch an island another shard owns — reject instead.
+      done_(m.req,
+            error_response(m.req.seq,
+                           "misrouted request: peeked routing key does not "
+                           "match the parsed line"));
+      return;
+    }
+    m.req = std::move(p.request);
+  }
+  process(s, m.req, replan_dist);
 }
 
 void Service::process(Shard& s, Request& r, obs::DistCell* replan_dist) {
@@ -216,6 +325,8 @@ void Service::process(Shard& s, Request& r, obs::DistCell* replan_dist) {
                                     std::to_string(r.island)));
         return;
       }
+      const int replans_before = isl.sim.replans();
+      const std::uint64_t t_inject = obs::now_ns();
       try {
         isl.sim.inject_arrival(r.task);
       } catch (const std::invalid_argument& e) {
@@ -246,6 +357,12 @@ void Service::process(Shard& s, Request& r, obs::DistCell* replan_dist) {
           plan_end = std::max(plan_end, seg.end);
         }
         resp.set("plan_end", plan_end);
+      } else if (replan_dist != nullptr &&
+                 isl.sim.replans() != replans_before) {
+        // Lazy mode commits inside inject_arrival when the release
+        // advances; attribute that latency too so replay/throughput runs
+        // still populate the p50/p99 histograms.
+        replan_dist->add(static_cast<double>(obs::now_ns() - t_inject));
       }
       done_(r, std::move(resp));
       return;
@@ -284,10 +401,19 @@ void Service::process(Shard& s, Request& r, obs::DistCell* replan_dist) {
 }
 
 void Service::drain_all() {
+  Backoff backoff;
   for (const auto& s : shards_) {
     while (!s->empty() || s->scheduled.load(std::memory_order_acquire)) {
-      std::this_thread::yield();
+      // A flushed-but-unscheduled ring can only exist transiently between
+      // a push and the scheduled.exchange in flush_shard; make sure a
+      // consumer exists rather than waiting on one that already retired.
+      if (!s->empty() &&
+          !s->scheduled.exchange(true, std::memory_order_acq_rel)) {
+        schedule_drain(*s);
+      }
+      backoff.pause();
     }
+    backoff.reset();
   }
   // Retire the drain tasks themselves (and rethrow anything fatal).
   if (pool_ != nullptr) pool_->wait_idle();
@@ -349,6 +475,9 @@ Json Service::stats(std::uint64_t seq) {
 }
 
 std::vector<Service::IslandResult> Service::finalize_all() {
+  for (std::size_t p = 0; p < producers_.size(); ++p) {
+    flush(static_cast<int>(p));
+  }
   drain_all();
   std::vector<IslandResult> out;
   for (const auto& s : shards_) {

@@ -1,22 +1,39 @@
-// Online scheduling service: memory islands sharded across the thread pool.
+// Online scheduling service: memory islands sharded across the thread
+// pool, fed by a pipelined ingest path.
 //
 // One Service hosts many *memory islands* — independent (cores + DRAM rank)
 // domains, each with its own policy instance and resumable StreamSim.
 // Islands are sharded by id (island → shard `id % shards`); each shard owns
-// its islands exclusively, so island state needs no locks. Request routing
-// is a lock-free SPSC ring per shard: the single ingest thread is the
-// producer, and a drain task on the PR 1 ThreadPool is the consumer (an
-// atomic `scheduled` flag guarantees at most one drain per shard in flight,
-// which is what makes the ring single-consumer).
+// its islands exclusively, so island state needs no locks.
+//
+// Request flow is a three-stage pipeline (docs/service.md §3):
+//
+//   ingest (N producers)  →  SPSC rings  →  shard workers (parse + solve)
+//
+//   * Producers are ingest threads (the daemon's acceptor threads, or the
+//     replay loop). Each producer owns one bounded SpscRing per shard
+//     (support/spsc_ring.hpp), so every ring stays strictly
+//     single-producer; the single in-flight drain per shard (an atomic
+//     `scheduled` flag) keeps it single-consumer.
+//   * route_raw() ships the *unparsed* line: the producer only needs the
+//     peeked (op, island) routing key (protocol.hpp peek_request); the
+//     expensive parse_request() runs on the shard worker. route() ships an
+//     already-parsed Request for callers that have one (tests, the
+//     peek-miss fallback, parse-on-ingest baselines).
+//   * Producer-side staging batches ring traffic: route_raw() appends to a
+//     per-(producer, shard) buffer and push_n moves the whole batch with
+//     one acquire/release pair when the batch fills or flush() is called.
 //
 // Determinism: an island's schedule is a pure function of its own arrival
-// stream — shards never exchange state — so any `--shards` value produces
+// stream — shards never exchange state, and one producer's requests for
+// one island traverse one FIFO ring — so any `shards` value produces
 // identical per-island results (pinned by tests/test_service.cpp).
 //
 // Backpressure: rings are bounded (ServiceOptions::queue_capacity). When a
-// ring is full, route() spin-yields until the drain catches up, which stops
-// the ingest loop from reading more input — kernel socket buffers then push
-// the backpressure to clients.
+// ring is full the producer waits on a Backoff ladder (spin → yield →
+// sleep, support/spsc_ring.hpp) until the drain catches up — the ingest
+// loop stops reading input and kernel socket buffers push the backpressure
+// to clients, without a stalled shard costing a spinning core.
 //
 // Observability: each shard records per-request counts and per-commit
 // replan latency into the obs *runtime* domain (`service/shard<k>/...`),
@@ -36,6 +53,7 @@
 #include "obs/obs.hpp"
 #include "service/protocol.hpp"
 #include "sim/event_sim.hpp"
+#include "support/spsc_ring.hpp"
 #include "support/thread_pool.hpp"
 
 namespace sdem::service {
@@ -49,34 +67,56 @@ struct ServiceOptions {
   SystemConfig cfg = SystemConfig::paper_default();
   std::string policy = "sdem-on";
   int shards = 1;
+  /// Ingest threads. Every producer index in [0, producers) owns a private
+  /// SPSC ring per shard plus a staging buffer; calls into route()/
+  /// route_raw()/flush() for one producer index must come from one thread
+  /// at a time.
+  int producers = 1;
   /// Live mode commits (replan + answer) on every SUBMIT; replay mode
   /// batches same-instant arrivals exactly like the batch simulator so the
   /// full SimResult (replans included) matches simulate().
   bool eager = true;
-  std::size_t queue_capacity = 1024;
+  std::size_t queue_capacity = 1024;  ///< per (producer, shard) ring
 };
 
 class Service {
  public:
   /// `done(request, response)` fires once per routed request, possibly on a
-  /// pool thread; responses for one connection arrive in seq order only
-  /// after the caller re-orders them (tools/sdem_service.cpp does).
-  /// `pool` may be null: requests are then drained inline by route() — the
-  /// serial reference the sharded runs must match.
+  /// pool thread; responses for one connection arrive in order only after
+  /// the caller re-orders them (the daemon's ResponseWriter does, keyed on
+  /// Request::conn_seq). For raw lines that fail to parse, `request` is a
+  /// routing stub (seq/conn/conn_seq valid, task fields not).
+  /// `pool` may be null: requests are then drained inline by route()/
+  /// flush() — the serial reference the sharded runs must match.
   /// Throws std::invalid_argument for an unknown policy name, an unbounded
   /// cfg (an online stream has no task count to size cores from), or
-  /// shards < 1.
+  /// shards/producers < 1.
   Service(ServiceOptions opt, ThreadPool* pool,
           std::function<void(const Request&, Json)> done);
   ~Service();
 
-  /// Route one SUBMIT/QUERY to its island's shard (blocking while the
-  /// shard's ring is full). STATS/SHUTDOWN are service-wide barriers and
-  /// are answered by stats() / the daemon instead.
-  void route(Request req);
+  /// Route one parsed SUBMIT/QUERY to its island's shard. Flushes the
+  /// producer's staged raw lines for that shard first, so a parsed request
+  /// never overtakes an earlier raw one from the same producer.
+  void route(Request req, int producer = 0);
 
-  /// Block until every routed request has been processed (queues empty,
-  /// drains retired). Only the ingest thread may call this.
+  /// Stage one *raw* request line for shard routing; the shard worker
+  /// parses it (parse-on-shard). `island`/`op` are the peeked routing key
+  /// (protocol.hpp peek_request) — callers must only pass lines whose peek
+  /// was routable. seq/conn/conn_seq ride along for response ordering.
+  /// Staged lines are pushed to the ring in batches; call flush() at the
+  /// end of an ingest chunk to bound latency.
+  void route_raw(int island, Op op, std::string line, std::uint64_t seq,
+                 int conn, std::uint64_t conn_seq, int producer = 0);
+
+  /// Push this producer's staged batches to the rings (blocking on the
+  /// Backoff ladder while full) and schedule drains. Must be called from
+  /// the producer's own thread.
+  void flush(int producer = 0);
+
+  /// Block until every *flushed* request has been processed (rings empty,
+  /// drains retired). Does not touch other producers' staging buffers —
+  /// each producer flushes its own before a barrier (the daemon does).
   void drain_all();
 
   /// Service-wide statistics (drains first, so the snapshot is quiesced):
@@ -93,9 +133,10 @@ class Service {
     SimResult result;
   };
 
-  /// Drain, then finalize every island (ascending id) and return the
-  /// per-island simulation results. Ends the current runs; a later SUBMIT
-  /// to a finalized island is answered with an error.
+  /// Flush every producer's staging (callers must have quiesced producer
+  /// threads), drain, then finalize every island (ascending id) and return
+  /// the per-island simulation results. Ends the current runs; a later
+  /// SUBMIT to a finalized island is answered with an error.
   std::vector<IslandResult> finalize_all();
 
   std::uint64_t requests_processed() const;
@@ -104,11 +145,16 @@ class Service {
  private:
   struct Island;
   struct Shard;
+  struct Msg;
+  struct Producer;
 
-  Shard& shard_of(int island) const;
+  std::size_t shard_index(int island) const;
   Island& island_of(Shard& s, int island);
   void schedule_drain(Shard& s);
   void drain(Shard& s);
+  void flush_shard(Producer& p, std::size_t shard);
+  /// Parse (if raw) and process one dequeued message on the shard worker.
+  void handle(Shard& s, Msg& m, obs::DistCell* replan_dist);
   /// `replan_dist` is the shard's runtime-domain latency cell, resolved by
   /// drain() once per invocation on the executing thread (cell resolution
   /// takes the registry lock; the hot path must not). Null when the obs
@@ -119,6 +165,7 @@ class Service {
   ThreadPool* pool_;
   std::function<void(const Request&, Json)> done_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<Producer>> producers_;
   std::uint64_t start_ns_ = 0;
 };
 

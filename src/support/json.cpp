@@ -66,6 +66,10 @@ Json& Json::set(const std::string& key, Json v) {
       return *this;
     }
   }
+  // A Json value is wide (~100 bytes); growing 1→2→4→8 memmoves every
+  // earlier member three times for a typical envelope. One up-front
+  // reservation covers most objects this codebase builds.
+  if (obj_.empty()) obj_.reserve(8);
   obj_.emplace_back(key, std::move(v));
   return *this;
 }
@@ -83,26 +87,53 @@ std::size_t Json::size() const {
 
 std::string Json::number_to_string(double v) {
   if (!std::isfinite(v)) return "null";
-  // Integers (within double's exact range) print bare: 8, not 8.0.
+  // Integers (within double's exact range) print bare: 8, not 8.0. Written
+  // by hand rather than snprintf("%.0f") — this runs per number in every
+  // response envelope and bench row, and the digits are identical (signbit
+  // keeps "-0" for negative zero).
   if (v == std::floor(v) && std::fabs(v) < 1e15) {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.0f", v);
-    return buf;
+    char buf[24];
+    char* q = buf + sizeof buf;
+    std::uint64_t mag = static_cast<std::uint64_t>(std::fabs(v));
+    do {
+      *--q = static_cast<char>('0' + mag % 10);
+      mag /= 10;
+    } while (mag != 0);
+    if (std::signbit(v)) *--q = '-';
+    return std::string(q, static_cast<std::size_t>(buf + sizeof buf - q));
   }
   // Shortest representation that round-trips: try increasing precision.
+  // strtod (not sscanf) for the round-trip check — same parse, no format
+  // string machinery.
   char buf[40];
   for (int prec = 15; prec <= 17; ++prec) {
     std::snprintf(buf, sizeof buf, "%.*g", prec, v);
-    double back = 0.0;
-    std::sscanf(buf, "%lf", &back);
-    if (back == v) break;
+    if (std::strtod(buf, nullptr) == v) break;
   }
   return buf;
 }
 
 std::string Json::quote(const std::string& s) {
-  std::string out = "\"";
-  for (unsigned char c : s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  // Bulk-copy runs of plain characters; the switch below only sees the
+  // rare bytes that actually need escaping.
+  std::size_t i = 0;
+  while (i < s.size()) {
+    std::size_t j = i;
+    while (j < s.size()) {
+      const unsigned char c = static_cast<unsigned char>(s[j]);
+      if (c == '"' || c == '\\' || c < 0x20) break;
+      ++j;
+    }
+    out.append(s, i, j - i);
+    if (j == s.size()) {
+      i = j;
+      break;
+    }
+    const unsigned char c = static_cast<unsigned char>(s[j]);
+    i = j + 1;
     switch (c) {
       case '"':
         out += "\\\"";
@@ -332,6 +363,16 @@ class Parser {
     expect('"');
     std::string out;
     while (true) {
+      // Bulk-copy up to the next quote or backslash; most strings have no
+      // escapes and resolve in a single append.
+      std::size_t run = pos_;
+      while (run < text_.size() && text_[run] != '"' && text_[run] != '\\') {
+        ++run;
+      }
+      if (run > pos_) {
+        out.append(text_, pos_, run - pos_);
+        pos_ = run;
+      }
       if (pos_ >= text_.size()) fail("unterminated string");
       char c = text_[pos_++];
       if (c == '"') return out;
@@ -395,6 +436,26 @@ class Parser {
 
   Json number() {
     const char* start = text_.c_str() + pos_;
+    // Fast path: a plain integer of up to 15 digits is exactly
+    // representable, so composing it directly matches strtod bit for bit.
+    // Anything followed by '.', an exponent, or another letter (strtod
+    // also accepts hex and inf/nan spellings) takes the slow path so the
+    // accepted grammar is unchanged.
+    const char* p = start;
+    if (*p == '-') ++p;
+    const char* digits = p;
+    std::uint64_t mag = 0;
+    while (*p >= '0' && *p <= '9') {
+      mag = mag * 10 + static_cast<std::uint64_t>(*p - '0');
+      ++p;
+    }
+    const std::size_t ndigits = static_cast<std::size_t>(p - digits);
+    if (ndigits > 0 && ndigits <= 15 && *p != '.' &&
+        !((*p >= 'a' && *p <= 'z') || (*p >= 'A' && *p <= 'Z'))) {
+      pos_ += static_cast<std::size_t>(p - start);
+      const double v = static_cast<double>(mag);
+      return Json(*start == '-' ? -v : v);
+    }
     char* end = nullptr;
     const double v = std::strtod(start, &end);
     if (end == start) fail("expected value");

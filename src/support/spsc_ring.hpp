@@ -1,0 +1,169 @@
+// Bounded single-producer / single-consumer ring with batched transfers.
+//
+// Extracted from the service shard queues (PR 6 had the ring inline in
+// service.cpp) so the ingest pipeline, tests, and future subsystems share
+// one audited implementation. Design points:
+//
+//   * SPSC only: exactly one thread may push and exactly one may pop at a
+//     time. The service guarantees this structurally (one ring per
+//     (producer, shard) pair; an atomic `scheduled` flag keeps at most one
+//     drain in flight per shard).
+//   * Free-running indices: head/tail are monotonically increasing
+//     std::size_t counters; slot = index % capacity. Wraparound of the
+//     counters themselves is harmless (unsigned subtraction stays exact).
+//   * Batched push_n/pop_n: one acquire load and one release store per
+//     batch instead of per element — the ingest thread moves a whole
+//     read() chunk's worth of lines with two fences, which is what makes
+//     parse-on-shard cheap enough to matter.
+//   * Cached counterpart indices: the producer keeps a cached copy of head
+//     (the consumer of tail) and refreshes it only when the ring looks
+//     full (empty), so the common case never touches the other side's
+//     cache line.
+//
+// Backpressure belongs to the caller: push never blocks, it returns how
+// many items fit. Callers that must not drop data loop with a Backoff
+// ladder (below) — spin, then yield, then sleep — so a stalled consumer
+// costs bounded CPU instead of a spinning core.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace sdem {
+
+/// CPU-relax hint for spin loops (PAUSE on x86, YIELD on arm64).
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Bounded exponential backoff for wait loops: a pause/yield/sleep ladder.
+/// Early rounds spin with cpu_relax (cheap, latency-optimal), middle
+/// rounds yield the scheduler slot, and from then on the waiter sleeps
+/// with doubling duration up to kMaxSleepUs — so a producer blocked on a
+/// stalled consumer converges to ~1 wakeup per millisecond instead of
+/// burning a full core. reset() after any progress.
+class Backoff {
+ public:
+  void pause() {
+    if (round_ < kSpinRounds) {
+      const int spins = 1 << round_;
+      for (int i = 0; i < spins; ++i) cpu_relax();
+    } else if (round_ < kSpinRounds + kYieldRounds) {
+      std::this_thread::yield();
+    } else {
+      const int exp = round_ - kSpinRounds - kYieldRounds;
+      long us = kFirstSleepUs << (exp < 20 ? exp : 20);
+      if (us > kMaxSleepUs) us = kMaxSleepUs;
+      std::this_thread::sleep_for(std::chrono::microseconds(us));
+    }
+    if (round_ < kMaxRound) ++round_;
+  }
+
+  void reset() { round_ = 0; }
+
+  /// True once the ladder has escalated past pure spinning (used by tests
+  /// and by callers that want to log a stall exactly once).
+  bool sleeping() const { return round_ >= kSpinRounds + kYieldRounds; }
+
+ private:
+  static constexpr int kSpinRounds = 6;    ///< 1+2+...+32 = 63 relaxes
+  static constexpr int kYieldRounds = 8;
+  static constexpr long kFirstSleepUs = 50;
+  static constexpr long kMaxSleepUs = 1000;
+  static constexpr int kMaxRound = 64;
+  int round_ = 0;
+};
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity)
+      : slots_(capacity < 1 ? 1 : capacity) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer: move up to `n` items from `items` into the ring. Returns
+  /// the number actually enqueued (0 when full). One acquire/release pair
+  /// for the whole batch; moved-from items are the caller's to reuse.
+  std::size_t push_n(T* items, std::size_t n) {
+    if (n == 0) return 0;
+    const std::size_t cap = slots_.size();
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    std::size_t free = cap - (t - cached_head_);
+    if (free < n) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      free = cap - (t - cached_head_);
+      if (free == 0) return 0;
+    }
+    const std::size_t k = n < free ? n : free;
+    for (std::size_t i = 0; i < k; ++i) {
+      slots_[(t + i) % cap] = std::move(items[i]);
+    }
+    tail_.store(t + k, std::memory_order_release);
+    return k;
+  }
+
+  /// Producer: single-element convenience over push_n.
+  bool try_push(T&& v) { return push_n(&v, 1) == 1; }
+
+  /// Consumer: move up to `max_n` items into `out`. Returns the count (0
+  /// when empty). One acquire/release pair for the whole batch.
+  std::size_t pop_n(T* out, std::size_t max_n) {
+    if (max_n == 0) return 0;
+    const std::size_t cap = slots_.size();
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    std::size_t avail = cached_tail_ - h;
+    if (avail < max_n) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      avail = cached_tail_ - h;
+      if (avail == 0) return 0;
+    }
+    const std::size_t k = max_n < avail ? max_n : avail;
+    for (std::size_t i = 0; i < k; ++i) {
+      out[i] = std::move(slots_[(h + i) % cap]);
+    }
+    head_.store(h + k, std::memory_order_release);
+    return k;
+  }
+
+  /// Consumer: single-element convenience over pop_n.
+  bool try_pop(T& out) { return pop_n(&out, 1) == 1; }
+
+  /// Racy by nature (either side may be mid-operation); exact only when
+  /// both sides are quiesced. The service uses it for drain barriers,
+  /// which quiesce first.
+  bool empty() const {
+    return tail_.load(std::memory_order_acquire) ==
+           head_.load(std::memory_order_acquire);
+  }
+
+  std::size_t size() const {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<T> slots_;
+  // Indices on their own cache lines so producer and consumer don't
+  // false-share; each side's cached view of the other lives with the
+  // index it is read next to.
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< next push (producer)
+  alignas(64) std::size_t cached_head_ = 0;       ///< producer's view of head
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< next pop (consumer)
+  alignas(64) std::size_t cached_tail_ = 0;       ///< consumer's view of tail
+};
+
+}  // namespace sdem

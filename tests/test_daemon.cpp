@@ -1,0 +1,260 @@
+// In-process daemon tests (src/service/daemon.hpp): ephemeral-port TCP,
+// requests fragmented across writes (the poll-loop partial-read
+// regression), per-connection response ordering with multiple acceptors,
+// malformed lines answered in order, and clean SHUTDOWN.
+#include "service/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include "support/json.hpp"
+
+namespace sdem::service {
+namespace {
+
+// The daemon writes to sockets the peer may have closed; EPIPE is handled,
+// the signal must not kill the test binary.
+const struct IgnoreSigpipe {
+  IgnoreSigpipe() { std::signal(SIGPIPE, SIG_IGN); }
+} g_ignore_sigpipe;
+
+/// run() on a background thread; port() blocks until the listener is up.
+struct DaemonHarness {
+  explicit DaemonHarness(DaemonOptions opt) {
+    opt.port = 0;
+    opt.use_stdin = false;
+    daemon = std::make_unique<Daemon>(std::move(opt));
+    thread = std::thread([this] { rc = daemon->run(); });
+    port = daemon->port();
+  }
+  ~DaemonHarness() {
+    daemon->request_stop();
+    if (thread.joinable()) thread.join();
+  }
+
+  std::unique_ptr<Daemon> daemon;
+  std::thread thread;
+  int port = -1;
+  int rc = -1;
+};
+
+/// Blocking line-oriented TCP client with a 10 s receive timeout so a
+/// daemon bug fails the test instead of hanging CI.
+struct LineClient {
+  explicit LineClient(int port) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    timeval tv{10, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+        << std::strerror(errno);
+  }
+  ~LineClient() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void send(const std::string& bytes) const {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+      ASSERT_GT(n, 0) << std::strerror(errno);
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// One response line (without the newline); fails the test on timeout.
+  std::string recv_line() {
+    for (;;) {
+      const std::size_t nl = buf.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buf.substr(0, nl);
+        buf.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) continue;
+      EXPECT_GT(n, 0) << "recv timed out or connection closed";
+      if (n <= 0) return {};
+      buf.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  int fd = -1;
+  std::string buf;
+};
+
+std::string submit_line(int island, int id, double release) {
+  Json task = Json::object();
+  task.set("id", id);
+  task.set("release", release);
+  task.set("deadline", release + 1.0);
+  task.set("work", 0.05);
+  Json req = Json::object();
+  req.set("op", "SUBMIT");
+  req.set("island", island);
+  req.set("task", std::move(task));
+  return req.dump(0);
+}
+
+TEST(Daemon, FragmentedSubmitAcrossTwoTcpWrites) {
+  // Regression: a SUBMIT split mid-line across two TCP writes must be
+  // reassembled by the poll loop, not dispatched per read().
+  DaemonOptions opt;
+  opt.shards = 2;
+  DaemonHarness h(opt);
+  ASSERT_GT(h.port, 0);
+  LineClient c(h.port);
+
+  const std::string line = submit_line(0, 1, 0.0) + "\n";
+  const std::size_t cut = line.size() / 2;
+  c.send(line.substr(0, cut));
+  // Let the daemon's poll loop observe (and buffer) the first fragment.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  c.send(line.substr(cut));
+
+  const Json resp = Json::parse(c.recv_line());
+  ASSERT_TRUE(resp.at("ok").as_bool()) << resp.dump(0);
+  EXPECT_EQ(resp.at("op").as_string(), "SUBMIT");
+  EXPECT_EQ(resp.at("id").as_number(), 1.0);
+}
+
+TEST(Daemon, ManyFragmentsOneByteAtATime) {
+  DaemonOptions opt;
+  opt.shards = 1;
+  DaemonHarness h(opt);
+  LineClient c(h.port);
+  const std::string line = submit_line(3, 7, 0.0) + "\n";
+  for (char ch : line) c.send(std::string(1, ch));
+  const Json resp = Json::parse(c.recv_line());
+  ASSERT_TRUE(resp.at("ok").as_bool()) << resp.dump(0);
+  EXPECT_EQ(resp.at("id").as_number(), 7.0);
+}
+
+TEST(Daemon, MalformedLineAnsweredInOrder) {
+  // good / malformed / good in one write: three responses, per-connection
+  // order preserved, the middle one an error envelope.
+  DaemonOptions opt;
+  opt.shards = 2;
+  DaemonHarness h(opt);
+  LineClient c(h.port);
+  c.send(submit_line(0, 1, 0.0) + "\n" +
+         "{\"op\":\"SUBMIT\",\"island\":0,\"task\":{\"id\":2}}\n" +
+         submit_line(0, 3, 0.0) + "\n");
+  const Json r1 = Json::parse(c.recv_line());
+  const Json r2 = Json::parse(c.recv_line());
+  const Json r3 = Json::parse(c.recv_line());
+  EXPECT_TRUE(r1.at("ok").as_bool());
+  EXPECT_EQ(r1.at("id").as_number(), 1.0);
+  EXPECT_FALSE(r2.at("ok").as_bool());
+  EXPECT_NE(r2.find("error"), nullptr);
+  EXPECT_TRUE(r3.at("ok").as_bool());
+  EXPECT_EQ(r3.at("id").as_number(), 3.0);
+}
+
+TEST(Daemon, PerConnectionOrderWithTwoAcceptors) {
+  // Two pipelined connections, round-robined onto two acceptors, each
+  // submitting to its own island: every connection must see its own
+  // responses in its own request order, whatever the shards do.
+  DaemonOptions opt;
+  opt.shards = 4;
+  opt.acceptors = 2;
+  DaemonHarness h(opt);
+  LineClient a(h.port);
+  LineClient b(h.port);
+
+  constexpr int kN = 50;
+  std::string batch_a;
+  std::string batch_b;
+  for (int i = 0; i < kN; ++i) {
+    batch_a += submit_line(0, i, 0.001 * i) + "\n";
+    batch_b += submit_line(1, 1000 + i, 0.001 * i) + "\n";
+  }
+  a.send(batch_a);
+  b.send(batch_b);
+  for (int i = 0; i < kN; ++i) {
+    const Json ra = Json::parse(a.recv_line());
+    ASSERT_TRUE(ra.at("ok").as_bool()) << ra.dump(0);
+    EXPECT_EQ(ra.at("island").as_number(), 0.0);
+    EXPECT_EQ(ra.at("id").as_number(), static_cast<double>(i))
+        << "connection A responses out of order";
+  }
+  for (int i = 0; i < kN; ++i) {
+    const Json rb = Json::parse(b.recv_line());
+    ASSERT_TRUE(rb.at("ok").as_bool()) << rb.dump(0);
+    EXPECT_EQ(rb.at("island").as_number(), 1.0);
+    EXPECT_EQ(rb.at("id").as_number(), static_cast<double>(1000 + i))
+        << "connection B responses out of order";
+  }
+}
+
+TEST(Daemon, StatsBarrierCountsEarlierSubmits) {
+  DaemonOptions opt;
+  opt.shards = 2;
+  opt.acceptors = 2;
+  DaemonHarness h(opt);
+  LineClient c(h.port);
+  constexpr int kN = 20;
+  std::string batch;
+  for (int i = 0; i < kN; ++i) batch += submit_line(i % 3, i, 0.0) + "\n";
+  batch += "{\"op\":\"STATS\"}\n";
+  c.send(batch);
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(Json::parse(c.recv_line()).at("ok").as_bool());
+  }
+  const Json stats = Json::parse(c.recv_line());
+  ASSERT_TRUE(stats.at("ok").as_bool());
+  EXPECT_EQ(stats.at("op").as_string(), "STATS");
+  // The barrier drains every shard before answering.
+  EXPECT_GE(stats.at("requests").as_number(), static_cast<double>(kN));
+}
+
+TEST(Daemon, ShutdownStopsRunAndReportsCount) {
+  DaemonOptions opt;
+  opt.shards = 2;
+  DaemonHarness h(opt);
+  LineClient c(h.port);
+  c.send(submit_line(0, 1, 0.0) + "\n" + submit_line(1, 2, 0.0) + "\n" +
+         "{\"op\":\"SHUTDOWN\"}\n");
+  ASSERT_TRUE(Json::parse(c.recv_line()).at("ok").as_bool());
+  ASSERT_TRUE(Json::parse(c.recv_line()).at("ok").as_bool());
+  const Json bye = Json::parse(c.recv_line());
+  ASSERT_TRUE(bye.at("ok").as_bool());
+  EXPECT_EQ(bye.at("op").as_string(), "SHUTDOWN");
+  EXPECT_GE(bye.at("requests").as_number(), 2.0);
+  h.thread.join();
+  EXPECT_EQ(h.rc, 0);
+}
+
+TEST(Daemon, ParseOnIngestBaselineStillServes) {
+  DaemonOptions opt;
+  opt.shards = 2;
+  opt.parse_on_shard = false;
+  DaemonHarness h(opt);
+  LineClient c(h.port);
+  c.send(submit_line(0, 1, 0.0) + "\n");
+  const Json resp = Json::parse(c.recv_line());
+  ASSERT_TRUE(resp.at("ok").as_bool()) << resp.dump(0);
+  EXPECT_EQ(resp.at("id").as_number(), 1.0);
+}
+
+}  // namespace
+}  // namespace sdem::service

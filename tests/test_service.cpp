@@ -92,6 +92,58 @@ TEST(ServiceProtocol, AcceptsWellFormedRequests) {
   EXPECT_TRUE(parse_request("{\"op\":\"SHUTDOWN\"}").ok);
 }
 
+TEST(ServiceProtocol, PeekFindsTheRoutingKey) {
+  const Peeked p = peek_request(
+      "{\"op\":\"SUBMIT\",\"island\":2,\"task\":{\"id\":7,\"release\":0.25,"
+      "\"deadline\":1.5,\"work\":320.5}}");
+  EXPECT_TRUE(p.routable());
+  EXPECT_EQ(p.op, Op::kSubmit);
+  EXPECT_EQ(p.island, 2);
+
+  // Whitespace, member order, and nested braces inside strings don't fool
+  // the scanner.
+  const Peeked q = peek_request(
+      "  { \"note\" : \"has } and { and \\\" inside\" ,\n"
+      "    \"island\" : 5 , \"op\" : \"QUERY\" }");
+  EXPECT_TRUE(q.routable());
+  EXPECT_EQ(q.op, Op::kQuery);
+  EXPECT_EQ(q.island, 5);
+}
+
+TEST(ServiceProtocol, PeekMatchesFullParserOnDuplicateKeys) {
+  // Json::parse keeps the last duplicate key; the peek must agree, or a
+  // crafted line could be routed to one shard and parsed as another
+  // island's request.
+  const std::string line =
+      "{\"op\":\"SUBMIT\",\"island\":1,\"island\":6,"
+      "\"task\":{\"id\":1,\"release\":0,\"deadline\":1,\"work\":5}}";
+  const Peeked p = peek_request(line);
+  const Parsed full = parse_request(line);
+  ASSERT_TRUE(full.ok);
+  ASSERT_TRUE(p.routable());
+  EXPECT_EQ(p.island, full.request.island);
+  EXPECT_EQ(p.island, 6);
+}
+
+TEST(ServiceProtocol, PeekFallsBackConservatively) {
+  // Not routable ≠ malformed: these must fall back to the full parser.
+  EXPECT_FALSE(peek_request("{\"op\":\"SUBMIT\",\"island\":2.0}").routable())
+      << "float island is full-parser territory";
+  EXPECT_FALSE(peek_request("{\"op\":\"SUBMIT\",\"island\":2e1}").routable());
+  EXPECT_FALSE(peek_request("{\"op\":\"SUBMIT\",\"island\":-3}").routable());
+  EXPECT_FALSE(peek_request("{\"op\":\"STATS\"}").routable())
+      << "STATS is service-wide, never shard-routable";
+  EXPECT_FALSE(peek_request("{\"op\":\"SHUTDOWN\"}").routable());
+  EXPECT_FALSE(peek_request("{\"op\":\"NOPE\",\"island\":1}").routable())
+      << "unknown op: let parse_request produce the diagnostic";
+  EXPECT_FALSE(peek_request("{\"island\":1}").routable());
+  EXPECT_FALSE(peek_request("not json").routable());
+  EXPECT_FALSE(peek_request("{\"op\":\"SUBMIT\",\"island\":").routable());
+  EXPECT_FALSE(
+      peek_request("{\"op\":\"SUBMIT\",\"island\":99999999999}").routable())
+      << "overlong island literal";
+}
+
 // ----------------------------------------------------------- test harness
 
 /// Synchronous single-threaded driver: routes requests inline (null pool)
@@ -336,6 +388,128 @@ TEST(ServiceDeterminism, EagerCommitsKeepScheduleBytes) {
       simulate(TaskSet(tasks), SystemConfig::paper_default(), batch_policy);
   EXPECT_EQ(schedule_to_csv(batch.schedule),
             schedule_to_csv(eager[0].result.schedule));
+}
+
+// ---------------------------------------------------------- parse-on-shard
+
+/// Wire rendering of a SUBMIT request (what the daemon's ingest sees).
+std::string submit_wire_line(const Request& r) {
+  Json task = Json::object();
+  task.set("id", r.task.id);
+  task.set("release", r.task.release);
+  task.set("deadline", r.task.deadline);
+  task.set("work", r.task.work);
+  Json req = Json::object();
+  req.set("op", "SUBMIT");
+  req.set("island", r.island);
+  req.set("task", std::move(task));
+  return req.dump(0);
+}
+
+/// Same stream as run_stream, but shipped as raw lines through the
+/// parse-on-shard path (peek routing + shard-side parse_request).
+std::vector<Service::IslandResult> run_stream_raw(
+    const std::vector<Request>& reqs, const std::string& policy, int shards,
+    ThreadPool* pool) {
+  ServiceOptions opt;
+  opt.policy = policy;
+  opt.shards = shards;
+  opt.eager = false;
+  std::mutex mu;
+  std::vector<std::string> errors;
+  Service svc(opt, pool, [&](const Request& r, Json resp) {
+    if (!resp.at("ok").as_bool()) {
+      std::lock_guard<std::mutex> lock(mu);
+      errors.push_back("seq " + std::to_string(r.seq) + ": " +
+                       resp.at("error").as_string());
+    }
+  });
+  for (const Request& r : reqs) {
+    std::string line = submit_wire_line(r);
+    const Peeked peek = peek_request(line);
+    EXPECT_TRUE(peek.routable());
+    svc.route_raw(peek.island, peek.op, std::move(line), r.seq, 0, r.seq);
+  }
+  auto out = svc.finalize_all();
+  EXPECT_TRUE(errors.empty()) << errors.front();
+  return out;
+}
+
+TEST(ServiceDeterminism, ParseOnShardIsByteIdenticalAcrossShardCounts) {
+  // The tentpole determinism contract: raw lines routed by peek and parsed
+  // on the shard workers finalize to byte-identical per-island results at
+  // any shard count — and to the parsed-route path.
+  const auto reqs = make_stream(/*islands=*/5, /*tasks_per_island=*/40, 13);
+  const auto parsed = run_stream(reqs, "sdem-on", 1, false, nullptr);
+  const auto raw1 = run_stream_raw(reqs, "sdem-on", 1, nullptr);
+  ThreadPool pool(4);
+  const auto raw4 = run_stream_raw(reqs, "sdem-on", 4, &pool);
+  ASSERT_EQ(parsed.size(), raw1.size());
+  ASSERT_EQ(parsed.size(), raw4.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].island, raw1[i].island);
+    EXPECT_EQ(parsed[i].island, raw4[i].island);
+    EXPECT_EQ(result_bytes(parsed[i]), result_bytes(raw1[i]))
+        << "island " << parsed[i].island;
+    EXPECT_EQ(result_bytes(parsed[i]), result_bytes(raw4[i]))
+        << "island " << parsed[i].island;
+  }
+}
+
+TEST(ServiceSemantics, MalformedRawLineYieldsErrorEnvelope) {
+  // A line whose routing key peeks fine but whose payload fails the full
+  // parse: the shard worker must answer with the uniform error envelope
+  // carrying the ingest-assigned seq.
+  std::map<std::uint64_t, Json> responses;
+  ServiceOptions opt;
+  Service svc(opt, nullptr, [&](const Request& r, Json resp) {
+    responses.emplace(r.seq, std::move(resp));
+  });
+  const std::string bad =
+      "{\"op\":\"SUBMIT\",\"island\":0,\"task\":{\"id\":1,\"release\":0,"
+      "\"deadline\":1,\"work\":-2}}";
+  const Peeked peek = peek_request(bad);
+  ASSERT_TRUE(peek.routable());
+  svc.route_raw(peek.island, peek.op, bad, /*seq=*/7, 0, 0);
+  svc.flush();
+  svc.drain_all();
+  ASSERT_EQ(responses.count(7), 1u);
+  EXPECT_FALSE(responses.at(7).at("ok").as_bool());
+  EXPECT_EQ(responses.at(7).at("seq").as_number(), 7);
+  EXPECT_NE(responses.at(7).at("error").as_string().find("work"),
+            std::string::npos);
+}
+
+TEST(ServiceSemantics, MisroutedRawLineIsRejectedNotCrossRouted) {
+  // Defense in depth: if a caller routes a raw line to the wrong shard
+  // (possible only with a buggy or adversarial peek), the shard must
+  // reject it rather than touch an island another shard owns.
+  std::map<std::uint64_t, Json> responses;
+  ServiceOptions opt;
+  opt.shards = 2;
+  Service svc(opt, nullptr, [&](const Request& r, Json resp) {
+    responses.emplace(r.seq, std::move(resp));
+  });
+  const std::string line =
+      "{\"op\":\"SUBMIT\",\"island\":1,\"task\":{\"id\":1,\"release\":0,"
+      "\"deadline\":1,\"work\":5}}";
+  // Deliberately claim island 0 (shard 0); the line parses to island 1
+  // (shard 1).
+  svc.route_raw(/*island=*/0, Op::kSubmit, line, /*seq=*/3, 0, 0);
+  svc.flush();
+  svc.drain_all();
+  ASSERT_EQ(responses.count(3), 1u);
+  EXPECT_FALSE(responses.at(3).at("ok").as_bool());
+  EXPECT_NE(responses.at(3).at("error").as_string().find("misrouted"),
+            std::string::npos);
+  // Island 1 must be untouched: a fresh, correctly-routed submit with the
+  // same id succeeds (no duplicate registered by the misroute).
+  const Peeked peek = peek_request(line);
+  svc.route_raw(peek.island, peek.op, line, /*seq=*/4, 0, 1);
+  svc.flush();
+  svc.drain_all();
+  ASSERT_EQ(responses.count(4), 1u);
+  EXPECT_TRUE(responses.at(4).at("ok").as_bool());
 }
 
 // -------------------------------------------------------------- StreamSim

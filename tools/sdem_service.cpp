@@ -3,41 +3,47 @@
 // Ingests task arrivals as newline-delimited JSON over stdin/stdout and,
 // with --port, over a localhost TCP socket, answers admission + schedule
 // queries online, and shards independent memory islands across the thread
-// pool. Three modes:
+// pool. Four modes:
 //
-//   sdem_service [--policy P] [--shards N] [--port PORT]    live daemon
+//   sdem_service [--policy P] [--shards N] [--acceptors A] [--port PORT]
+//       live daemon (src/service/daemon.hpp): pipelined ingest — raw lines
+//       are routed by a peek and parsed on the shard workers
 //   sdem_service --replay file.ndjson [--verify-batch]      deterministic
 //       batch replay: prints per-island schedules byte-identical to the
 //       batch simulator on the same stream (any --shards value)
 //   sdem_service --gen-stream N [--islands K] [--seed S]    emit a canned
 //       arrival stream (the CI smoke input) to stdout
+//   sdem_service --load-gen N --connect PORT [--conns C]    drive a running
+//       daemon over TCP and report end-to-end events/sec
 //
-// Responses are emitted in request order per connection (a sequence-number
+// Responses are emitted in request order per connection (a per-connection
 // reorder buffer; shards complete out of order). STATS is a service-wide
 // barrier: it drains every shard, then reports per-shard throughput and
 // p50/p99 replan latency from the obs runtime domain.
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include "model/task.hpp"
+#include "obs/obs.hpp"
 #include "obs/trace.hpp"
 #include "sched/trace_io.hpp"
+#include "service/daemon.hpp"
 #include "service/service.hpp"
 #include "support/json.hpp"
 #include "support/thread_pool.hpp"
@@ -55,15 +61,24 @@ int usage(int code) {
       "  --policy NAME     sdem-on|sdem-on-eager|mbkp|race|stretch|critical\n"
       "                    (default sdem-on)\n"
       "  --shards N        worker shards / pool threads (default 1)\n"
+      "  --acceptors N     ingest/poll threads for the live daemon\n"
+      "                    (default 1; connections assigned round-robin)\n"
       "  --port PORT       also serve ndjson on 127.0.0.1:PORT (0 = pick a\n"
       "                    free port; the chosen port is printed to stderr)\n"
+      "  --queue-capacity N  per (producer, shard) ring slots (default 1024)\n"
+      "  --parse-on-ingest parse every line on the ingest thread instead of\n"
+      "                    the shard workers (pre-pipelining baseline)\n"
       "  --replay FILE     replay an ndjson arrival stream deterministically\n"
       "                    and print per-island schedules to stdout\n"
       "  --verify-batch    with --replay: re-run the batch simulator per\n"
       "                    island and fail unless byte-identical\n"
       "  --gen-stream N    emit an N-arrival SUBMIT stream to stdout\n"
-      "  --islands K       islands for --gen-stream (default 4)\n"
-      "  --seed S          seed for --gen-stream (default 1)\n"
+      "  --islands K       islands for --gen-stream/--load-gen (default 4)\n"
+      "  --seed S          seed for --gen-stream/--load-gen (default 1)\n"
+      "  --load-gen N      connect to a daemon and push N SUBMITs, timing\n"
+      "                    end-to-end events/sec (needs --connect)\n"
+      "  --connect PORT    daemon port for --load-gen\n"
+      "  --conns C         concurrent load-gen connections (default 1)\n"
       "  --trace PATH      record a chrome://tracing JSON of the run\n"
       "  --help            this message\n");
   return code;
@@ -72,97 +87,80 @@ int usage(int code) {
 struct Options {
   std::string policy = "sdem-on";
   int shards = 1;
+  int acceptors = 1;
   int port = -1;  ///< -1 = no TCP
+  std::size_t queue_capacity = 1024;
+  bool parse_on_ingest = false;
   std::string replay;
   bool verify_batch = false;
   long gen_stream = 0;
   int islands = 4;
   std::uint64_t seed = 1;
+  long load_gen = 0;
+  int connect_port = -1;
+  int conns = 1;
   std::string trace;
 };
 
-/// Sequence-ordered response writer. Shards complete out of order; output
-/// must follow request order per connection. Global seq order implies
-/// per-connection order, so one buffer suffices. conn -1 writes to stdout.
-class OrderedWriter {
- public:
-  void deposit(std::uint64_t seq, int conn, std::string line) {
-    std::lock_guard<std::mutex> lock(mu_);
-    held_.emplace(seq, std::make_pair(conn, std::move(line)));
-    while (!held_.empty() && held_.begin()->first == next_) {
-      write_line(held_.begin()->second.first, held_.begin()->second.second);
-      held_.erase(held_.begin());
-      ++next_;
-    }
-  }
-
- private:
-  static void write_line(int conn, const std::string& line) {
-    std::string out = line;
-    out.push_back('\n');
-    if (conn < 0) {
-      std::fwrite(out.data(), 1, out.size(), stdout);
-      std::fflush(stdout);
-      return;
-    }
-    // Best effort: a disconnected client just loses its responses
-    // (SIGPIPE is ignored; EPIPE is expected).
-    std::size_t off = 0;
-    while (off < out.size()) {
-      const ssize_t n = ::write(conn, out.data() + off, out.size() - off);
-      if (n <= 0) return;
-      off += static_cast<std::size_t>(n);
-    }
-  }
-
-  std::mutex mu_;
-  std::uint64_t next_ = 0;
-  std::map<std::uint64_t, std::pair<int, std::string>> held_;
+/// The canned per-island synthetic streams (paper §8.1.2 generator), merged
+/// into one globally release-sorted line list — per island the order is
+/// non-decreasing by construction, which is all the replay contract needs.
+struct StreamLine {
+  double release;
+  int island;
+  std::string text;  ///< one SUBMIT request, no trailing newline
 };
+
+std::vector<StreamLine> make_stream_lines(long n, int islands,
+                                          std::uint64_t seed) {
+  struct Raw {
+    double release;
+    int island;
+    Task task;
+  };
+  std::vector<Raw> raws;
+  raws.reserve(static_cast<std::size_t>(n));
+  const long per = n / islands;
+  const long extra = n % islands;
+  for (int isl = 0; isl < islands; ++isl) {
+    SyntheticParams p;
+    p.num_tasks = static_cast<int>(per + (isl < extra ? 1 : 0));
+    p.max_interarrival = 0.050;
+    if (p.num_tasks == 0) continue;
+    const TaskSet ts = make_synthetic(p, seed * 1000003 + isl);
+    for (const Task& t : ts.tasks()) raws.push_back({t.release, isl, t});
+  }
+  std::stable_sort(raws.begin(), raws.end(), [](const Raw& a, const Raw& b) {
+    if (a.release != b.release) return a.release < b.release;
+    if (a.island != b.island) return a.island < b.island;
+    return a.task.id < b.task.id;
+  });
+  std::vector<StreamLine> lines;
+  lines.reserve(raws.size());
+  for (const Raw& r : raws) {
+    Json task = Json::object();
+    task.set("id", r.task.id);
+    task.set("release", r.task.release);
+    task.set("deadline", r.task.deadline);
+    task.set("work", r.task.work);
+    Json req = Json::object();
+    req.set("op", "SUBMIT");
+    req.set("island", r.island);
+    req.set("task", std::move(task));
+    lines.push_back({r.release, r.island, req.dump(0)});
+  }
+  return lines;
+}
 
 int run_gen_stream(const Options& o) {
   if (o.gen_stream <= 0 || o.islands <= 0) {
     std::fprintf(stderr, "--gen-stream and --islands need positive values\n");
     return 2;
   }
-  // Per-island synthetic streams (paper §8.1.2 generator), merged into one
-  // globally release-sorted ndjson — per island the order is non-decreasing
-  // by construction, which is all the replay contract needs.
-  struct Line {
-    double release;
-    int island;
-    Task task;
-  };
-  std::vector<Line> lines;
-  lines.reserve(static_cast<std::size_t>(o.gen_stream));
-  const long per = o.gen_stream / o.islands;
-  const long extra = o.gen_stream % o.islands;
-  for (int isl = 0; isl < o.islands; ++isl) {
-    SyntheticParams p;
-    p.num_tasks = static_cast<int>(per + (isl < extra ? 1 : 0));
-    p.max_interarrival = 0.050;
-    if (p.num_tasks == 0) continue;
-    const TaskSet ts = make_synthetic(p, o.seed * 1000003 + isl);
-    for (const Task& t : ts.tasks()) lines.push_back({t.release, isl, t});
-  }
-  std::stable_sort(lines.begin(), lines.end(),
-                   [](const Line& a, const Line& b) {
-                     if (a.release != b.release) return a.release < b.release;
-                     if (a.island != b.island) return a.island < b.island;
-                     return a.task.id < b.task.id;
-                   });
   std::string out;
-  for (const Line& l : lines) {
-    Json task = Json::object();
-    task.set("id", l.task.id);
-    task.set("release", l.task.release);
-    task.set("deadline", l.task.deadline);
-    task.set("work", l.task.work);
-    Json req = Json::object();
-    req.set("op", "SUBMIT");
-    req.set("island", l.island);
-    req.set("task", std::move(task));
-    out += req.dump(0);
+  for (const StreamLine& l :
+       make_stream_lines(o.gen_stream, o.islands, o.seed)) {
+    out += l.text;
     out.push_back('\n');
   }
   std::fwrite(out.data(), 1, out.size(), stdout);
@@ -194,17 +192,17 @@ int run_replay(const Options& o) {
   sopt.policy = o.policy;
   sopt.shards = o.shards;
   sopt.eager = false;  // batch same-instant arrivals exactly like simulate()
+  sopt.queue_capacity = o.queue_capacity;
   std::unique_ptr<ThreadPool> pool;
   if (o.shards > 1) pool = std::make_unique<ThreadPool>(o.shards);
 
   std::mutex err_mu;
-  std::vector<std::string> errors;
+  std::vector<std::pair<std::uint64_t, std::string>> errors;
   Service svc(sopt, pool.get(), [&](const Request& r, Json resp) {
     const Json* ok = resp.find("ok");
     if (ok != nullptr && ok->is_bool() && !ok->as_bool()) {
       std::lock_guard<std::mutex> lock(err_mu);
-      errors.push_back("seq " + std::to_string(r.seq) + ": " +
-                       resp.at("error").as_string());
+      errors.emplace_back(r.seq, resp.at("error").as_string());
     }
   });
 
@@ -212,6 +210,17 @@ int run_replay(const Options& o) {
   std::uint64_t seq = 0;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
+    if (!o.parse_on_ingest) {
+      // Pipelined path (the default): route by peek, parse on the shard.
+      // Parse failures surface through the error callback, sequence-tagged.
+      const Peeked peek = peek_request(line);
+      if (peek.routable() && peek.op == Op::kSubmit) {
+        const std::uint64_t s = seq++;
+        svc.route_raw(peek.island, peek.op, std::move(line), s, 0, s);
+        continue;
+      }
+    }
+    // Baseline path, and the peek-miss fallback (e.g. {"island":2.0}).
     Parsed p = parse_request(line);
     if (!p.ok) {
       std::fprintf(stderr, "replay line %llu: %s\n",
@@ -223,13 +232,17 @@ int run_replay(const Options& o) {
                    static_cast<unsigned long long>(seq + 1));
       return 1;
     }
-    p.request.seq = seq++;
+    p.request.seq = seq;
+    p.request.conn_seq = seq;
+    ++seq;
     svc.route(std::move(p.request));
   }
   const std::vector<Service::IslandResult> islands = svc.finalize_all();
   if (!errors.empty()) {
-    for (const std::string& e : errors) {
-      std::fprintf(stderr, "replay error: %s\n", e.c_str());
+    std::sort(errors.begin(), errors.end());
+    for (const auto& [s, e] : errors) {
+      std::fprintf(stderr, "replay error: seq %llu: %s\n",
+                   static_cast<unsigned long long>(s), e.c_str());
     }
     return 1;
   }
@@ -272,163 +285,99 @@ int run_replay(const Options& o) {
   return rc;
 }
 
-/// Live daemon: poll() multiplexes stdin, the TCP listener and client
-/// connections on one ingest thread (which is what makes the per-shard
-/// rings single-producer).
-class Daemon {
- public:
-  Daemon(const Options& o) : opt_(o) {}
-
-  int run() {
-    ServiceOptions sopt;
-    sopt.policy = opt_.policy;
-    sopt.shards = opt_.shards;
-    sopt.eager = true;
-    if (opt_.shards > 1) pool_ = std::make_unique<ThreadPool>(opt_.shards);
-    svc_ = std::make_unique<Service>(
-        sopt, pool_.get(), [this](const Request& r, Json resp) {
-          writer_.deposit(r.seq, r.conn, resp.dump(0));
-        });
-
-    if (opt_.port >= 0 && !open_listener()) return 1;
-    bool stdin_open = true;
-
-    while (!stop_) {
-      std::vector<pollfd> fds;
-      if (stdin_open) fds.push_back({0, POLLIN, 0});
-      if (listen_fd_ >= 0) fds.push_back({listen_fd_, POLLIN, 0});
-      for (const auto& [fd, buf] : conns_) fds.push_back({fd, POLLIN, 0});
-      if (fds.empty()) break;  // stdin closed, no TCP: nothing left to serve
-      if (::poll(fds.data(), fds.size(), -1) < 0) {
-        if (errno == EINTR) continue;
-        std::perror("poll");
-        return 1;
-      }
-      for (const pollfd& p : fds) {
-        if ((p.revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
-        if (p.fd == 0) {
-          if (!read_chunk(0, &stdin_buf_)) {
-            flush_partial(0, &stdin_buf_);
-            stdin_open = false;
-            // stdin EOF with no TCP surface: drain and exit cleanly.
-            if (listen_fd_ < 0) stop_ = true;
-          }
-        } else if (p.fd == listen_fd_) {
-          accept_client();
-        } else {
-          auto it = conns_.find(p.fd);
-          if (it == conns_.end()) continue;
-          if (!read_chunk(p.fd, &it->second)) {
-            flush_partial(p.fd, &it->second);
-            ::close(p.fd);
-            conns_.erase(it);
-          }
-        }
-        if (stop_) break;
-      }
-    }
-    svc_->drain_all();
-    for (const auto& [fd, buf] : conns_) ::close(fd);
-    if (listen_fd_ >= 0) ::close(listen_fd_);
-    return 0;
+/// Load generator: open --conns connections to a running daemon, partition
+/// the canned stream by island (island % conns, preserving per-island
+/// arrival order), pump every line, and time until the last response.
+int run_load_gen(const Options& o) {
+  if (o.load_gen <= 0 || o.connect_port < 0 || o.conns < 1) {
+    std::fprintf(stderr,
+                 "--load-gen needs a positive count, --connect PORT and "
+                 "--conns >= 1\n");
+    return 2;
+  }
+  const std::vector<StreamLine> stream =
+      make_stream_lines(o.load_gen, o.islands, o.seed);
+  std::vector<std::string> payload(static_cast<std::size_t>(o.conns));
+  std::vector<long> expect(static_cast<std::size_t>(o.conns), 0);
+  for (const StreamLine& l : stream) {
+    const std::size_t c = static_cast<std::size_t>(l.island % o.conns);
+    payload[c] += l.text;
+    payload[c].push_back('\n');
+    ++expect[c];
   }
 
- private:
-  bool open_listener() {
-    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (listen_fd_ < 0) {
-      std::perror("socket");
-      return false;
-    }
-    const int one = 1;
-    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  std::vector<int> fds;
+  for (int c = 0; c < o.conns; ++c) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(static_cast<std::uint16_t>(opt_.port));
-    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-               sizeof(addr)) < 0 ||
-        ::listen(listen_fd_, 16) < 0) {
-      std::perror("bind/listen");
-      return false;
+    addr.sin_port = htons(static_cast<std::uint16_t>(o.connect_port));
+    if (fd < 0 || ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                            sizeof(addr)) != 0) {
+      std::fprintf(stderr, "cannot connect to 127.0.0.1:%d: %s\n",
+                   o.connect_port, std::strerror(errno));
+      for (const int f : fds) ::close(f);
+      if (fd >= 0) ::close(fd);
+      return 1;
     }
-    socklen_t len = sizeof(addr);
-    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-    std::fprintf(stderr, "listening on 127.0.0.1:%d\n",
-                 ntohs(addr.sin_port));
-    return true;
+    fds.push_back(fd);
   }
 
-  void accept_client() {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd >= 0) conns_.emplace(fd, std::string());
-  }
-
-  /// Read once from fd, dispatch complete lines. Returns false on EOF/error.
-  bool read_chunk(int fd, std::string* buf) {
-    char chunk[65536];
-    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
-    if (n <= 0) return false;
-    buf->append(chunk, static_cast<std::size_t>(n));
-    std::size_t start = 0;
-    for (;;) {
-      const std::size_t nl = buf->find('\n', start);
-      if (nl == std::string::npos) break;
-      dispatch(buf->substr(start, nl - start), fd == 0 ? -1 : fd);
-      start = nl + 1;
-      if (stop_) break;
-    }
-    buf->erase(0, start);
-    return true;
-  }
-
-  /// A final line without a trailing newline still counts at EOF.
-  void flush_partial(int fd, std::string* buf) {
-    if (!buf->empty() && !stop_) dispatch(*buf, fd == 0 ? -1 : fd);
-    buf->clear();
-  }
-
-  void dispatch(const std::string& line, int conn) {
-    if (line.empty()) return;
-    const std::uint64_t seq = seq_++;
-    Parsed p = parse_request(line);
-    if (!p.ok) {
-      writer_.deposit(seq, conn, error_response(seq, p.error).dump(0));
-      return;
-    }
-    p.request.seq = seq;
-    p.request.conn = conn;
-    switch (p.request.op) {
-      case Op::kSubmit:
-      case Op::kQuery:
-        svc_->route(std::move(p.request));
-        break;
-      case Op::kStats:
-        // Barrier: drains every shard first, so all earlier responses have
-        // already been deposited and seq order is preserved.
-        writer_.deposit(seq, conn, svc_->stats(seq).dump(0));
-        break;
-      case Op::kShutdown: {
-        svc_->drain_all();
-        Json resp = ok_response(Op::kShutdown, seq);
-        resp.set("requests", svc_->requests_processed());
-        writer_.deposit(seq, conn, resp.dump(0));
-        stop_ = true;
-        break;
+  std::atomic<bool> failed{false};
+  const std::uint64_t t0 = obs::now_ns();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < o.conns; ++c) {
+    // Writer and reader per connection: the daemon answers every line, so
+    // a client that only writes would deadlock both socket buffers. The
+    // writer must NOT half-close after the last line — the daemon treats
+    // read-EOF as connection teardown and drops responses still in the
+    // shard pipeline; the reader already knows how many lines to expect.
+    threads.emplace_back([fd = fds[static_cast<std::size_t>(c)],
+                          &data = payload[static_cast<std::size_t>(c)],
+                          &failed] {
+      std::size_t off = 0;
+      while (off < data.size()) {
+        const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) {
+          failed.store(true);
+          return;
+        }
+        off += static_cast<std::size_t>(n);
       }
-    }
+    });
+    threads.emplace_back([fd = fds[static_cast<std::size_t>(c)],
+                          want = expect[static_cast<std::size_t>(c)],
+                          &failed] {
+      char chunk[65536];
+      long got = 0;
+      while (got < want) {
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) {
+          failed.store(true);
+          return;
+        }
+        for (ssize_t i = 0; i < n; ++i) {
+          if (chunk[i] == '\n') ++got;
+        }
+      }
+    });
   }
-
-  Options opt_;
-  std::unique_ptr<ThreadPool> pool_;
-  std::unique_ptr<Service> svc_;
-  OrderedWriter writer_;
-  std::map<int, std::string> conns_;  ///< client fd -> partial line buffer
-  std::string stdin_buf_;
-  std::uint64_t seq_ = 0;
-  int listen_fd_ = -1;
-  bool stop_ = false;
-};
+  for (std::thread& t : threads) t.join();
+  const double secs = static_cast<double>(obs::now_ns() - t0) / 1e9;
+  for (const int fd : fds) ::close(fd);
+  if (failed.load()) {
+    std::fprintf(stderr, "load-gen: connection failed mid-run\n");
+    return 1;
+  }
+  std::fprintf(stderr,
+               "load-gen: %ld events, %d conn(s), %.3f s, %.0f events/s\n",
+               o.load_gen, o.conns, secs,
+               secs > 0.0 ? static_cast<double>(o.load_gen) / secs : 0.0);
+  return 0;
+}
 
 }  // namespace
 
@@ -452,8 +401,23 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--shards needs a positive integer\n");
         return usage(2);
       }
+    } else if (arg == "--acceptors") {
+      o.acceptors = std::atoi(value("--acceptors"));
+      if (o.acceptors < 1) {
+        std::fprintf(stderr, "--acceptors needs a positive integer\n");
+        return usage(2);
+      }
     } else if (arg == "--port") {
       o.port = std::atoi(value("--port"));
+    } else if (arg == "--queue-capacity") {
+      const long v = std::atol(value("--queue-capacity"));
+      if (v < 1) {
+        std::fprintf(stderr, "--queue-capacity needs a positive integer\n");
+        return usage(2);
+      }
+      o.queue_capacity = static_cast<std::size_t>(v);
+    } else if (arg == "--parse-on-ingest") {
+      o.parse_on_ingest = true;
     } else if (arg == "--replay") {
       o.replay = value("--replay");
     } else if (arg == "--verify-batch") {
@@ -464,6 +428,12 @@ int main(int argc, char** argv) {
       o.islands = std::atoi(value("--islands"));
     } else if (arg == "--seed") {
       o.seed = static_cast<std::uint64_t>(std::atoll(value("--seed")));
+    } else if (arg == "--load-gen") {
+      o.load_gen = std::atol(value("--load-gen"));
+    } else if (arg == "--connect") {
+      o.connect_port = std::atoi(value("--connect"));
+    } else if (arg == "--conns") {
+      o.conns = std::atoi(value("--conns"));
     } else if (arg == "--trace") {
       o.trace = value("--trace");
     } else if (arg == "--help" || arg == "-h") {
@@ -479,10 +449,20 @@ int main(int argc, char** argv) {
   try {
     if (o.gen_stream > 0) {
       rc = run_gen_stream(o);
+    } else if (o.load_gen > 0) {
+      rc = run_load_gen(o);
     } else if (!o.replay.empty()) {
       rc = run_replay(o);
     } else {
-      rc = Daemon(o).run();
+      DaemonOptions dopt;
+      dopt.policy = o.policy;
+      dopt.shards = o.shards;
+      dopt.acceptors = o.acceptors;
+      dopt.port = o.port;
+      dopt.use_stdin = true;
+      dopt.queue_capacity = o.queue_capacity;
+      dopt.parse_on_shard = !o.parse_on_ingest;
+      rc = Daemon(dopt).run();
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
