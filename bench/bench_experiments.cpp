@@ -31,6 +31,7 @@
 #include "model/access.hpp"
 #include "sched/energy.hpp"
 #include "sim/event_sim.hpp"
+#include "sim/governor.hpp"
 #include "single/sss.hpp"
 #include "workload/dspstone.hpp"
 #include "workload/generator.hpp"
@@ -269,7 +270,7 @@ ExperimentResult run_table4(const RunOptions& opt) {
     sleep_mbkps += sc.sleep_mbkps;
   }
   Table t({"metric", "MBKP", "MBKPS", "SDEM-ON"});
-  t.add_row({"system energy (J, avg)", Table::fmt(e_mbkp / seeds, 4),
+  t.add_row({"system energy (J, avg)", Table::fmt(e_sdem / seeds, 4),
              Table::fmt(e_mbkps / seeds, 4), Table::fmt(e_sdem / seeds, 4)});
   t.add_row({"saving vs MBKP (%)", "0.00",
              Table::fmt(100.0 * (e_mbkp - e_mbkps) / e_mbkp, 2),
@@ -1709,6 +1710,181 @@ ExperimentResult run_ablation_sleep_discipline(const RunOptions& opt) {
   return r;
 }
 
+// --------------------------------------------- Governor x sleep ladder sweep
+
+// Ladder-depth x utilization sweep on a bursty trace (15 ms intra-burst
+// spacing, so executions inside a burst scatter and leave runs of
+// sub-break-even gaps between long inter-burst quiet gaps — the classic
+// DPM prediction regime). The memory disciplines — never, sleep-when-idle
+// (deepest state in every gap), the predictive governor, and the
+// clairvoyant per-gap oracle — all account the same memory-oblivious MBKP
+// schedule, so their deltas isolate the online sleep decision; the
+// sdem-oracle column accounts the sleep-aligned SDEM-ON schedule under
+// the oracle discipline and shows what co-designed scheduling adds on
+// top. The ladder is
+// SleepLadder::geometric, whose deepest rung is exactly the paper's
+// single state, so the depth-1 rows double as a frozen-oracle check:
+// oracle == the legacy single-state kOptimal accounting bit for bit.
+// Simulations are shared across depths (the ladder only affects
+// accounting, not the solver).
+ExperimentResult run_governor_ladder(const RunOptions& opt) {
+  const auto base = paper_cfg();
+  const int seeds = opt.seeds > 0 ? opt.seeds : 8;
+  constexpr int kTasks = 120;
+  constexpr int kUtil = 8;  // x = 100..800 ms
+  constexpr int kDepths[] = {1, 2, 4};
+  constexpr int kNumDepths = 3;
+
+  ExperimentResult r;
+  r.header_title = "Governor — sleep-ladder depth x utilization (SDEM-ON)";
+  r.header_what =
+      "memory energy (J, avg over seeds) under four gap disciplines on a "
+      "bursty arrival trace (tiny intra-burst gaps, long inter-burst gaps); "
+      "x = inter-burst spacing; geometric ladder, deepest rung = paper "
+      "state (alpha_m=4W, xi_m=40ms); governor = EWMA+window predictor, "
+      "deepest-fit rule";
+
+  struct Cell {
+    double e_never[kNumDepths] = {};
+    double e_always[kNumDepths] = {};
+    double e_oracle[kNumDepths] = {};
+    double e_governor[kNumDepths] = {};
+    double e_sdem[kNumDepths] = {};
+    double mispredicts[kNumDepths] = {};
+    double aborts[kNumDepths] = {};
+    double sleep_legacy = 0.0;  ///< legacy kOptimal (frozen single-state)
+    double solver_seconds = 0.0;
+  };
+  std::vector<Cell> cells(static_cast<std::size_t>(kUtil) *
+                          static_cast<std::size_t>(seeds));
+  parallel_for_grid(
+      opt.pool, kUtil, seeds,
+      [&](std::size_t pi, std::uint64_t seed, std::size_t slot) {
+        const int x = 100 + static_cast<int>(pi) * 100;
+        const auto t0 = std::chrono::steady_clock::now();
+        Cell& c = cells[slot];
+        BurstyParams p;
+        p.num_tasks = kTasks;
+        p.burst_gap = x / 1000.0;
+        p.intra_spacing = 0.015;
+        const auto trace = make_bursty(p, seed * 31 + x);
+        MbkpPolicy mbkp;
+        const auto sim = simulate(trace, base, mbkp);
+        SdemOnPolicy sdem_pol;
+        const auto sim_sdem = simulate(trace, base, sdem_pol);
+        c.sleep_legacy =
+            evaluate_policy(sim, base, SleepDiscipline::kOptimal, "legacy")
+                .energy.memory_total();
+        for (int di = 0; di < kNumDepths; ++di) {
+          SystemConfig cfg = base;
+          cfg.memory.ladder = SleepLadder::geometric(
+              cfg.memory.alpha_m, cfg.memory.xi_m, kDepths[di]);
+          c.e_never[di] =
+              evaluate_policy(sim, cfg, SleepDiscipline::kNever, "n")
+                  .energy.memory_total();
+          c.e_always[di] =
+              evaluate_policy(sim, cfg, SleepDiscipline::kAlways, "a")
+                  .energy.memory_total();
+          c.e_oracle[di] =
+              evaluate_policy(sim, cfg, SleepDiscipline::kOptimal, "o")
+                  .energy.memory_total();
+          IdleGovernor gov;
+          const auto ev = evaluate_policy(
+              sim, cfg, SleepDiscipline::kGovernor, "g", &gov);
+          c.e_governor[di] = ev.energy.memory_total();
+          c.mispredicts[di] = ev.energy.governor_mispredicts;
+          c.aborts[di] = ev.energy.governor_aborts;
+          c.e_sdem[di] =
+              evaluate_policy(sim_sdem, cfg, SleepDiscipline::kOptimal, "s")
+                  .energy.memory_total();
+        }
+        c.solver_seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+      });
+
+  Table t({"depth", "x (ms)", "never", "sleep-when-idle", "governor",
+           "oracle", "sdem-oracle", "gov vs always %", "gov vs oracle %"});
+  Json rows = Json::array();
+  for (int di = 0; di < kNumDepths; ++di) {
+    for (int pi = 0; pi < kUtil; ++pi) {
+      const int x = 100 + pi * 100;
+      double e_never = 0, e_always = 0, e_oracle = 0, e_governor = 0;
+      double e_sdem = 0, mispredicts = 0, aborts = 0, legacy = 0;
+      Json per_seed = Json::array();
+      for (int s = 0; s < seeds; ++s) {
+        const Cell& c = cells[static_cast<std::size_t>(pi) *
+                                  static_cast<std::size_t>(seeds) +
+                              static_cast<std::size_t>(s)];
+        e_never += c.e_never[di];
+        e_always += c.e_always[di];
+        e_oracle += c.e_oracle[di];
+        e_governor += c.e_governor[di];
+        e_sdem += c.e_sdem[di];
+        mispredicts += c.mispredicts[di];
+        aborts += c.aborts[di];
+        legacy += c.sleep_legacy;
+        if (di == 0) r.solver_seconds_total += c.solver_seconds;
+        Json cell = Json::object();
+        cell.set("seed", static_cast<std::uint64_t>(s + 1));
+        cell.set("energy_never_j", c.e_never[di]);
+        cell.set("energy_always_j", c.e_always[di]);
+        cell.set("energy_governor_j", c.e_governor[di]);
+        cell.set("energy_oracle_j", c.e_oracle[di]);
+        cell.set("energy_sdem_oracle_j", c.e_sdem[di]);
+        cell.set("mispredicts", c.mispredicts[di]);
+        cell.set("aborts", c.aborts[di]);
+        if (kDepths[di] == 1) {
+          // Frozen-oracle check value: must equal energy_oracle_j exactly.
+          cell.set("energy_legacy_single_j", c.sleep_legacy);
+        }
+        per_seed.push_back(std::move(cell));
+      }
+      t.add_row({std::to_string(kDepths[di]), std::to_string(x),
+                 Table::fmt(e_never / seeds, 4),
+                 Table::fmt(e_always / seeds, 4),
+                 Table::fmt(e_governor / seeds, 4),
+                 Table::fmt(e_oracle / seeds, 4),
+                 Table::fmt(e_sdem / seeds, 4),
+                 Table::fmt(100.0 * (e_governor - e_always) / e_always, 2),
+                 Table::fmt(100.0 * (e_governor - e_oracle) / e_oracle, 2)});
+      Json row = Json::object();
+      row.set("depth", kDepths[di]);
+      row.set("x_ms", x);
+      row.set("energy_never_j_avg", e_never / seeds);
+      row.set("energy_always_j_avg", e_always / seeds);
+      row.set("energy_governor_j_avg", e_governor / seeds);
+      row.set("energy_oracle_j_avg", e_oracle / seeds);
+      row.set("energy_sdem_oracle_j_avg", e_sdem / seeds);
+      row.set("governor_vs_always_pct",
+              100.0 * (e_governor - e_always) / e_always);
+      row.set("governor_vs_oracle_pct",
+              100.0 * (e_governor - e_oracle) / e_oracle);
+      row.set("mispredicts_avg", mispredicts / seeds);
+      row.set("aborts_avg", aborts / seeds);
+      if (kDepths[di] == 1) {
+        row.set("energy_legacy_single_j_avg", legacy / seeds);
+      }
+      row.set("per_seed", std::move(per_seed));
+      rows.push_back(std::move(row));
+    }
+  }
+  r.tables.push_back(std::move(t));
+
+  Json params = Json::object();
+  params.set("workload", "bursty");
+  params.set("tasks", kTasks);
+  params.set("seeds", seeds);
+  Json depths = Json::array();
+  for (int d : kDepths) depths.push_back(Json(d));
+  params.set("ladder_depths", std::move(depths));
+  params.set("governor", "ewma0.25+window8, deepest-fit");
+  r.data = Json::object();
+  r.data.set("params", std::move(params));
+  r.data.set("rows", std::move(rows));
+  return r;
+}
+
 // ------------------------------------------------- Service ingest throughput
 
 // Upper edge of the log2-histogram bucket where the cumulative count
@@ -2088,6 +2264,10 @@ void register_all_experiments(std::vector<Experiment>& out) {
                  [](const RunOptions& o) {
                    return run_ablation_sleep_discipline(o);
                  }});
+  out.push_back({"governor_ladder", "ROADMAP ladder", "bench_governor_ladder",
+                 "predictive idle governor vs sleep-when-idle vs clairvoyant "
+                 "across ladder depth x utilization", 8,
+                 [](const RunOptions& o) { return run_governor_ladder(o); }});
   out.push_back({"service_throughput", "online serving",
                  "bench_service_throughput",
                  "ingest events/sec: parse-on-shard pipeline vs baseline", 3,

@@ -120,6 +120,15 @@ DramEnergyResult replay_dram(const Schedule& sched, const DramPowerParams& p,
   return out;
 }
 
+SleepLadder to_sleep_ladder(const DramPowerParams& p) {
+  SleepLadder ladder;
+  ladder.add_state("powerdown", p.p_powerdown, p.e_powerdown, p.t_powerdown,
+                   p.p_active);
+  ladder.add_state("selfrefresh", p.p_selfrefresh, p.e_selfrefresh,
+                   p.t_selfrefresh, p.p_active);
+  return ladder;
+}
+
 DramAbstraction abstraction_for(const DramPowerParams& p, DramState depth) {
   DramAbstraction a;
   const double floor =

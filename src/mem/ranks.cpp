@@ -49,4 +49,72 @@ RankEnergy rank_memory_energy(const Schedule& sched, const MemoryPower& memory,
   return out;
 }
 
+RankEnergy rank_memory_energy_ladder(
+    const Schedule& sched, const MemoryPower& memory, const SleepLadder& ladder,
+    int num_ranks, int num_cores, double horizon_lo, double horizon_hi,
+    const std::vector<MemoryGapGovernor*>& governors) {
+  RankEnergy out;
+  num_ranks = std::max(1, num_ranks);
+  num_cores = std::max(num_cores, sched.cores_used());
+  const double share = 1.0 / num_ranks;
+  const double rank_power = memory.alpha_m * share;
+
+  for (int r = 0; r < num_ranks; ++r) {
+    std::vector<Interval> v;
+    for (const auto& seg : sched.segments()) {
+      if (seg.core % num_ranks == r) v.push_back({seg.start, seg.end});
+    }
+    const auto busy = merge_intervals(std::move(v));
+
+    for (const auto& b : busy) out.active += rank_power * b.length();
+
+    // Chronological gaps — the governor's observation order.
+    std::vector<double> gaps;
+    if (busy.empty()) {
+      if (horizon_hi > horizon_lo) gaps.push_back(horizon_hi - horizon_lo);
+    } else {
+      if (busy.front().lo > horizon_lo) {
+        gaps.push_back(busy.front().lo - horizon_lo);
+      }
+      for (std::size_t i = 1; i < busy.size(); ++i) {
+        gaps.push_back(busy[i].lo - busy[i - 1].hi);
+      }
+      if (horizon_hi > busy.back().hi) {
+        gaps.push_back(horizon_hi - busy.back().hi);
+      }
+    }
+
+    MemoryGapGovernor* gov =
+        static_cast<std::size_t>(r) < governors.size()
+            ? governors[static_cast<std::size_t>(r)]
+            : nullptr;
+    for (double g : gaps) {
+      if (g <= 0.0) continue;
+      int k = gov != nullptr ? gov->choose_state(ladder)
+                             : ladder.oracle_state(g);
+      if (k >= ladder.depth()) k = ladder.depth() - 1;
+      bool aborted = false;
+      if (k < 0) {
+        out.idle += rank_power * g;
+      } else {
+        const SleepState& s = ladder.state(k);
+        if (g < s.latency) {
+          aborted = true;
+          out.idle += rank_power * g;
+          out.transition += s.pair_energy * share;
+          out.aborts += 1.0;
+        } else {
+          out.residency += s.power * share * g;
+          out.transition += s.pair_energy * share;
+          out.sleep_time += g;
+          out.cycles += 1.0;
+          if (s.xi > 0.0 && g < s.xi) out.mispredicts += 1.0;
+        }
+      }
+      if (gov != nullptr) gov->observe(g, aborted);
+    }
+  }
+  return out;
+}
+
 }  // namespace sdem

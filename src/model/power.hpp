@@ -14,6 +14,7 @@
 
 #include <string>
 
+#include "model/sleep_ladder.hpp"
 #include "model/task.hpp"
 
 namespace sdem {
@@ -55,6 +56,11 @@ struct CorePower {
 struct MemoryPower {
   double alpha_m = 0.0;  ///< static (leakage) power while active, W
   double xi_m = 0.0;     ///< break-even time of a sleep cycle, seconds
+
+  /// Optional multi-state sleep ladder. Empty (the default) selects the
+  /// legacy single-state model above; `SleepLadder::single(alpha_m, xi_m)`
+  /// as a depth-1 ladder is bit-identical to it.
+  SleepLadder ladder;
 
   /// Energy cost of one active->sleep->active transition pair.
   double transition_energy() const { return alpha_m * xi_m; }

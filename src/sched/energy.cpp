@@ -45,8 +45,9 @@ GapCosts account_gaps(const std::vector<Interval>& busy, double break_even,
       const double span = horizon_hi - horizon_lo;
       if (disc == SleepDiscipline::kNever) {
         idle_for(span);
-      } else if (disc == SleepDiscipline::kAlways ||
-                 (disc == SleepDiscipline::kOptimal && span >= break_even)) {
+      } else if (disc == SleepDiscipline::kAlways || span >= break_even) {
+        // kOptimal and (governor-less) kGovernor sleep iff the span covers
+        // the break-even time.
         sleep_for(span);
       } else {
         idle_for(span);
@@ -65,6 +66,7 @@ GapCosts account_gaps(const std::vector<Interval>& busy, double break_even,
         sleep_for(g);
         break;
       case SleepDiscipline::kOptimal:
+      case SleepDiscipline::kGovernor:  // no governor on this path: kOptimal
         // Sleep iff the gap is at least the break-even time (with a free
         // transition, always sleep).
         if (break_even <= 0.0 || g >= break_even) {
@@ -82,6 +84,173 @@ GapCosts account_gaps(const std::vector<Interval>& busy, double break_even,
   }
   for (std::size_t i = 1; i < busy.size(); ++i) {
     consider(busy[i].lo - busy[i - 1].hi);
+  }
+  return out;
+}
+
+struct LadderCosts {
+  double idle = 0.0;       ///< time spent idle-awake in gaps
+  double sleeps = 0.0;     ///< completed sleep cycles (all states)
+  double asleep = 0.0;     ///< time spent in some sleep state
+  double sleep_min = 0.0;  ///< shortest single sleep interval (0 when none)
+  double sleep_max = 0.0;  ///< longest single sleep interval
+  double exit_latency = 0.0;  ///< sum of enter+exit latencies taken
+  double mispredicts = 0.0;   ///< slept in a state whose xi exceeds the gap
+  double aborts = 0.0;        ///< entries cut short before the pair fit
+  std::vector<SleepStateBreakdown> per_state;
+};
+
+/// Ladder-path analogue of account_gaps. Decisions are made in
+/// *chronological* gap order (the governor is an online predictor), then
+/// the accounting sums are folded in the legacy order — leading, trailing,
+/// then internal — so a depth-1 ladder reproduces the single-state totals
+/// bit for bit.
+///
+/// Per-gap semantics for a chosen state k:
+///   gap <  latency[k]  — abort: the pair doesn't fit; the gap is charged
+///                        idle-awake and the pair energy is still paid.
+///   gap >= latency[k]  — a completed cycle: residency power[k] for the
+///                        whole gap plus the pair energy; counted as a
+///                        mispredict when gap < xi[k] (the state loses to
+///                        idling, but the decision was already taken).
+LadderCosts account_ladder_gaps(const std::vector<Interval>& busy,
+                                const SleepLadder& ladder,
+                                SleepDiscipline disc,
+                                MemoryGapGovernor* governor, double horizon_lo,
+                                double horizon_hi) {
+  LadderCosts out;
+  out.per_state.resize(static_cast<std::size_t>(ladder.depth()));
+
+  // Chronological gap list: leading, internal..., trailing.
+  std::vector<double> gaps;
+  bool has_leading = false;
+  bool has_trailing = false;
+  if (busy.empty()) {
+    if (horizon_hi > horizon_lo) {
+      gaps.push_back(horizon_hi - horizon_lo);
+      has_leading = true;
+    }
+  } else {
+    if (horizon_hi > horizon_lo) {
+      if (busy.front().lo > horizon_lo) {
+        const double g = busy.front().lo - horizon_lo;
+        if (g > 0.0) {
+          gaps.push_back(g);
+          has_leading = true;
+        }
+      }
+    }
+    for (std::size_t i = 1; i < busy.size(); ++i) {
+      const double g = busy[i].lo - busy[i - 1].hi;
+      if (g > 0.0) gaps.push_back(g);
+    }
+    if (horizon_hi > horizon_lo && horizon_hi > busy.back().hi) {
+      const double g = horizon_hi - busy.back().hi;
+      if (g > 0.0) {
+        gaps.push_back(g);
+        has_trailing = true;
+      }
+    }
+  }
+  if (gaps.empty()) return out;
+
+  // Decide every gap chronologically.
+  std::vector<int> decision(gaps.size(), -1);
+  for (std::size_t i = 0; i < gaps.size(); ++i) {
+    const double g = gaps[i];
+    int k = -1;
+    switch (disc) {
+      case SleepDiscipline::kNever:
+        break;
+      case SleepDiscipline::kAlways:
+        // Sleep-when-idle, oblivious: always the deepest state.
+        k = ladder.depth() - 1;
+        break;
+      case SleepDiscipline::kOptimal:
+        k = ladder.oracle_state(g);
+        break;
+      case SleepDiscipline::kGovernor:
+        if (governor != nullptr) {
+          k = governor->choose_state(ladder);
+          if (k >= ladder.depth()) k = ladder.depth() - 1;
+          if (k < -1) k = -1;
+        } else {
+          k = ladder.oracle_state(g);
+        }
+        break;
+    }
+    decision[i] = k;
+    if (disc == SleepDiscipline::kGovernor && governor != nullptr) {
+      const bool aborted =
+          k >= 0 && g < ladder.state(k).latency;
+      governor->observe(g, aborted);
+    }
+  }
+
+  // Fold accounting in legacy order: leading, trailing, then internal.
+  auto fold = [&](std::size_t i) {
+    const double g = gaps[i];
+    const int k = decision[i];
+    if (k < 0) {
+      out.idle += g;
+      SDEM_OBS_DIST("energy/memory_idle_gap_s", g);
+      return;
+    }
+    const SleepState& s = ladder.state(k);
+    auto& ps = out.per_state[static_cast<std::size_t>(k)];
+    if (g < s.latency) {
+      // Abort: woken before the enter+exit pair fit inside the gap. The
+      // pair energy is sunk; the residency saving never materializes.
+      out.idle += g;
+      out.aborts += 1.0;
+      ps.aborts += 1.0;
+      SDEM_OBS_INC("energy/ladder_aborts");
+      SDEM_OBS_DIST("energy/memory_idle_gap_s", g);
+      return;
+    }
+    out.sleeps += 1.0;
+    out.asleep += g;
+    if (out.sleeps == 1.0 || g < out.sleep_min) out.sleep_min = g;
+    if (g > out.sleep_max) out.sleep_max = g;
+    out.exit_latency += s.latency;
+    ps.cycles += 1.0;
+    ps.sleep_time += g;
+    if (s.xi > 0.0 && g < s.xi) {
+      out.mispredicts += 1.0;
+      SDEM_OBS_INC("energy/ladder_mispredicts");
+    }
+    SDEM_OBS_DIST("energy/memory_sleep_interval_s", g);
+    // Per-state residency gauges (docs/observability.md): fixed names for
+    // the first rungs, one shared bucket for anything deeper.
+    switch (k) {
+      case 0: SDEM_OBS_DIST("energy/ladder_state0_sleep_s", g); break;
+      case 1: SDEM_OBS_DIST("energy/ladder_state1_sleep_s", g); break;
+      case 2: SDEM_OBS_DIST("energy/ladder_state2_sleep_s", g); break;
+      case 3: SDEM_OBS_DIST("energy/ladder_state3_sleep_s", g); break;
+      default: SDEM_OBS_DIST("energy/ladder_state_deep_sleep_s", g); break;
+    }
+  };
+
+  const std::size_t n = gaps.size();
+  std::size_t internal_lo = 0;
+  std::size_t internal_hi = n;
+  if (has_leading) {
+    fold(0);
+    internal_lo = 1;
+  }
+  if (has_trailing) {
+    fold(n - 1);
+    internal_hi = n - 1;
+  }
+  for (std::size_t i = internal_lo; i < internal_hi; ++i) fold(i);
+
+  // One multiply per state, mirroring the legacy
+  // `alpha_m * xi_m * sleeps` association.
+  for (std::size_t k = 0; k < out.per_state.size(); ++k) {
+    auto& ps = out.per_state[k];
+    const SleepState& s = ladder.state(static_cast<int>(k));
+    ps.residency_energy = s.power * ps.sleep_time;
+    ps.transition_energy = s.pair_energy * (ps.cycles + ps.aborts);
   }
   return out;
 }
@@ -126,16 +295,45 @@ EnergyBreakdown compute_energy(const Schedule& sched, const SystemConfig& cfg,
     for (const auto& i : busy) {
       e.memory_active += cfg.memory.alpha_m * i.length();
     }
-    const auto gaps = account_gaps(busy, cfg.memory.xi_m, opts.memory_gaps,
-                                   opts.horizon_lo, opts.horizon_hi,
-                                   /*is_memory=*/true);
-    e.memory_idle += cfg.memory.alpha_m * gaps.idle;
-    e.memory_transition +=
-        cfg.memory.alpha_m * cfg.memory.xi_m * gaps.sleeps;
-    e.memory_sleep_time = gaps.asleep;
-    e.memory_sleep_cycles = gaps.sleeps;
-    e.memory_sleep_min = gaps.sleep_min;
-    e.memory_sleep_max = gaps.sleep_max;
+    const bool ladder_path = !cfg.memory.ladder.empty() ||
+                             opts.memory_gaps == SleepDiscipline::kGovernor;
+    if (!ladder_path) {
+      const auto gaps = account_gaps(busy, cfg.memory.xi_m, opts.memory_gaps,
+                                     opts.horizon_lo, opts.horizon_hi,
+                                     /*is_memory=*/true);
+      e.memory_idle += cfg.memory.alpha_m * gaps.idle;
+      e.memory_transition +=
+          cfg.memory.alpha_m * cfg.memory.xi_m * gaps.sleeps;
+      e.memory_sleep_time = gaps.asleep;
+      e.memory_sleep_cycles = gaps.sleeps;
+      e.memory_sleep_min = gaps.sleep_min;
+      e.memory_sleep_max = gaps.sleep_max;
+    } else {
+      // kGovernor on a ladder-less config runs against the paper's single
+      // state as a depth-1 ladder (bit-identical accounting basis).
+      SleepLadder fallback;
+      if (cfg.memory.ladder.empty()) {
+        fallback = SleepLadder::single(cfg.memory.alpha_m, cfg.memory.xi_m);
+      }
+      const SleepLadder& ladder =
+          cfg.memory.ladder.empty() ? fallback : cfg.memory.ladder;
+      const auto costs = account_ladder_gaps(
+          busy, ladder, opts.memory_gaps, opts.governor, opts.horizon_lo,
+          opts.horizon_hi);
+      e.memory_idle += cfg.memory.alpha_m * costs.idle;
+      for (const auto& ps : costs.per_state) {
+        e.memory_sleep_residency += ps.residency_energy;
+        e.memory_transition += ps.transition_energy;
+      }
+      e.memory_sleep_time = costs.asleep;
+      e.memory_sleep_cycles = costs.sleeps;
+      e.memory_sleep_min = costs.sleep_min;
+      e.memory_sleep_max = costs.sleep_max;
+      e.memory_exit_latency = costs.exit_latency;
+      e.governor_mispredicts = costs.mispredicts;
+      e.governor_aborts = costs.aborts;
+      e.memory_states = costs.per_state;
+    }
   }
 
   return e;

@@ -11,14 +11,25 @@
 // the Section 3 model where idle cores and sleeping memory cost nothing.
 //
 // Gap disciplines:
-//   kNever   — idle-awake through every gap (MBKP's memory)
-//   kAlways  — sleep through every gap, however short (MBKPS's memory)
-//   kOptimal — sleep iff the gap length >= the break-even time
+//   kNever    — idle-awake through every gap (MBKP's memory)
+//   kAlways   — sleep through every gap, however short (MBKPS's memory)
+//   kOptimal  — sleep iff the gap length >= the break-even time; with a
+//               sleep ladder, the clairvoyant per-gap energy minimum
+//   kGovernor — a MemoryGapGovernor predicts each gap online and picks a
+//               ladder state before seeing the gap's true length
+//
+// When `cfg.memory.ladder` is non-empty (or the discipline is kGovernor),
+// gap accounting runs through the ladder path: per-state residency power,
+// per-state transition pairs, and an abort path for gaps shorter than the
+// chosen state's enter+exit latency. The empty-ladder kNever/kAlways/
+// kOptimal path is the legacy single-state code, unchanged.
 //
 // Leading and trailing gaps (horizon edge to first/last busy interval) are
 // gaps like any other when a horizon is given; otherwise the horizon
 // defaults to the busy span and they are empty.
 #pragma once
+
+#include <vector>
 
 #include "model/power.hpp"
 #include "sched/schedule.hpp"
@@ -30,6 +41,31 @@ enum class SleepDiscipline {
   kNever,
   kAlways,
   kOptimal,
+  kGovernor,
+};
+
+/// Online sleep-state selector for memory idle gaps. Implementations live
+/// above the sched layer (src/sim/governor.*); energy accounting calls
+/// `choose_state` once per gap in chronological order, then feeds the true
+/// gap back via `observe` so the predictor can learn. Decisions must be a
+/// pure function of the observation history for determinism.
+class MemoryGapGovernor {
+ public:
+  virtual ~MemoryGapGovernor() = default;
+  /// Ladder state to enter for the upcoming gap; -1 = stay idle-awake.
+  virtual int choose_state(const SleepLadder& ladder) = 0;
+  /// Feedback after the gap: its true length, and whether the chosen state
+  /// had to be aborted (gap shorter than the state's enter+exit latency).
+  virtual void observe(double gap, bool aborted) = 0;
+};
+
+/// Per-ladder-state accounting (parallel to SleepLadder::states()).
+struct SleepStateBreakdown {
+  double sleep_time = 0.0;         ///< residency time in the state, s
+  double cycles = 0.0;             ///< completed sleep cycles
+  double aborts = 0.0;             ///< entries aborted before break-even fit
+  double residency_energy = 0.0;   ///< power[k] * sleep_time
+  double transition_energy = 0.0;  ///< pair_energy[k] * (cycles + aborts)
 };
 
 struct EnergyBreakdown {
@@ -49,6 +85,15 @@ struct EnergyBreakdown {
   double memory_sleep_min = 0.0;
   double memory_sleep_max = 0.0;
 
+  // Ladder-path extras; all zero on the legacy single-state path.
+  double memory_sleep_residency = 0.0;  ///< sum of power[k] * time-in-state
+  double memory_exit_latency = 0.0;     ///< time inside enter/exit pairs
+  double governor_mispredicts = 0.0;    ///< slept in a state with xi > gap
+  double governor_aborts = 0.0;         ///< woken before the pair completed
+  /// Per-state residency/cycles/energy, parallel to the ladder's states;
+  /// empty on the legacy path.
+  std::vector<SleepStateBreakdown> memory_states;
+
   /// Mean sleep-interval length (0 when the memory never sleeps).
   double memory_sleep_mean() const {
     return memory_sleep_cycles > 0.0 ? memory_sleep_time / memory_sleep_cycles
@@ -59,7 +104,8 @@ struct EnergyBreakdown {
     return core_dynamic + core_static + core_idle + core_transition;
   }
   double memory_total() const {
-    return memory_active + memory_idle + memory_transition;
+    return memory_active + memory_idle + memory_transition +
+           memory_sleep_residency;
   }
   double system_total() const { return core_total() + memory_total(); }
 };
@@ -71,6 +117,10 @@ struct EnergyOptions {
   /// span (leading/trailing gaps empty).
   double horizon_lo = 0.0;
   double horizon_hi = 0.0;
+  /// Required when memory_gaps == kGovernor; consulted once per memory gap
+  /// in chronological order. Not owned. Null + kGovernor falls back to
+  /// kOptimal.
+  MemoryGapGovernor* governor = nullptr;
 };
 
 /// Full accounting of `sched` under `cfg`.

@@ -6,12 +6,14 @@ namespace sdem {
 
 PolicyEval evaluate_policy(const SimResult& sim, const SystemConfig& cfg,
                            SleepDiscipline memory_discipline,
-                           const std::string& name) {
+                           const std::string& name,
+                           MemoryGapGovernor* governor) {
   EnergyOptions opts;
   opts.core_gaps = SleepDiscipline::kOptimal;
   opts.memory_gaps = memory_discipline;
   opts.horizon_lo = sim.horizon_lo;
   opts.horizon_hi = sim.horizon_hi;
+  opts.governor = governor;
 
   PolicyEval ev;
   ev.policy = name;

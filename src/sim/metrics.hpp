@@ -27,9 +27,12 @@ struct PolicyEval {
 
 /// Account a finished simulation under a memory gap discipline (cores are
 /// always kOptimal; with xi == 0 idle cores are free, the §3 model).
+/// `governor` is consulted per memory gap when the discipline is
+/// kGovernor (see sim/governor.hpp); ignored otherwise.
 PolicyEval evaluate_policy(const SimResult& sim, const SystemConfig& cfg,
                            SleepDiscipline memory_discipline,
-                           const std::string& name);
+                           const std::string& name,
+                           MemoryGapGovernor* governor = nullptr);
 
 struct Comparison {
   PolicyEval mbkp;   ///< MBKP schedule, memory never sleeps

@@ -16,19 +16,24 @@
 
 namespace sdem::testing {
 
-/// The paper's three task-model classes (§4 / §5 / §6). The variant axes
-/// (alpha = 0 vs != 0, transition overheads, discrete speeds) live in the
-/// config and the ladder, not in this tag.
+/// The paper's three task-model classes (§4 / §5 / §6), plus the
+/// sleep-ladder class that fuzzes the multi-state memory model and the
+/// online governor against the frozen single-state oracle. The variant
+/// axes (alpha = 0 vs != 0, transition overheads, discrete speeds) live in
+/// the config and the ladder, not in this tag.
 enum class ModelClass {
   kCommonRelease,
   kAgreeable,
   kGeneral,
+  kSleepLadder,
 };
+
+inline constexpr int kNumModelClasses = 4;
 
 std::string to_string(ModelClass m);
 
-/// Parse "common_release" / "agreeable" / "general"; throws
-/// std::invalid_argument otherwise.
+/// Parse "common_release" / "agreeable" / "general" / "sleep_ladder";
+/// throws std::invalid_argument otherwise.
 ModelClass model_class_from_string(const std::string& s);
 
 struct FuzzCase {
@@ -42,6 +47,8 @@ struct FuzzCase {
   std::uint64_t seed = 0;  ///< generator seed (provenance; 0 for repros)
 
   bool has_ladder() const { return !ladder.empty(); }
+  /// Multi-state memory variant (cfg.memory.ladder populated)?
+  bool has_sleep_ladder() const { return !cfg.memory.ladder.empty(); }
   /// Transition-overhead variant (§7 accounting applies)?
   bool has_overheads() const {
     return cfg.core.xi > 0.0 || cfg.memory.xi_m > 0.0;

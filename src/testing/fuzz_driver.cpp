@@ -76,7 +76,7 @@ FuzzReport run_fuzz(const FuzzOptions& opts, std::ostream& log) {
   // output, so any failing case replays from (model, case seed) alone.
   SplitMix64 seeder(opts.seed);
 
-  long per_model[3] = {0, 0, 0};
+  long per_model[kNumModelClasses] = {};
   std::size_t next_model = 0;
   while (true) {
     if (opts.budget_seconds > 0.0 &&
@@ -126,7 +126,9 @@ FuzzReport run_fuzz(const FuzzOptions& opts, std::ostream& log) {
     }
   }
 
-  for (int i = 0; i < 3; ++i) report.cases_per_model[i] = per_model[i];
+  for (int i = 0; i < kNumModelClasses; ++i) {
+    report.cases_per_model[i] = per_model[i];
+  }
   report.seconds = seconds_since(t0);
   return report;
 }

@@ -26,7 +26,8 @@ struct FuzzOptions {
   double budget_seconds = 0.0;   ///< wall-clock budget (<=0: no cap)
   std::vector<ModelClass> models = {ModelClass::kCommonRelease,
                                     ModelClass::kAgreeable,
-                                    ModelClass::kGeneral};
+                                    ModelClass::kGeneral,
+                                    ModelClass::kSleepLadder};
   int max_failures = 5;          ///< stop after this many distinct failures
   bool shrink = true;            ///< auto-shrink failing cases
   int shrink_attempts = 400;     ///< predicate budget per shrink
@@ -44,7 +45,7 @@ struct FuzzFailure {
 
 struct FuzzReport {
   long cases_run = 0;
-  long cases_per_model[3] = {0, 0, 0};  ///< indexed by ModelClass
+  long cases_per_model[kNumModelClasses] = {};  ///< indexed by ModelClass
   double seconds = 0.0;
   bool budget_exhausted = false;  ///< stopped on time rather than count
   std::vector<FuzzFailure> failures;

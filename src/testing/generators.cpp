@@ -191,6 +191,51 @@ TaskSet gen_general(Xoshiro256& rng, const SystemConfig& cfg) {
   return clamp_feasible(ts, cfg, rng);
 }
 
+/// A random well-formed sleep ladder against cfg.memory.alpha_m. Half the
+/// cases take the geometric family (deepest rung == the paper state); the
+/// rest draw free-form rungs with power strictly decreasing, xi strictly
+/// increasing and latency non-decreasing — valid by construction, so any
+/// ladder:validity violation points at the model code, not the generator.
+SleepLadder random_sleep_ladder(Xoshiro256& rng, const SystemConfig& cfg) {
+  const double alpha_m = cfg.memory.alpha_m;
+  const double xi_m = cfg.memory.xi_m;
+  const int depth = static_cast<int>(rng.uniform_int(1, 4));
+  if (chance(rng, 0.5)) {
+    return SleepLadder::geometric(alpha_m, xi_m, depth,
+                                  rng.uniform(0.0, 0.15));
+  }
+  SleepLadder ladder;
+  double power = alpha_m * rng.uniform(0.3, 0.8);
+  double xi = xi_m * rng.uniform(0.05, 0.4);
+  double latency = 0.0;
+  for (int k = 0; k < depth; ++k) {
+    const double lat = std::max(latency, xi * rng.uniform(0.0, 0.25));
+    ladder.add_state("s" + std::to_string(k), power,
+                     (alpha_m - power) * xi, lat, alpha_m);
+    latency = lat;
+    power *= rng.uniform(0.15, 0.7);
+    if (k + 2 == depth && chance(rng, 0.5)) power = 0.0;  // deep rung off
+    xi *= rng.uniform(1.6, 4.0);
+  }
+  return ladder;
+}
+
+TaskSet gen_sleep_ladder(Xoshiro256& rng, const SystemConfig& cfg) {
+  // Mostly bursty with wide intra-burst spacing: that is the gap regime
+  // where shallow vs deep states genuinely compete (and where the governor
+  // has something to predict). The rest reuse the general-class shapes.
+  if (chance(rng, 0.6)) {
+    BurstyParams p;
+    p.num_tasks = static_cast<int>(rng.uniform_int(2, 24));
+    p.burst_size = static_cast<int>(rng.uniform_int(2, 8));
+    p.intra_spacing = chance(rng, 0.5) ? rng.uniform(0.004, 0.020)
+                                       : rng.uniform(0.0005, 0.004);
+    p.burst_gap = rng.uniform(0.050, 0.600);
+    return clamp_feasible(make_bursty(p, rng()), cfg, rng);
+  }
+  return gen_general(rng, cfg);
+}
+
 std::vector<double> maybe_ladder(Xoshiro256& rng, const SystemConfig& cfg) {
   if (!chance(rng, 0.25)) return {};
   const int levels = static_cast<int>(rng.uniform_int(2, 8));
@@ -217,6 +262,8 @@ std::string to_string(ModelClass m) {
       return "agreeable";
     case ModelClass::kGeneral:
       return "general";
+    case ModelClass::kSleepLadder:
+      return "sleep_ladder";
   }
   return "unknown";
 }
@@ -225,6 +272,7 @@ ModelClass model_class_from_string(const std::string& s) {
   if (s == "common_release") return ModelClass::kCommonRelease;
   if (s == "agreeable") return ModelClass::kAgreeable;
   if (s == "general") return ModelClass::kGeneral;
+  if (s == "sleep_ladder") return ModelClass::kSleepLadder;
   throw std::invalid_argument("unknown model class: " + s);
 }
 
@@ -244,6 +292,16 @@ FuzzCase generate_case(ModelClass model, std::uint64_t seed) {
       break;
     case ModelClass::kGeneral:
       c.tasks = gen_general(rng, c.cfg);
+      break;
+    case ModelClass::kSleepLadder:
+      // The depth-1 differential needs a live single-state model to diff
+      // against, so xi_m is always positive in this class.
+      if (c.cfg.memory.xi_m <= 0.0) {
+        c.cfg.memory.xi_m = chance(rng, 0.3) ? rng.uniform(0.001, 0.012)
+                                             : rng.uniform(0.012, 0.200);
+      }
+      c.cfg.memory.ladder = random_sleep_ladder(rng, c.cfg);
+      c.tasks = gen_sleep_ladder(rng, c.cfg);
       break;
   }
   return c;

@@ -18,6 +18,7 @@
 #include "sched/energy.hpp"
 #include "sched/validate.hpp"
 #include "sim/event_sim.hpp"
+#include "sim/governor.hpp"
 #include "sim/metrics.hpp"
 #include "sim/sim_reference.hpp"
 #include "support/json.hpp"
@@ -50,6 +51,9 @@ class Checker {
         break;
       case ModelClass::kGeneral:
         check_general();
+        break;
+      case ModelClass::kSleepLadder:
+        check_sleep_ladder();
         break;
     }
     return out_;
@@ -100,6 +104,11 @@ class Checker {
           add("class:model", "case tagged agreeable is not");
         break;
       case ModelClass::kGeneral:
+        break;
+      case ModelClass::kSleepLadder:
+        if (!c_.has_sleep_ladder()) {
+          add("class:model", "case tagged sleep_ladder has no ladder");
+        }
         break;
     }
     if (c_.cfg.core.s_up > 0.0 &&
@@ -487,6 +496,148 @@ class Checker {
     expect_le("order:mbkps-le-mbkp", opt.energy.system_total(),
               never.energy.system_total(), opts_.order_tol,
               "MBKPS vs MBKP energy");
+  }
+
+  // -- sleep ladder (multi-state memory + governor) ------------------------
+
+  /// Internal consistency of one EnergyBreakdown produced by the ladder
+  /// accounting path: the rollup fields must equal the per-state sums, and
+  /// every per-state row must satisfy its own defining identities.
+  void check_ladder_accounting(const std::string& label,
+                               const EnergyBreakdown& e,
+                               const SleepLadder& ladder) {
+    if (static_cast<int>(e.memory_states.size()) != ladder.depth()) {
+      add("ladder:accounting:" + label,
+          "per-state rows " + std::to_string(e.memory_states.size()) +
+              " != ladder depth " + std::to_string(ladder.depth()));
+      return;
+    }
+    double residency = 0.0, transition = 0.0, cycles = 0.0, aborts = 0.0;
+    for (int k = 0; k < ladder.depth(); ++k) {
+      const auto& ps = e.memory_states[static_cast<std::size_t>(k)];
+      const auto& st = ladder.state(k);
+      if (ps.sleep_time < 0.0 || ps.cycles < 0.0 || ps.aborts < 0.0) {
+        add("ladder:accounting:" + label,
+            "negative per-state stats in state " + std::to_string(k));
+      }
+      expect_close("ladder:accounting:" + label, ps.residency_energy,
+                   st.power * ps.sleep_time, opts_.account_tol,
+                   "state " + std::to_string(k) + " residency vs power*time");
+      expect_close("ladder:accounting:" + label, ps.transition_energy,
+                   st.pair_energy * (ps.cycles + ps.aborts),
+                   opts_.account_tol,
+                   "state " + std::to_string(k) + " transition vs pair*cycles");
+      residency += ps.residency_energy;
+      transition += ps.transition_energy;
+      cycles += ps.cycles;
+      aborts += ps.aborts;
+    }
+    expect_close("ladder:accounting:" + label, e.memory_sleep_residency,
+                 residency, opts_.account_tol, "residency rollup");
+    expect_close("ladder:accounting:" + label, e.memory_transition, transition,
+                 opts_.account_tol, "transition rollup");
+    if (e.memory_sleep_cycles != cycles) {
+      add("ladder:accounting:" + label,
+          "cycle rollup " + num(e.memory_sleep_cycles) + " != per-state sum " +
+              num(cycles));
+    }
+    if (e.governor_aborts != aborts) {
+      add("ladder:accounting:" + label,
+          "abort rollup " + num(e.governor_aborts) + " != per-state sum " +
+              num(aborts));
+    }
+    if (!std::isfinite(e.memory_total()) || e.memory_total() < 0.0) {
+      add("ladder:accounting:" + label,
+          "memory total " + num(e.memory_total()));
+    }
+  }
+
+  void check_sleep_ladder() {
+    const SleepLadder& ladder = c_.cfg.memory.ladder;
+    const std::string err = ladder.validate(c_.cfg.memory.alpha_m);
+    if (!err.empty()) {
+      add("ladder:validity", err);
+      return;  // a malformed ladder makes the energy checks meaningless
+    }
+
+    // All disciplines account the same memory-oblivious MBKP schedule, so
+    // every comparison below isolates the gap decision.
+    MbkpPolicy policy;
+    const auto sim = simulate(c_.tasks, c_.cfg, policy);
+
+    // Depth-1 differential: the single-state ladder built from (alpha_m,
+    // xi_m) must reproduce the legacy accounting path bit for bit — the
+    // frozen-oracle contract the whole refactor rests on.
+    {
+      auto legacy_cfg = c_.cfg;
+      legacy_cfg.memory.ladder = SleepLadder();
+      auto single_cfg = c_.cfg;
+      single_cfg.memory.ladder = SleepLadder::single(c_.cfg.memory.alpha_m,
+                                                     c_.cfg.memory.xi_m);
+      const auto legacy =
+          evaluate_policy(sim, legacy_cfg, SleepDiscipline::kOptimal, "lg");
+      const auto single =
+          evaluate_policy(sim, single_cfg, SleepDiscipline::kOptimal, "s1");
+      if (legacy.energy.memory_idle != single.energy.memory_idle ||
+          legacy.energy.memory_transition != single.energy.memory_transition ||
+          legacy.energy.memory_sleep_time != single.energy.memory_sleep_time ||
+          legacy.energy.memory_sleep_cycles !=
+              single.energy.memory_sleep_cycles ||
+          legacy.energy.memory_total() != single.energy.memory_total()) {
+        add("ladder:depth1-differential",
+            "single-state ladder diverges from legacy: total " +
+                num(single.energy.memory_total()) + " vs " +
+                num(legacy.energy.memory_total()) + ", idle " +
+                num(single.energy.memory_idle) + " vs " +
+                num(legacy.energy.memory_idle) + ", transition " +
+                num(single.energy.memory_transition) + " vs " +
+                num(legacy.energy.memory_transition));
+      }
+    }
+
+    // Discipline ordering on the case's own ladder: the clairvoyant per-gap
+    // oracle can be beaten by nobody who sees the same gaps.
+    const auto never =
+        evaluate_policy(sim, c_.cfg, SleepDiscipline::kNever, "ln");
+    const auto always =
+        evaluate_policy(sim, c_.cfg, SleepDiscipline::kAlways, "la");
+    const auto oracle =
+        evaluate_policy(sim, c_.cfg, SleepDiscipline::kOptimal, "lo");
+    IdleGovernor governor;
+    const auto governed = evaluate_policy(
+        sim, c_.cfg, SleepDiscipline::kGovernor, "lG", &governor);
+    expect_le("ladder:oracle-le-never", oracle.energy.memory_total(),
+              never.energy.memory_total(), opts_.order_tol,
+              "oracle vs never-sleep memory energy");
+    expect_le("ladder:oracle-le-always", oracle.energy.memory_total(),
+              always.energy.memory_total(), opts_.order_tol,
+              "oracle vs sleep-when-idle memory energy");
+    expect_le("ladder:oracle-le-governor", oracle.energy.memory_total(),
+              governed.energy.memory_total(), opts_.order_tol,
+              "oracle vs governed memory energy");
+    check_ladder_accounting("never", never.energy, ladder);
+    check_ladder_accounting("always", always.energy, ladder);
+    check_ladder_accounting("oracle", oracle.energy, ladder);
+    check_ladder_accounting("governor", governed.energy, ladder);
+    if (governed.energy.governor_aborts < 0.0 ||
+        governed.energy.governor_mispredicts < 0.0) {
+      add("ladder:governor-stats", "negative mispredict/abort counters");
+    }
+
+    // Monotone depth: each added rung only widens the oracle's choice set,
+    // so oracle energy is non-increasing along ladder prefixes.
+    double prev = never.energy.memory_total();
+    for (int d = 1; d <= ladder.depth(); ++d) {
+      auto cfg_d = c_.cfg;
+      cfg_d.memory.ladder = ladder.prefix(d);
+      const auto ev =
+          evaluate_policy(sim, cfg_d, SleepDiscipline::kOptimal, "ld");
+      expect_le("ladder:monotone-depth", ev.energy.memory_total(), prev,
+                opts_.order_tol,
+                "oracle energy at depth " + std::to_string(d) +
+                    " vs depth " + std::to_string(d - 1));
+      prev = ev.energy.memory_total();
+    }
   }
 
   const FuzzCase& c_;

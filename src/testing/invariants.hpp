@@ -17,7 +17,12 @@
 //   * ordering      — lower_bound <= OPT <= online heuristic, MBKPS <=
 //                     MBKP, continuous OPT <= discrete-aware <= post-hoc
 //                     discretization, section-7 energy >= section-4 energy;
-//   * determinism   — serial vs thread-pool DP replay is bit-identical.
+//   * determinism   — serial vs thread-pool DP replay is bit-identical;
+//   * sleep ladder  — ladder well-formedness, depth-1 ladder accounting
+//                     bit-identical to the frozen single-state path,
+//                     clairvoyant oracle <= never/always/governor, oracle
+//                     energy monotone non-increasing in ladder depth, and
+//                     per-state residency/transition rollups consistent.
 //
 // check_case is deterministic (no internal RNG) and returns every violated
 // invariant, so the shrinker can preserve the failure signature while

@@ -51,6 +51,22 @@ std::string repro_to_json(const FuzzCase& c,
     doc.set("ladder", std::move(ladder));
   }
 
+  if (!c.cfg.memory.ladder.empty()) {
+    // xi is stored, not derived (frozen-oracle bit-identity), so every
+    // field round-trips verbatim through add_state_exact.
+    Json states = Json::array();
+    for (const auto& s : c.cfg.memory.ladder.states()) {
+      Json js = Json::object();
+      js.set("name", s.name);
+      js.set("power", s.power);
+      js.set("pair_energy", s.pair_energy);
+      js.set("latency", s.latency);
+      js.set("xi", s.xi);
+      states.push_back(std::move(js));
+    }
+    doc.set("sleep_ladder", std::move(states));
+  }
+
   Json tasks = Json::array();
   for (const auto& t : c.tasks.tasks()) {
     Json jt = Json::object();
@@ -118,6 +134,21 @@ FuzzCase parse_repro_body(const Json& doc) {
     }
   }
 
+  if (const Json* states = doc.find("sleep_ladder")) {
+    for (std::size_t i = 0; i < states->size(); ++i) {
+      const Json& js = states->at(i);
+      SleepState s;
+      if (const Json* name = js.find("name"); name && name->is_string()) {
+        s.name = name->as_string();
+      }
+      s.power = require_number(js, "power");
+      s.pair_energy = require_number(js, "pair_energy");
+      s.latency = require_number(js, "latency");
+      s.xi = require_number(js, "xi");
+      c.cfg.memory.ladder.add_state_exact(std::move(s));
+    }
+  }
+
   const Json& tasks = doc.at("tasks");
   if (!tasks.is_array())
     throw std::invalid_argument("repro: 'tasks' must be an array");
@@ -180,8 +211,20 @@ std::string repro_test_body(const FuzzCase& c, const std::string& test_name) {
     case ModelClass::kGeneral:
       out += "General";
       break;
+    case ModelClass::kSleepLadder:
+      out += "SleepLadder";
+      break;
   }
   out += ";\n";
+  if (!c.cfg.memory.ladder.empty()) {
+    for (const auto& s : c.cfg.memory.ladder.states()) {
+      out += "  cfg.memory.ladder.add_state_exact({\"" + s.name + "\", " +
+             Json::number_to_string(s.power) + ", " +
+             Json::number_to_string(s.pair_energy) + ", " +
+             Json::number_to_string(s.latency) + ", " +
+             Json::number_to_string(s.xi) + "});\n";
+    }
+  }
   out += "  c.cfg = cfg;\n";
   out += "  c.tasks = ts;\n";
   if (!c.ladder.empty()) {

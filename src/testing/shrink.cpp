@@ -28,6 +28,9 @@ bool structurally_valid(const FuzzCase& c) {
       break;
     case ModelClass::kGeneral:
       break;
+    case ModelClass::kSleepLadder:
+      if (c.cfg.memory.ladder.empty()) return false;
+      break;
   }
   if (c.cfg.core.s_up > 0.0 &&
       c.tasks.max_filled_speed() > c.cfg.core.s_up) {
@@ -124,6 +127,15 @@ class Shrinker {
     };
     if (!result_.reduced.ladder.empty())
       try_edit([](FuzzCase& c) { c.ladder.clear(); });
+    // Sleep-ladder cases: a shallower prefix is a much easier read, and
+    // most ladder bugs survive with one or two rungs.
+    for (int d = 1; d < result_.reduced.cfg.memory.ladder.depth(); ++d) {
+      const int keep = d;
+      try_edit([keep](FuzzCase& c) {
+        c.cfg.memory.ladder = c.cfg.memory.ladder.prefix(keep);
+      });
+      if (result_.reduced.cfg.memory.ladder.depth() <= keep) break;
+    }
     if (result_.reduced.cfg.core.xi > 0.0)
       try_edit([](FuzzCase& c) { c.cfg.core.xi = 0.0; });
     if (result_.reduced.cfg.memory.xi_m > 0.0)

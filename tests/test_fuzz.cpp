@@ -189,10 +189,11 @@ TEST(FuzzDriver, RunIsDeterministicAndBudgeted) {
   std::ostringstream log1, log2;
   const auto r1 = sdem::testing::run_fuzz(opts, log1);
   const auto r2 = sdem::testing::run_fuzz(opts, log2);
-  EXPECT_EQ(r1.cases_run, 9);  // 3 per model class
+  EXPECT_EQ(r1.cases_run, 12);  // 3 per model class
   EXPECT_EQ(r1.cases_per_model[0], 3);
   EXPECT_EQ(r1.cases_per_model[1], 3);
   EXPECT_EQ(r1.cases_per_model[2], 3);
+  EXPECT_EQ(r1.cases_per_model[3], 3);
   EXPECT_TRUE(r1.clean()) << log1.str();
   EXPECT_EQ(r1.cases_run, r2.cases_run);
   EXPECT_EQ(log1.str(), log2.str());

@@ -1,7 +1,7 @@
 // sdem_fuzz — seeded differential fuzzer over the SDEM solver stack.
 //
 //   sdem_fuzz [--cases N] [--budget-seconds S] [--seed S]
-//             [--model all|common_release|agreeable|general]
+//             [--model all|common_release|agreeable|general|sleep_ladder]
 //             [--out-dir DIR] [--jobs N] [--no-shrink] [--no-reference]
 //             [--max-failures N] [--quiet]
 //   sdem_fuzz --replay FILE.repro.json [FILE2 ...]
@@ -37,7 +37,8 @@ int usage(const char* argv0) {
       << "  --cases N           max cases per model class (default 1000)\n"
       << "  --budget-seconds S  wall-clock budget across the run\n"
       << "  --seed S            master seed (default 1)\n"
-      << "  --model M           all|common_release|agreeable|general\n"
+      << "  --model M           all|common_release|agreeable|general|\n"
+      << "                      sleep_ladder\n"
       << "                      (repeatable; default all)\n"
       << "  --out-dir DIR       write .repro.json files here\n"
       << "  --jobs N            threads for the parallel-replay check\n"
@@ -85,7 +86,7 @@ int main(int argc, char** argv) {
       const std::string m = need_value(i);
       if (m == "all") {
         opts.models = {ModelClass::kCommonRelease, ModelClass::kAgreeable,
-                       ModelClass::kGeneral};
+                       ModelClass::kGeneral, ModelClass::kSleepLadder};
       } else {
         try {
           opts.models.push_back(sdem::testing::model_class_from_string(m));
@@ -128,7 +129,7 @@ int main(int argc, char** argv) {
   }
   if (opts.models.empty()) {
     opts.models = {ModelClass::kCommonRelease, ModelClass::kAgreeable,
-                   ModelClass::kGeneral};
+                   ModelClass::kGeneral, ModelClass::kSleepLadder};
   }
 
   if (!trace_path.empty()) sdem::obs::trace::start();
@@ -166,7 +167,8 @@ int main(int argc, char** argv) {
   std::cout << "fuzz: " << report.cases_run << " cases ("
             << report.cases_per_model[0] << " common_release, "
             << report.cases_per_model[1] << " agreeable, "
-            << report.cases_per_model[2] << " general) in "
+            << report.cases_per_model[2] << " general, "
+            << report.cases_per_model[3] << " sleep_ladder) in "
             << report.seconds << "s"
             << (report.budget_exhausted ? " [budget]" : "") << ", "
             << report.failures.size() << " failure(s)\n";
