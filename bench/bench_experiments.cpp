@@ -1752,6 +1752,8 @@ ExperimentResult run_governor_ladder(const RunOptions& opt) {
     double e_sdem[kNumDepths] = {};
     double mispredicts[kNumDepths] = {};
     double aborts[kNumDepths] = {};
+    /// Per-rung governor accounting (cycles/aborts/mispredicts by state).
+    std::vector<SleepStateBreakdown> states[kNumDepths];
     double sleep_legacy = 0.0;  ///< legacy kOptimal (frozen single-state)
     double solver_seconds = 0.0;
   };
@@ -1794,6 +1796,7 @@ ExperimentResult run_governor_ladder(const RunOptions& opt) {
           c.e_governor[di] = ev.energy.memory_total();
           c.mispredicts[di] = ev.energy.governor_mispredicts;
           c.aborts[di] = ev.energy.governor_aborts;
+          c.states[di] = ev.energy.memory_states;
           c.e_sdem[di] =
               evaluate_policy(sim_sdem, cfg, SleepDiscipline::kOptimal, "s")
                   .energy.memory_total();
@@ -1834,6 +1837,21 @@ ExperimentResult run_governor_ladder(const RunOptions& opt) {
         cell.set("energy_sdem_oracle_j", c.e_sdem[di]);
         cell.set("mispredicts", c.mispredicts[di]);
         cell.set("aborts", c.aborts[di]);
+        // Per-rung decision counts under the live governor: how often each
+        // sleep state was chosen (decisions = cycles + aborts) and how the
+        // choices worked out.
+        Json rungs = Json::array();
+        for (std::size_t k = 0; k < c.states[di].size(); ++k) {
+          const SleepStateBreakdown& st = c.states[di][k];
+          Json rj = Json::object();
+          rj.set("state", static_cast<std::uint64_t>(k));
+          rj.set("decisions", st.cycles + st.aborts);
+          rj.set("cycles", st.cycles);
+          rj.set("aborts", st.aborts);
+          rj.set("mispredicts", st.mispredicts);
+          rungs.push_back(std::move(rj));
+        }
+        cell.set("governor_rungs", std::move(rungs));
         if (kDepths[di] == 1) {
           // Frozen-oracle check value: must equal energy_oracle_j exactly.
           cell.set("energy_legacy_single_j", c.sleep_legacy);

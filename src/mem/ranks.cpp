@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+#include "obs/timeline.hpp"
+
 namespace sdem {
 
 RankEnergy rank_memory_energy(const Schedule& sched, const MemoryPower& memory,
@@ -68,19 +71,27 @@ RankEnergy rank_memory_energy_ladder(
 
     for (const auto& b : busy) out.active += rank_power * b.length();
 
-    // Chronological gaps — the governor's observation order.
+    // Chronological gaps — the governor's observation order. gap_t0 feeds
+    // the power-timeline journal (one pass per rank/island).
     std::vector<double> gaps;
+    std::vector<double> gap_t0;
+    auto push_gap = [&](double t0, double g) {
+      gaps.push_back(g);
+      gap_t0.push_back(t0);
+    };
     if (busy.empty()) {
-      if (horizon_hi > horizon_lo) gaps.push_back(horizon_hi - horizon_lo);
+      if (horizon_hi > horizon_lo) {
+        push_gap(horizon_lo, horizon_hi - horizon_lo);
+      }
     } else {
       if (busy.front().lo > horizon_lo) {
-        gaps.push_back(busy.front().lo - horizon_lo);
+        push_gap(horizon_lo, busy.front().lo - horizon_lo);
       }
       for (std::size_t i = 1; i < busy.size(); ++i) {
-        gaps.push_back(busy[i].lo - busy[i - 1].hi);
+        push_gap(busy[i - 1].hi, busy[i].lo - busy[i - 1].hi);
       }
       if (horizon_hi > busy.back().hi) {
-        gaps.push_back(horizon_hi - busy.back().hi);
+        push_gap(busy.back().hi, horizon_hi - busy.back().hi);
       }
     }
 
@@ -88,7 +99,13 @@ RankEnergy rank_memory_energy_ladder(
         static_cast<std::size_t>(r) < governors.size()
             ? governors[static_cast<std::size_t>(r)]
             : nullptr;
-    for (double g : gaps) {
+#if SDEM_OBS
+    const int tl_pass = obs::timeline::enabled()
+                            ? obs::timeline::begin_pass(r, "rank")
+                            : -1;
+#endif
+    for (std::size_t i = 0; i < gaps.size(); ++i) {
+      const double g = gaps[i];
       if (g <= 0.0) continue;
       int k = gov != nullptr ? gov->choose_state(ladder)
                              : ladder.oracle_state(g);
@@ -111,6 +128,20 @@ RankEnergy rank_memory_energy_ladder(
           if (s.xi > 0.0 && g < s.xi) out.mispredicts += 1.0;
         }
       }
+#if SDEM_OBS
+      if (tl_pass >= 0) {
+        const double predicted = gov != nullptr ? gov->predict_gap() : g;
+        const bool mispredicted = k >= 0 && !aborted &&
+                                  ladder.state(k).xi > 0.0 &&
+                                  g < ladder.state(k).xi;
+        const auto oc = k < 0 ? obs::timeline::Outcome::kIdle
+                        : aborted ? obs::timeline::Outcome::kAbort
+                        : mispredicted ? obs::timeline::Outcome::kMispredict
+                                       : obs::timeline::Outcome::kCycle;
+        obs::timeline::record_decision(tl_pass, gap_t0[i], gap_t0[i] + g,
+                                       predicted, k, oc);
+      }
+#endif
       if (gov != nullptr) gov->observe(g, aborted);
     }
   }

@@ -10,6 +10,7 @@
 #include <mutex>
 
 #include "obs/trace.hpp"
+#include "obs/window.hpp"
 
 namespace sdem::obs {
 
@@ -50,9 +51,11 @@ struct Registry::Shard {
   std::deque<std::uint64_t> counter_storage;
   std::deque<DistCell> dist_storage;
   std::deque<TimerCell> timer_storage;
+  std::deque<WindowCell> window_storage;
   std::map<std::string, std::pair<Domain, std::uint64_t*>> counters;
   std::map<std::string, std::pair<Domain, DistCell*>> dists;
   std::map<std::string, TimerCell*> timers;
+  std::map<std::string, WindowCell*> windows;
 };
 
 Registry& Registry::instance() {
@@ -113,6 +116,17 @@ TimerCell* Registry::timer_cell(const char* name) {
   return it->second;
 }
 
+WindowCell* Registry::window_cell(const char* name, const WindowSpec& spec) {
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  auto it = shard.windows.find(name);
+  if (it == shard.windows.end()) {
+    shard.window_storage.emplace_back(spec);
+    it = shard.windows.emplace(name, &shard.window_storage.back()).first;
+  }
+  return it->second;
+}
+
 std::vector<std::pair<std::string, std::uint64_t>> Registry::local_counters() {
   Shard& shard = local_shard();
   std::vector<std::pair<std::string, std::uint64_t>> out;
@@ -131,6 +145,7 @@ void Registry::reset() {
     for (auto& c : s.counter_storage) c = 0;
     for (auto& d : s.dist_storage) d = DistCell{};
     for (auto& t : s.timer_storage) t = TimerCell{};
+    for (auto& w : s.window_storage) w.clear();
   }
 }
 
@@ -219,6 +234,19 @@ Snapshot Registry::snapshot() const {
   }
   for (const auto& [name, tc] : timers) snap.timers.emplace_back(name, tc);
   return snap;
+}
+
+std::vector<std::pair<std::string, WindowValue>> Registry::window_values(
+    std::uint64_t as_of_ns) const {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  std::map<std::string, WindowValue> merged;
+  for (void* p : shards_) {
+    const Shard& s = *static_cast<const Shard*>(p);
+    for (const auto& [name, cell] : s.windows) {
+      merge_window(merged[name], *cell, as_of_ns);
+    }
+  }
+  return {merged.begin(), merged.end()};
 }
 
 Json Snapshot::counters_json() const {

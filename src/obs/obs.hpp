@@ -134,6 +134,13 @@ struct Snapshot {
   const DistValue* dist(const std::string& name) const;
 };
 
+// Sliding-window histogram cells (obs/window.hpp) share the registry
+// shards; declared here so Registry can hand them out without obs.hpp
+// depending on the window header.
+struct WindowSpec;
+struct WindowCell;
+struct WindowValue;
+
 class Registry {
  public:
   static Registry& instance();
@@ -144,6 +151,11 @@ class Registry {
   std::uint64_t* counter_cell(const char* name, Domain domain);
   DistCell* dist_cell(const char* name, Domain domain);
   TimerCell* timer_cell(const char* name);
+  /// Resolve a sliding-window histogram cell (obs/window.hpp). Windows are
+  /// always runtime-tier (caller-supplied clock timestamps) and never
+  /// appear in snapshot(); read them with window_values(). The first
+  /// registration of a name fixes its WindowSpec.
+  WindowCell* window_cell(const char* name, const WindowSpec& spec);
 
   /// Zero every cell in every shard (cells stay registered, so cached
   /// call-site pointers remain valid). Quiesce instrumented work first.
@@ -151,6 +163,13 @@ class Registry {
 
   /// Merge all shards into a name-sorted snapshot. Quiesce first.
   Snapshot snapshot() const;
+
+  /// Merge every shard's window cells over the window ending at
+  /// `as_of_ns`, name-sorted. Same quiesce contract as snapshot(). The
+  /// fold is a commutative integer merge, so given identical (value,
+  /// timestamp) samples the result is independent of thread count.
+  std::vector<std::pair<std::string, WindowValue>> window_values(
+      std::uint64_t as_of_ns) const;
 
   /// The calling thread's deterministic counters, name-sorted — the
   /// per-cell attribution primitive. A grid cell runs entirely on one

@@ -1,0 +1,220 @@
+#include "obs/timeline.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace sdem::obs::timeline {
+
+namespace {
+
+struct Decision {
+  double t0_s;
+  double t1_s;
+  double predicted_s;
+  int chosen_state;
+  Outcome outcome;
+};
+
+struct Pass {
+  int island = 0;
+  std::string label;
+  std::vector<Decision> decisions;
+};
+
+struct State {
+  std::mutex mu;
+  std::vector<Pass> passes;
+  // Caller-supplied counter tracks, name-sorted for deterministic export.
+  std::map<std::string, std::vector<std::pair<double, double>>> counters;
+};
+
+State& state() {
+  static State* s = new State();
+  return *s;
+}
+
+std::atomic<bool> g_enabled{false};
+
+const char* span_name(Outcome o) {
+  switch (o) {
+    case Outcome::kIdle: return "gap:idle";
+    case Outcome::kCycle: return "gap:sleep";
+    case Outcome::kMispredict: return "gap:mispredict";
+    case Outcome::kAbort: return "gap:abort";
+  }
+  return "gap";
+}
+
+const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kIdle: return "idle";
+    case Outcome::kCycle: return "cycle";
+    case Outcome::kMispredict: return "mispredict";
+    case Outcome::kAbort: return "abort";
+  }
+  return "?";
+}
+
+// Simulated seconds -> Chrome microseconds.
+double us(double t_s) { return t_s * 1e6; }
+
+Json base_event(const std::string& name, const char* ph, int tid, double ts) {
+  Json j = Json::object();
+  j.set("name", Json(name));
+  j.set("cat", Json(std::string("sdem-power")));
+  j.set("ph", Json(std::string(ph)));
+  j.set("pid", Json(1.0));  // pid 0 is the scoped-timer trace
+  j.set("tid", Json(static_cast<double>(tid)));
+  j.set("ts", Json(ts));
+  return j;
+}
+
+Json metadata(const std::string& kind, int tid, const std::string& value) {
+  Json j = base_event(kind, "M", tid, 0.0);
+  Json args = Json::object();
+  args.set("name", Json(value));
+  j.set("args", std::move(args));
+  return j;
+}
+
+Json counter_event(const std::string& track, int tid, double t_s,
+                   double value) {
+  Json j = base_event(track, "C", tid, us(t_s));
+  Json args = Json::object();
+  args.set("value", Json(value));
+  j.set("args", std::move(args));
+  return j;
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void start() {
+  clear();
+  g_enabled.store(true, std::memory_order_release);
+}
+
+void stop() { g_enabled.store(false, std::memory_order_release); }
+
+void clear() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.passes.clear();
+  s.counters.clear();
+}
+
+int begin_pass(int island, const std::string& label) {
+  if (!enabled()) return -1;
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.passes.push_back(Pass{island, label, {}});
+  return static_cast<int>(s.passes.size()) - 1;
+}
+
+void record_decision(int pass, double t0_s, double t1_s, double predicted_s,
+                     int chosen_state, Outcome outcome) {
+  if (pass < 0) return;
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (static_cast<std::size_t>(pass) >= s.passes.size()) return;
+  s.passes[static_cast<std::size_t>(pass)].decisions.push_back(
+      Decision{t0_s, t1_s, predicted_s, chosen_state, outcome});
+}
+
+void counter_sample(const std::string& track, double t_s, double value) {
+  if (!enabled()) return;
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.counters[track].emplace_back(t_s, value);
+}
+
+void append_events(Json& trace_events) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.passes.empty() && s.counters.empty()) return;
+  trace_events.push_back(
+      metadata("process_name", 0, "sdem power timeline"));
+  // Decision spans: one tid per pass, chronological and non-overlapping by
+  // construction (gaps are separated by busy intervals), hence well-nested.
+  for (std::size_t p = 0; p < s.passes.size(); ++p) {
+    const Pass& pass = s.passes[p];
+    const int tid = static_cast<int>(p);
+    std::string thread_name = "mem island " + std::to_string(pass.island);
+    if (!pass.label.empty()) thread_name += " · " + pass.label;
+    trace_events.push_back(metadata("thread_name", tid, thread_name));
+    for (const Decision& d : pass.decisions) {
+      Json b = base_event(span_name(d.outcome), "B", tid, us(d.t0_s));
+      Json args = Json::object();
+      args.set("predicted_s", Json(d.predicted_s));
+      args.set("gap_s", Json(d.t1_s - d.t0_s));
+      args.set("state", Json(static_cast<double>(d.chosen_state)));
+      args.set("outcome", Json(std::string(outcome_name(d.outcome))));
+      b.set("args", std::move(args));
+      trace_events.push_back(std::move(b));
+      trace_events.push_back(
+          base_event(span_name(d.outcome), "E", tid, us(d.t1_s)));
+    }
+  }
+  // Counter tracks, each on its own tid past the pass tids so every tid's
+  // event stream stays monotone. Residency tracks first (one per island,
+  // ascending; value = rung + 1 while asleep, 0 awake, derived from the
+  // journal), then the caller-supplied tracks in name order. Samples are
+  // time-sorted per track — several passes can feed one island's track.
+  std::vector<std::pair<std::string, std::vector<std::pair<double, double>>>>
+      tracks;
+  std::map<int, std::vector<std::pair<double, double>>> residency;
+  for (const Pass& pass : s.passes) {
+    for (const Decision& d : pass.decisions) {
+      if (d.chosen_state < 0) continue;
+      auto& r = residency[pass.island];
+      r.emplace_back(d.t0_s, static_cast<double>(d.chosen_state + 1));
+      r.emplace_back(d.t1_s, 0.0);
+    }
+  }
+  for (auto& [island, samples] : residency) {
+    tracks.emplace_back("mem/island" + std::to_string(island) +
+                            "/sleep_state",
+                        std::move(samples));
+  }
+  for (const auto& [track, samples] : s.counters) {
+    tracks.emplace_back(track, samples);
+  }
+  int tid = static_cast<int>(s.passes.size());
+  for (auto& [track, samples] : tracks) {
+    std::stable_sort(samples.begin(), samples.end(),
+                     [](const std::pair<double, double>& a,
+                        const std::pair<double, double>& b) {
+                       return a.first < b.first;
+                     });
+    for (const auto& [t_s, value] : samples) {
+      trace_events.push_back(counter_event(track, tid, t_s, value));
+    }
+    ++tid;
+  }
+}
+
+Json to_json() {
+  Json events = Json::array();
+  append_events(events);
+  Json doc = Json::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", Json(std::string("ms")));
+  return doc;
+}
+
+bool write_file(const std::string& path) {
+  stop();
+  const std::string text = to_json().dump(2);  // dump(2) ends with '\n'
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace sdem::obs::timeline

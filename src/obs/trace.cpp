@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "obs/timeline.hpp"
 
 namespace sdem::obs::trace {
 
@@ -91,6 +92,9 @@ Json to_json() {
       events.push_back(std::move(j));
     }
   }
+  // Power-state timeline spans/counters ride in the same file (pid 1,
+  // simulated-time timestamps) when the timeline was recording.
+  timeline::append_events(events);
   Json doc = Json::object();
   doc.set("traceEvents", std::move(events));
   doc.set("displayTimeUnit", Json(std::string("ms")));

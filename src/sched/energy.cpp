@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "obs/timeline.hpp"
 
 namespace sdem {
 namespace {
@@ -117,17 +118,23 @@ LadderCosts account_ladder_gaps(const std::vector<Interval>& busy,
                                 const SleepLadder& ladder,
                                 SleepDiscipline disc,
                                 MemoryGapGovernor* governor, double horizon_lo,
-                                double horizon_hi) {
+                                double horizon_hi, int tl_pass) {
   LadderCosts out;
   out.per_state.resize(static_cast<std::size_t>(ladder.depth()));
 
-  // Chronological gap list: leading, internal..., trailing.
+  // Chronological gap list: leading, internal..., trailing. gap_t0 carries
+  // each gap's start time for the power-timeline journal.
   std::vector<double> gaps;
+  std::vector<double> gap_t0;
+  auto push_gap = [&](double t0, double g) {
+    gaps.push_back(g);
+    gap_t0.push_back(t0);
+  };
   bool has_leading = false;
   bool has_trailing = false;
   if (busy.empty()) {
     if (horizon_hi > horizon_lo) {
-      gaps.push_back(horizon_hi - horizon_lo);
+      push_gap(horizon_lo, horizon_hi - horizon_lo);
       has_leading = true;
     }
   } else {
@@ -135,19 +142,19 @@ LadderCosts account_ladder_gaps(const std::vector<Interval>& busy,
       if (busy.front().lo > horizon_lo) {
         const double g = busy.front().lo - horizon_lo;
         if (g > 0.0) {
-          gaps.push_back(g);
+          push_gap(horizon_lo, g);
           has_leading = true;
         }
       }
     }
     for (std::size_t i = 1; i < busy.size(); ++i) {
       const double g = busy[i].lo - busy[i - 1].hi;
-      if (g > 0.0) gaps.push_back(g);
+      if (g > 0.0) push_gap(busy[i - 1].hi, g);
     }
     if (horizon_hi > horizon_lo && horizon_hi > busy.back().hi) {
       const double g = horizon_hi - busy.back().hi;
       if (g > 0.0) {
-        gaps.push_back(g);
+        push_gap(busy.back().hi, g);
         has_trailing = true;
       }
     }
@@ -156,6 +163,8 @@ LadderCosts account_ladder_gaps(const std::vector<Interval>& busy,
 
   // Decide every gap chronologically.
   std::vector<int> decision(gaps.size(), -1);
+  std::vector<double> predicted;
+  if (tl_pass >= 0) predicted.assign(gaps.size(), -1.0);
   for (std::size_t i = 0; i < gaps.size(); ++i) {
     const double g = gaps[i];
     int k = -1;
@@ -180,12 +189,43 @@ LadderCosts account_ladder_gaps(const std::vector<Interval>& busy,
         break;
     }
     decision[i] = k;
+    if (tl_pass >= 0) {
+      // Clairvoyant disciplines "predicted" the true gap; a live governor
+      // exposes the prediction its choice was based on.
+      if (disc == SleepDiscipline::kOptimal ||
+          (disc == SleepDiscipline::kGovernor && governor == nullptr)) {
+        predicted[i] = g;
+      } else if (disc == SleepDiscipline::kGovernor) {
+        predicted[i] = governor->predict_gap();
+      }
+    }
     if (disc == SleepDiscipline::kGovernor && governor != nullptr) {
       const bool aborted =
           k >= 0 && g < ladder.state(k).latency;
       governor->observe(g, aborted);
     }
   }
+
+#if SDEM_OBS
+  // Journal every decision chronologically (the fold below runs in legacy
+  // order, which would scramble the timeline).
+  if (tl_pass >= 0) {
+    for (std::size_t i = 0; i < gaps.size(); ++i) {
+      const double g = gaps[i];
+      const int k = decision[i];
+      obs::timeline::Outcome oc = obs::timeline::Outcome::kIdle;
+      if (k >= 0) {
+        const SleepState& s = ladder.state(k);
+        oc = g < s.latency ? obs::timeline::Outcome::kAbort
+             : (s.xi > 0.0 && g < s.xi)
+                 ? obs::timeline::Outcome::kMispredict
+                 : obs::timeline::Outcome::kCycle;
+      }
+      obs::timeline::record_decision(tl_pass, gap_t0[i], gap_t0[i] + g,
+                                     predicted[i], k, oc);
+    }
+  }
+#endif
 
   // Fold accounting in legacy order: leading, trailing, then internal.
   auto fold = [&](std::size_t i) {
@@ -217,6 +257,7 @@ LadderCosts account_ladder_gaps(const std::vector<Interval>& busy,
     ps.sleep_time += g;
     if (s.xi > 0.0 && g < s.xi) {
       out.mispredicts += 1.0;
+      ps.mispredicts += 1.0;
       SDEM_OBS_INC("energy/ladder_mispredicts");
     }
     SDEM_OBS_DIST("energy/memory_sleep_interval_s", g);
@@ -317,9 +358,17 @@ EnergyBreakdown compute_energy(const Schedule& sched, const SystemConfig& cfg,
       }
       const SleepLadder& ladder =
           cfg.memory.ladder.empty() ? fallback : cfg.memory.ladder;
+      int tl_pass = -1;
+#if SDEM_OBS
+      if (obs::timeline::enabled()) {
+        tl_pass = obs::timeline::begin_pass(
+            opts.timeline_island,
+            opts.timeline_label != nullptr ? opts.timeline_label : "");
+      }
+#endif
       const auto costs = account_ladder_gaps(
           busy, ladder, opts.memory_gaps, opts.governor, opts.horizon_lo,
-          opts.horizon_hi);
+          opts.horizon_hi, tl_pass);
       e.memory_idle += cfg.memory.alpha_m * costs.idle;
       for (const auto& ps : costs.per_state) {
         e.memory_sleep_residency += ps.residency_energy;

@@ -57,6 +57,10 @@ class MemoryGapGovernor {
   /// Feedback after the gap: its true length, and whether the chosen state
   /// had to be aborted (gap shorter than the state's enter+exit latency).
   virtual void observe(double gap, bool aborted) = 0;
+  /// Predicted length of the gap backing the latest choose_state, for the
+  /// power-timeline journal (obs/timeline.hpp); < 0 = no prediction
+  /// exposed. Purely observational — accounting never branches on it.
+  virtual double predict_gap() const { return -1.0; }
 };
 
 /// Per-ladder-state accounting (parallel to SleepLadder::states()).
@@ -64,6 +68,7 @@ struct SleepStateBreakdown {
   double sleep_time = 0.0;         ///< residency time in the state, s
   double cycles = 0.0;             ///< completed sleep cycles
   double aborts = 0.0;             ///< entries aborted before break-even fit
+  double mispredicts = 0.0;        ///< committed cycles with gap < xi[k]
   double residency_energy = 0.0;   ///< power[k] * sleep_time
   double transition_energy = 0.0;  ///< pair_energy[k] * (cycles + aborts)
 };
@@ -121,6 +126,11 @@ struct EnergyOptions {
   /// in chronological order. Not owned. Null + kGovernor falls back to
   /// kOptimal.
   MemoryGapGovernor* governor = nullptr;
+  /// Power-timeline labeling (obs/timeline.hpp): the memory island this
+  /// accounting covers and a display label for its decision track. Only
+  /// read while the timeline is recording; never affects the numerics.
+  int timeline_island = 0;
+  const char* timeline_label = "";
 };
 
 /// Full accounting of `sched` under `cfg`.

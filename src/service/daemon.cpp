@@ -1,6 +1,7 @@
 #include "service/daemon.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <utility>
@@ -93,6 +94,7 @@ int Daemon::port() {
 
 void Daemon::request_stop() {
   stop_.store(true, std::memory_order_release);
+  metrics_cv_.notify_all();
   // run() builds and tears down acceptors_ under the same lock, so every
   // wake fd seen here is live (before startup the vector is just empty).
   std::lock_guard<std::mutex> lock(acceptors_mu_);
@@ -163,12 +165,24 @@ int Daemon::run() {
     for (const auto& a : acceptors_) wake(*a);
   }
 
+  if (opt_.metrics_interval_s > 0.0 && !opt_.metrics_path.empty()) {
+    metrics_thread_ = std::thread([this] { metrics_loop(); });
+  }
+
   std::vector<std::thread> threads;
   for (int i = 1; i < opt_.acceptors; ++i) {
     threads.emplace_back([this, i] { acceptor_loop(*acceptors_[i]); });
   }
   acceptor_loop(*acceptors_[0]);
   for (std::thread& t : threads) t.join();
+
+  if (metrics_thread_.joinable()) {
+    // The lead loop can exit without request_stop() (stdin EOF with no TCP
+    // is routed through it, but "nothing to serve" is not).
+    stop_.store(true, std::memory_order_release);
+    metrics_cv_.notify_all();
+    metrics_thread_.join();
+  }
 
   svc_->drain_all();
   {
@@ -390,6 +404,14 @@ void Daemon::dispatch(Acceptor& a, const std::string& line, Conn& c) {
       writer_.deposit(c.id, conn_seq, svc_->stats(seq).dump(0));
       break;
     }
+    case Op::kMetrics: {
+      // Same exclusive barrier as STATS: the windowed cells and registry
+      // snapshot inside metrics() must see a quiesced pipeline.
+      std::unique_lock<std::shared_mutex> gate(barrier_mu_);
+      svc_->flush(a.index);
+      writer_.deposit(c.id, conn_seq, svc_->metrics(seq).dump(0));
+      break;
+    }
     case Op::kShutdown: {
       {
         std::unique_lock<std::shared_mutex> gate(barrier_mu_);
@@ -397,11 +419,42 @@ void Daemon::dispatch(Acceptor& a, const std::string& line, Conn& c) {
         svc_->drain_all();
         Json resp = ok_response(Op::kShutdown, seq);
         resp.set("requests", svc_->requests_processed());
+        resp.set("uptime_s", svc_->uptime_s());
+        // Final exposition snapshot: a supervisor that only sees the
+        // SHUTDOWN response still gets the closing counters.
+        resp.set("metrics", svc_->metrics_text());
         writer_.deposit(c.id, conn_seq, resp.dump(0));
       }
       request_stop();
       break;
     }
+  }
+}
+
+void Daemon::metrics_loop() {
+  const auto interval =
+      std::chrono::duration<double>(opt_.metrics_interval_s);
+  std::unique_lock<std::mutex> lock(metrics_mu_);
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (metrics_cv_.wait_for(lock, interval, [this] {
+          return stop_.load(std::memory_order_acquire);
+        })) {
+      break;
+    }
+    lock.unlock();
+    {
+      // Exclusive barrier, like a METRICS request: producers pause, the
+      // drain retires every flushed request, then the snapshot is read.
+      std::unique_lock<std::shared_mutex> gate(barrier_mu_);
+      svc_->drain_all();
+      const std::string text = svc_->metrics_text();
+      std::FILE* f = std::fopen(opt_.metrics_path.c_str(), "w");
+      if (f != nullptr) {
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fclose(f);
+      }
+    }
+    lock.lock();
   }
 }
 

@@ -18,10 +18,10 @@
 // another connection's responses; the fd is invalidated under the writer
 // lock before ::close.
 //
-// STATS and SHUTDOWN are service-wide barriers: the dispatching acceptor
-// stops the other acceptors at a shared/exclusive gate, flushes its own
-// staging, and drains every shard, so the obs snapshot reads quiesced
-// cells.
+// STATS, METRICS and SHUTDOWN are service-wide barriers: the dispatching
+// acceptor stops the other acceptors at a shared/exclusive gate, flushes
+// its own staging, and drains every shard, so the obs snapshot (and the
+// windowed METRICS cells) read quiesced state.
 #pragma once
 
 #include <atomic>
@@ -52,6 +52,12 @@ struct DaemonOptions {
   /// Ship raw lines to shard workers (peek_request routing); false parses
   /// every line on the ingest thread (the pre-pipelining baseline).
   bool parse_on_shard = true;
+  /// When > 0 and metrics_path is set, a background thread writes the
+  /// Prometheus exposition (Service::metrics_text()) to metrics_path every
+  /// interval, truncating — the file always holds the latest snapshot.
+  /// Each tick takes the exclusive barrier, so scrapes see quiesced cells.
+  double metrics_interval_s = 0.0;
+  std::string metrics_path;
 };
 
 class Daemon {
@@ -127,6 +133,8 @@ class Daemon {
   void flush_partial(Acceptor& a, Conn& c);
   void dispatch(Acceptor& a, const std::string& line, Conn& c);
   void wake(Acceptor& a);
+  /// Body of the periodic metrics-snapshot thread (--metrics-interval).
+  void metrics_loop();
 
   DaemonOptions opt_;
   std::unique_ptr<ThreadPool> pool_;
@@ -147,6 +155,12 @@ class Daemon {
   std::atomic<std::uint64_t> seq_{0};
   std::atomic<int> next_acceptor_{0};
   std::atomic<bool> stop_{false};
+
+  /// Wakes the metrics thread early on shutdown (it otherwise sleeps a
+  /// full interval between snapshots).
+  std::mutex metrics_mu_;
+  std::condition_variable metrics_cv_;
+  std::thread metrics_thread_;
 
   std::mutex port_mu_;
   std::condition_variable port_cv_;

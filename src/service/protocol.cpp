@@ -65,6 +65,7 @@ const char* op_name(Op op) {
     case Op::kSubmit: return "SUBMIT";
     case Op::kQuery: return "QUERY";
     case Op::kStats: return "STATS";
+    case Op::kMetrics: return "METRICS";
     case Op::kShutdown: return "SHUTDOWN";
   }
   return "?";
@@ -98,6 +99,8 @@ Parsed parse_request(const std::string& line) {
     if (!read_island(doc, &p.request.island, &p.error)) return p;
   } else if (name == "STATS") {
     p.request.op = Op::kStats;
+  } else if (name == "METRICS") {
+    p.request.op = Op::kMetrics;
   } else if (name == "SHUTDOWN") {
     p.request.op = Op::kShutdown;
   } else {
@@ -176,6 +179,8 @@ Peeked peek_request(const std::string& line) {
           p.op = Op::kQuery;
         } else if (n == 5 && line.compare(val_start, n, "STATS") == 0) {
           p.op = Op::kStats;
+        } else if (n == 7 && line.compare(val_start, n, "METRICS") == 0) {
+          p.op = Op::kMetrics;
         } else if (n == 8 && line.compare(val_start, n, "SHUTDOWN") == 0) {
           p.op = Op::kShutdown;
         } else {

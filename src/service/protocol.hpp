@@ -2,12 +2,13 @@
 //
 // Newline-delimited JSON: every request is one JSON object on one line,
 // every response is one JSON object on one line, and response order equals
-// request order (per connection). Four operations:
+// request order (per connection). Five operations:
 //
 //   {"op":"SUBMIT","island":0,"task":{"id":1,"release":0.0,
 //                                     "deadline":0.5,"work":200.0}}
 //   {"op":"QUERY","island":0}
 //   {"op":"STATS"}
+//   {"op":"METRICS"}
 //   {"op":"SHUTDOWN"}
 //
 // This header owns the request grammar (parse + validation diagnostics) and
@@ -22,7 +23,7 @@
 
 namespace sdem::service {
 
-enum class Op { kSubmit, kQuery, kStats, kShutdown };
+enum class Op { kSubmit, kQuery, kStats, kMetrics, kShutdown };
 
 /// Wire spelling of an op ("SUBMIT", ...).
 const char* op_name(Op op);
@@ -34,6 +35,10 @@ struct Request {
   std::uint64_t seq = 0;  ///< ingest order; assigned by the daemon
   int conn = -1;          ///< daemon-side connection id (not wire data)
   std::uint64_t conn_seq = 0;  ///< per-connection request order (not wire)
+  /// obs::now_ns() when the request entered the ingest path (not wire
+  /// data); 0 when unknown. Feeds the windowed end-to-end latency
+  /// histograms behind METRICS (docs/service.md).
+  std::uint64_t ingest_ns = 0;
 };
 
 /// Outcome of parsing one request line. `ok == false` carries a diagnostic

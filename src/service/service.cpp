@@ -9,6 +9,7 @@
 #include "baseline/simple_policies.hpp"
 #include "core/online_sdem.hpp"
 #include "obs/obs.hpp"
+#include "obs/window.hpp"
 
 namespace sdem::service {
 namespace {
@@ -75,7 +76,11 @@ struct Service::Shard {
   Shard(int index, std::size_t capacity, int producers)
       : replan_metric("service/shard" + std::to_string(index) + "/replan_ns"),
         requests_metric("service/shard" + std::to_string(index) +
-                        "/requests") {
+                        "/requests"),
+        replan_window_metric("service/shard" + std::to_string(index) +
+                             "/replan_window_ns"),
+        e2e_window_metric("service/shard" + std::to_string(index) +
+                          "/e2e_window_ns") {
     rings.reserve(static_cast<std::size_t>(producers));
     for (int p = 0; p < producers; ++p) {
       rings.push_back(std::make_unique<SpscRing<Msg>>(capacity));
@@ -87,10 +92,23 @@ struct Service::Shard {
   std::vector<std::unique_ptr<SpscRing<Msg>>> rings;
   std::atomic<bool> scheduled{false};
   std::atomic<std::uint64_t> processed{0};
+  /// Backoff pauses taken by producers waiting on this shard's full rings
+  /// (the METRICS backpressure gauge; one count per wait step).
+  std::atomic<std::uint64_t> stalls{0};
 
   std::map<int, std::unique_ptr<Island>> islands;
   std::string replan_metric;
   std::string requests_metric;
+  std::string replan_window_metric;
+  std::string e2e_window_metric;
+
+  /// Entries currently sitting in this shard's rings (occupancy gauge;
+  /// approximate while producers are live, exact once quiesced).
+  std::size_t ring_occupancy() const {
+    std::size_t n = 0;
+    for (const auto& r : rings) n += r->size();
+    return n;
+  }
 
   bool empty() const {
     for (const auto& r : rings) {
@@ -199,6 +217,7 @@ void Service::flush_shard(Producer& p, std::size_t shard) {
     if (pushed > 0) {
       backoff.reset();
     } else {
+      s.stalls.fetch_add(1, std::memory_order_relaxed);
       backoff.pause();
     }
   }
@@ -217,6 +236,9 @@ void Service::route(Request req, int producer) {
   // the shard: stage the parsed request behind them and flush the batch.
   Msg m;
   m.req = std::move(req);
+#if SDEM_OBS
+  if (m.req.ingest_ns == 0) m.req.ingest_ns = obs::now_ns();
+#endif
   p.staged[shard].push_back(std::move(m));
   flush_shard(p, shard);
 }
@@ -232,6 +254,9 @@ void Service::route_raw(int island, Op op, std::string line,
   m.req.seq = seq;
   m.req.conn = conn;
   m.req.conn_seq = conn_seq;
+#if SDEM_OBS
+  m.req.ingest_ns = obs::now_ns();
+#endif
   m.raw = std::move(line);
   p.staged[shard].push_back(std::move(m));
   if (p.staged[shard].size() >= kIngestBatch) flush_shard(p, shard);
@@ -247,9 +272,14 @@ void Service::flush(int producer) {
 void Service::drain(Shard& s) {
   // Cells live in the calling thread's obs shard — resolve per drain, not
   // per service, because successive drains may land on different workers.
-  obs::DistCell* replan_dist = nullptr;
+  ShardCells cells;
 #if SDEM_OBS
-  replan_dist = obs::dist_cell(s.replan_metric.c_str(), obs::Domain::kRuntime);
+  cells.replan =
+      obs::dist_cell(s.replan_metric.c_str(), obs::Domain::kRuntime);
+  cells.replan_win = obs::Registry::instance().window_cell(
+      s.replan_window_metric.c_str(), obs::WindowSpec{});
+  cells.e2e_win = obs::Registry::instance().window_cell(
+      s.e2e_window_metric.c_str(), obs::WindowSpec{});
   std::uint64_t* req_count =
       obs::counter_cell(s.requests_metric.c_str(), obs::Domain::kRuntime);
 #endif
@@ -261,7 +291,15 @@ void Service::drain(Shard& s) {
       for (const auto& ring : s.rings) {
         const std::size_t k = ring->pop_n(buf, kDrainBatch);
         for (std::size_t i = 0; i < k; ++i) {
-          handle(s, buf[i], replan_dist);
+          handle(s, buf[i], cells);
+#if SDEM_OBS
+          // Windowed end-to-end latency: ingest stamp to response done.
+          if (buf[i].req.ingest_ns != 0) {
+            const std::uint64_t now = obs::now_ns();
+            cells.e2e_win->add(
+                static_cast<double>(now - buf[i].req.ingest_ns), now);
+          }
+#endif
           buf[i] = Msg{};  // release the line/task payload promptly
         }
         if (k > 0) {
@@ -280,7 +318,7 @@ void Service::drain(Shard& s) {
   }
 }
 
-void Service::handle(Shard& s, Msg& m, obs::DistCell* replan_dist) {
+void Service::handle(Shard& s, Msg& m, const ShardCells& cells) {
   if (!m.raw.empty()) {
     // Parse-on-shard: the ingest thread shipped the raw line; the DOM
     // parse and validation happen here, off the ingest critical path.
@@ -292,6 +330,7 @@ void Service::handle(Shard& s, Msg& m, obs::DistCell* replan_dist) {
     p.request.seq = m.req.seq;
     p.request.conn = m.req.conn;
     p.request.conn_seq = m.req.conn_seq;
+    p.request.ingest_ns = m.req.ingest_ns;
     if ((p.request.op != Op::kSubmit && p.request.op != Op::kQuery) ||
         shard_index(p.request.island) != shard_index(m.req.island)) {
       // The peek that routed the line disagrees with the full parse (only
@@ -305,10 +344,10 @@ void Service::handle(Shard& s, Msg& m, obs::DistCell* replan_dist) {
     }
     m.req = std::move(p.request);
   }
-  process(s, m.req, replan_dist);
+  process(s, m.req, cells);
 }
 
-void Service::process(Shard& s, Request& r, obs::DistCell* replan_dist) {
+void Service::process(Shard& s, Request& r, const ShardCells& cells) {
   try {
     if (r.op == Op::kSubmit) {
       Island& isl = island_of(s, r.island);
@@ -349,7 +388,10 @@ void Service::process(Shard& s, Request& r, obs::DistCell* replan_dist) {
         const std::uint64_t t0 = obs::now_ns();
         isl.sim.commit();
         const std::uint64_t dt = obs::now_ns() - t0;
-        if (replan_dist != nullptr) replan_dist->add(static_cast<double>(dt));
+        if (cells.replan != nullptr) {
+          cells.replan->add(static_cast<double>(dt));
+          cells.replan_win->add(static_cast<double>(dt), t0 + dt);
+        }
         resp.set("pending", static_cast<std::uint64_t>(isl.sim.pending().size()));
         resp.set("replans", isl.sim.replans());
         double plan_end = isl.sim.plan_from();
@@ -357,12 +399,14 @@ void Service::process(Shard& s, Request& r, obs::DistCell* replan_dist) {
           plan_end = std::max(plan_end, seg.end);
         }
         resp.set("plan_end", plan_end);
-      } else if (replan_dist != nullptr &&
+      } else if (cells.replan != nullptr &&
                  isl.sim.replans() != replans_before) {
         // Lazy mode commits inside inject_arrival when the release
         // advances; attribute that latency too so replay/throughput runs
         // still populate the p50/p99 histograms.
-        replan_dist->add(static_cast<double>(obs::now_ns() - t_inject));
+        const std::uint64_t now = obs::now_ns();
+        cells.replan->add(static_cast<double>(now - t_inject));
+        cells.replan_win->add(static_cast<double>(now - t_inject), now);
       }
       done_(r, std::move(resp));
       return;
@@ -427,10 +471,13 @@ std::uint64_t Service::requests_processed() const {
   return total;
 }
 
+double Service::uptime_s() const {
+  return static_cast<double>(obs::now_ns() - start_ns_) / 1e9;
+}
+
 Json Service::stats(std::uint64_t seq) {
   drain_all();  // quiesce: obs snapshots require no concurrent writers
-  const double uptime =
-      static_cast<double>(obs::now_ns() - start_ns_) / 1e9;
+  const double uptime = uptime_s();
   Json resp = ok_response(Op::kStats, seq);
   resp.set("policy", opt_.policy);
   resp.set("eager", opt_.eager);
@@ -471,6 +518,131 @@ Json Service::stats(std::uint64_t seq) {
     shard_arr.push_back(std::move(js));
   }
   resp.set("shards", std::move(shard_arr));
+  return resp;
+}
+
+namespace {
+
+/// Compact numeric literal for the exposition (the JSON shortest-roundtrip
+/// formatter, so scraped values parse back exactly).
+std::string prom_num(double v) { return Json(v).dump(); }
+
+std::string shard_label(std::size_t i) {
+  return "{shard=\"" + std::to_string(i) + "\"}";
+}
+
+}  // namespace
+
+std::string Service::metrics_text() const {
+  std::string out;
+  out.reserve(4096);
+  const auto line = [&out](const std::string& s) {
+    out += s;
+    out += '\n';
+  };
+  line("# sdem_service metrics (Prometheus text exposition v0.0.4; "
+       "docs/service.md#metrics)");
+  line("# TYPE sdem_uptime_seconds gauge");
+  line("sdem_uptime_seconds " + prom_num(uptime_s()));
+  line("# TYPE sdem_requests_total counter");
+  line("sdem_requests_total " +
+       prom_num(static_cast<double>(requests_processed())));
+  std::uint64_t islands = 0;
+  for (const auto& s : shards_) islands += s->islands.size();
+  line("# TYPE sdem_islands gauge");
+  line("sdem_islands " + prom_num(static_cast<double>(islands)));
+  line("# TYPE sdem_obs_compiled gauge");
+  line(std::string("sdem_obs_compiled ") + (obs::compiled() ? "1" : "0"));
+  line("# TYPE sdem_shard_requests_total counter");
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    line("sdem_shard_requests_total" + shard_label(i) + " " +
+         prom_num(static_cast<double>(
+             shards_[i]->processed.load(std::memory_order_acquire))));
+  }
+  line("# TYPE sdem_ring_occupancy gauge");
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    line("sdem_ring_occupancy" + shard_label(i) + " " +
+         prom_num(static_cast<double>(shards_[i]->ring_occupancy())));
+  }
+  line("# TYPE sdem_backpressure_stalls_total counter");
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    line("sdem_backpressure_stalls_total" + shard_label(i) + " " +
+         prom_num(static_cast<double>(
+             shards_[i]->stalls.load(std::memory_order_relaxed))));
+  }
+#if SDEM_OBS
+  // Windowed latency summaries: quantiles over the last
+  // WindowSpec{}.window_ns() seconds, not since startup — scrapes a minute
+  // apart see independent views (the cumulative view stays in STATS).
+  const auto windows = obs::Registry::instance().window_values(obs::now_ns());
+  const auto find_window =
+      [&windows](const std::string& name) -> const obs::WindowValue* {
+    for (const auto& [n, w] : windows) {
+      if (n == name) return &w;
+    }
+    return nullptr;
+  };
+  struct Family {
+    const char* metric;
+    const std::string Shard::* cell_name;
+  };
+  const Family families[] = {
+      {"sdem_replan_latency_seconds", &Shard::replan_window_metric},
+      {"sdem_e2e_latency_seconds", &Shard::e2e_window_metric},
+  };
+  static constexpr double kQuantiles[] = {0.5, 0.99, 0.999};
+  static const char* const kQuantileNames[] = {"0.5", "0.99", "0.999"};
+  for (const Family& fam : families) {
+    line(std::string("# TYPE ") + fam.metric + " summary");
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const obs::WindowValue* w = find_window(*shards_[i] .* fam.cell_name);
+      const std::string shard = std::to_string(i);
+      for (std::size_t q = 0; q < 3; ++q) {
+        const double v_ns = w != nullptr ? w->percentile(kQuantiles[q]) : 0.0;
+        line(std::string(fam.metric) + "{shard=\"" + shard +
+             "\",quantile=\"" + kQuantileNames[q] + "\"} " +
+             prom_num(v_ns * 1e-9));
+      }
+      line(std::string(fam.metric) + "_sum{shard=\"" + shard + "\"} " +
+           prom_num((w != nullptr ? w->sum() : 0.0) * 1e-9));
+      line(std::string(fam.metric) + "_count{shard=\"" + shard + "\"} " +
+           prom_num(static_cast<double>(w != nullptr ? w->count : 0)));
+    }
+  }
+  // Cumulative registry counters. The governor/ladder pair gets stable
+  // first-class names; everything else is scrapable via the generic family.
+  const obs::Snapshot snap = obs::Registry::instance().snapshot();
+  const auto counter_of = [&snap](const std::string& name) {
+    const std::uint64_t* v = snap.counter(name);
+    return v != nullptr ? static_cast<double>(*v) : 0.0;
+  };
+  line("# TYPE sdem_governor_ladder_aborts_total counter");
+  line("sdem_governor_ladder_aborts_total " +
+       prom_num(counter_of("energy/ladder_aborts")));
+  line("# TYPE sdem_governor_ladder_mispredicts_total counter");
+  line("sdem_governor_ladder_mispredicts_total " +
+       prom_num(counter_of("energy/ladder_mispredicts")));
+  line("# TYPE sdem_counter_total counter");
+  for (const auto& [name, v] : snap.counters) {
+    line("sdem_counter_total{name=\"" + name + "\"} " +
+         prom_num(static_cast<double>(v)));
+  }
+  for (const auto& [name, v] : snap.runtime_counters) {
+    line("sdem_counter_total{name=\"" + name + "\"} " +
+         prom_num(static_cast<double>(v)));
+  }
+#endif
+  return out;
+}
+
+Json Service::metrics(std::uint64_t seq) {
+  drain_all();  // quiesce: window/snapshot reads require no writers
+  Json resp = ok_response(Op::kMetrics, seq);
+  resp.set("obs_compiled", obs::compiled());
+  resp.set("uptime_s", uptime_s());
+  resp.set("requests", requests_processed());
+  resp.set("content_type", "text/plain; version=0.0.4");
+  resp.set("body", metrics_text());
   return resp;
 }
 

@@ -37,7 +37,12 @@
 //
 // Observability: each shard records per-request counts and per-commit
 // replan latency into the obs *runtime* domain (`service/shard<k>/...`),
-// summarized (p50/p99 from the log2 histograms) by stats().
+// summarized (p50/p99 from the log2 histograms) by stats(). On top of the
+// cumulative cells, each shard feeds two *sliding-window* histograms
+// (obs/window.hpp) — per-commit replan latency and ingest-to-response
+// latency over the last few seconds — which back the METRICS verb's
+// Prometheus exposition (metrics()/metrics_text(), docs/service.md §METRICS)
+// together with ring-occupancy and backpressure-stall gauges.
 #pragma once
 
 #include <atomic>
@@ -125,6 +130,22 @@ class Service {
   /// is compiled out).
   Json stats(std::uint64_t seq);
 
+  /// METRICS envelope: ok/op/seq plus `body`, the Prometheus text
+  /// exposition from metrics_text() (drains first, like stats()).
+  Json metrics(std::uint64_t seq);
+
+  /// Prometheus text exposition (docs/service.md §METRICS): uptime and
+  /// request totals, per-shard requests / ring occupancy / backpressure
+  /// stalls, and — when the obs layer is compiled in — windowed
+  /// p50/p99/p999 replan and end-to-end latency per shard plus the
+  /// cumulative registry counters (governor mispredict/abort rates
+  /// included). Callers must quiesce first (metrics() and the daemon's
+  /// barrier do); under SDEM_OBS=OFF only the obs-free families appear.
+  std::string metrics_text() const;
+
+  /// Seconds since construction.
+  double uptime_s() const;
+
   struct IslandResult {
     int island = 0;
     std::string policy;
@@ -148,18 +169,23 @@ class Service {
   struct Msg;
   struct Producer;
 
+  /// The shard's obs cells, resolved by drain() once per invocation on the
+  /// executing thread (cell resolution takes the registry lock; the hot
+  /// path must not). All null when the obs layer is compiled out.
+  struct ShardCells {
+    obs::DistCell* replan = nullptr;       ///< cumulative replan latency
+    obs::WindowCell* replan_win = nullptr; ///< windowed replan latency
+    obs::WindowCell* e2e_win = nullptr;    ///< windowed ingest→response
+  };
+
   std::size_t shard_index(int island) const;
   Island& island_of(Shard& s, int island);
   void schedule_drain(Shard& s);
   void drain(Shard& s);
   void flush_shard(Producer& p, std::size_t shard);
   /// Parse (if raw) and process one dequeued message on the shard worker.
-  void handle(Shard& s, Msg& m, obs::DistCell* replan_dist);
-  /// `replan_dist` is the shard's runtime-domain latency cell, resolved by
-  /// drain() once per invocation on the executing thread (cell resolution
-  /// takes the registry lock; the hot path must not). Null when the obs
-  /// layer is compiled out.
-  void process(Shard& s, Request& req, obs::DistCell* replan_dist);
+  void handle(Shard& s, Msg& m, const ShardCells& cells);
+  void process(Shard& s, Request& req, const ShardCells& cells);
 
   ServiceOptions opt_;
   ThreadPool* pool_;

@@ -67,6 +67,9 @@ class IdleGovernor final : public MemoryGapGovernor {
   /// the upside is the whole leading gap).
   int choose_state(const SleepLadder& ladder) override;
   void observe(double gap, bool aborted) override;
+  /// Timeline journal hook: the prediction the latest choose_state acted
+  /// on (predict() is pure, so querying it never perturbs decisions).
+  double predict_gap() const override { return predict(); }
 
   double observed() const { return static_cast<double>(count_); }
   double mispredict_clamps() const { return clamps_; }

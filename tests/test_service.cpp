@@ -252,6 +252,85 @@ TEST(ServiceSemantics, StatsCountsRequestsAndShards) {
   }
 }
 
+TEST(ServiceProtocol, MetricsGrammarRoundTrips) {
+  EXPECT_STREQ(op_name(Op::kMetrics), "METRICS");
+  const Parsed p = parse_request("{\"op\":\"METRICS\"}");
+  ASSERT_TRUE(p.ok);
+  EXPECT_EQ(p.request.op, Op::kMetrics);
+  // The peek recognizes the verb but never routes it: METRICS is a
+  // service-wide barrier, dispatched after a full parse like STATS.
+  const Peeked peek = peek_request("{\"op\":\"METRICS\"}");
+  EXPECT_TRUE(peek.has_op);
+  EXPECT_EQ(peek.op, Op::kMetrics);
+  EXPECT_FALSE(peek.routable());
+}
+
+TEST(ServiceSemantics, MetricsExposesPrometheusText) {
+  ServiceOptions opt = eager_opts();
+  opt.shards = 2;
+  InlineHarness h(opt);
+  h.submit(0, 1, 0.0, 1.0, 100.0);
+  h.submit(1, 1, 0.0, 1.0, 100.0);
+  const Json m = h.svc.metrics(7);
+  ASSERT_TRUE(m.at("ok").as_bool());
+  EXPECT_EQ(m.at("op").as_string(), "METRICS");
+  EXPECT_EQ(m.at("seq").as_number(), 7);
+  EXPECT_EQ(m.at("obs_compiled").as_bool(), obs::compiled());
+  EXPECT_GT(m.at("uptime_s").as_number(), 0.0);
+  EXPECT_EQ(m.at("requests").as_number(), 2);
+  EXPECT_EQ(m.at("content_type").as_string(), "text/plain; version=0.0.4");
+
+  // Exposition grammar: every non-comment line is `name[{labels}] value`
+  // with a fully-consumed numeric value.
+  const std::string& body = m.at("body").as_string();
+  std::size_t start = 0;
+  int lines = 0;
+  while (start < body.size()) {
+    std::size_t end = body.find('\n', start);
+    if (end == std::string::npos) end = body.size();
+    const std::string line = body.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    ++lines;
+    const std::size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    const std::string name = line.substr(0, sp);
+    ASSERT_FALSE(name.empty()) << line;
+    const std::size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      EXPECT_EQ(name.back(), '}') << line;
+      EXPECT_NE(name.find('=', brace), std::string::npos) << line;
+    }
+    std::size_t consumed = 0;
+    const double v = std::stod(line.substr(sp + 1), &consumed);
+    EXPECT_EQ(consumed, line.size() - sp - 1) << line;
+    EXPECT_TRUE(v == v) << line;  // no NaNs in the exposition
+  }
+  EXPECT_GT(lines, 0);
+
+  const auto npos = std::string::npos;
+  EXPECT_NE(body.find("sdem_uptime_seconds "), npos);
+  EXPECT_NE(body.find("sdem_requests_total 2"), npos);
+  EXPECT_NE(body.find("sdem_islands 2"), npos);
+  EXPECT_NE(body.find("sdem_shard_requests_total{shard=\"0\"} "), npos);
+  EXPECT_NE(body.find("sdem_ring_occupancy{shard=\"1\"} "), npos);
+  EXPECT_NE(body.find("sdem_backpressure_stalls_total{shard=\"0\"} "), npos);
+  if (obs::compiled()) {
+    EXPECT_NE(body.find("sdem_obs_compiled 1"), npos);
+    EXPECT_NE(body.find("sdem_replan_latency_seconds{shard=\"0\","
+                        "quantile=\"0.99\"} "),
+              npos);
+    EXPECT_NE(body.find("sdem_e2e_latency_seconds_count{shard=\"1\"} "),
+              npos);
+    EXPECT_NE(body.find("sdem_governor_ladder_aborts_total "), npos);
+  } else {
+    // Inert stub: obs-free families only.
+    EXPECT_NE(body.find("sdem_obs_compiled 0"), npos);
+    EXPECT_EQ(body.find("sdem_replan_latency_seconds"), npos);
+    EXPECT_EQ(body.find("sdem_e2e_latency_seconds"), npos);
+  }
+}
+
 // ------------------------------------------------------------ determinism
 
 /// A deterministic multi-island arrival stream: per island a synthetic

@@ -30,6 +30,7 @@
 
 #include "bench_registry.hpp"
 #include "obs/obs.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "support/json.hpp"
 #include "support/thread_pool.hpp"
@@ -61,6 +62,7 @@ int usage(int code) {
       "  --timer-rollup    after each experiment, print the scoped-timer\n"
       "                    hierarchy as an indented inclusive/exclusive table\n"
       "  --trace PATH      record a chrome://tracing JSON of the whole run\n"
+      "                    (timer spans + the governor power-state timeline)\n"
       "  --md              print tables as markdown (EXPERIMENTS.md format)\n"
       "  --quiet           suppress tables; JSON and summary only\n"
       "  --help            this message\n");
@@ -284,7 +286,13 @@ int main(int argc, char** argv) {
   std::unique_ptr<ThreadPool> pool;
   if (jobs > 1) pool = std::make_unique<ThreadPool>(jobs);
 
-  if (!trace_path.empty()) obs::trace::start();
+  // Timer spans and the governor's power-state timeline (obs/timeline.hpp)
+  // share one trace file: timeline events merge into trace::to_json, so a
+  // --trace of governor_ladder shows per-gap decisions alongside timers.
+  if (!trace_path.empty()) {
+    obs::trace::start();
+    obs::timeline::start();
+  }
 
   double total_wall = 0.0;
   for (const Experiment* e : selected) {

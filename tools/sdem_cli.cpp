@@ -13,6 +13,7 @@
 //
 // All runs use the paper-default system configuration (8 A57-like cores,
 // 4 W DRAM, 40 ms break-even).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,7 +23,9 @@
 #include <vector>
 
 #include "core/agreeable.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
+#include "sim/governor.hpp"
 #include "core/common_release_alpha.hpp"
 #include "core/common_release_alpha0.hpp"
 #include "core/online_sdem.hpp"
@@ -58,7 +61,11 @@ int usage() {
                " < tasks.csv |\n"
                "       sdem_cli compare < tasks.csv | sdem_cli selftest\n"
                "  --trace PATH   (any command) record a chrome://tracing "
-               "JSON\n");
+               "JSON\n"
+               "  --power-trace PATH  (simulate) export the governor's\n"
+               "                 power-state timeline — per-gap decisions,\n"
+               "                 memory sleep-state residency and CPU speed\n"
+               "                 counter tracks — as chrome://tracing JSON\n");
   return 2;
 }
 
@@ -159,6 +166,38 @@ int cmd_simulate(int argc, char** argv) {
       sim, cfg,
       which == "mbkp" ? SleepDiscipline::kNever : SleepDiscipline::kOptimal,
       pol->name());
+#if SDEM_OBS
+  if (obs::timeline::enabled()) {
+    // --power-trace: an extra, output-silent accounting pass under the
+    // live idle governor journals every gap decision (predicted vs actual
+    // idle, chosen rung, outcome). The report printed below comes from
+    // `ev` above and stays byte-identical with tracing on or off.
+    const std::string label = pol->name();
+    IdleGovernor gov;
+    EnergyOptions eopt;
+    eopt.core_gaps = SleepDiscipline::kOptimal;
+    eopt.memory_gaps = SleepDiscipline::kGovernor;
+    eopt.horizon_lo = sim.horizon_lo;
+    eopt.horizon_hi = sim.horizon_hi;
+    eopt.governor = &gov;
+    eopt.timeline_island = 0;
+    eopt.timeline_label = label.c_str();
+    (void)compute_energy(sim.schedule, cfg, eopt);
+    // CPU speed counter tracks from the executed schedule: one track per
+    // core, stepping to the segment's speed at start and 0 at end.
+    std::vector<Segment> segs = sim.schedule.segments();
+    std::sort(segs.begin(), segs.end(), [](const Segment& a, const Segment& b) {
+      if (a.core != b.core) return a.core < b.core;
+      if (a.start != b.start) return a.start < b.start;
+      return a.end < b.end;
+    });
+    for (const Segment& s : segs) {
+      const std::string track = "cpu/core" + std::to_string(s.core) + "/speed";
+      obs::timeline::counter_sample(track, s.start, s.speed);
+      obs::timeline::counter_sample(track, s.end, 0.0);
+    }
+  }
+#endif
   std::printf("policy        %s\n", ev.policy.c_str());
   std::printf("system energy %.6f J\n", ev.energy.system_total());
   std::printf("memory energy %.6f J\n", ev.energy.memory_total());
@@ -233,9 +272,10 @@ int cmd_selftest() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Pre-scan for the global --trace flag (valid on any command) so the
-  // per-command argv parsing below stays untouched.
+  // Pre-scan for the global --trace / --power-trace flags (valid on any
+  // command) so the per-command argv parsing below stays untouched.
   std::string trace_path;
+  std::string power_trace_path;
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
@@ -243,11 +283,16 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
       continue;
     }
+    if (std::strcmp(argv[i], "--power-trace") == 0 && i + 1 < argc) {
+      power_trace_path = argv[++i];
+      continue;
+    }
     args.push_back(argv[i]);
   }
   argc = static_cast<int>(args.size());
   argv = args.data();
   if (!trace_path.empty()) sdem::obs::trace::start();
+  if (!power_trace_path.empty()) sdem::obs::timeline::start();
 
   int rc = 2;
   if (argc < 2) return usage();
@@ -271,6 +316,15 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "trace -> %s (open in chrome://tracing)\n",
                  trace_path.c_str());
+  }
+  if (!power_trace_path.empty()) {
+    if (!sdem::obs::timeline::write_file(power_trace_path)) {
+      std::fprintf(stderr, "cannot write power trace %s\n",
+                   power_trace_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "power trace -> %s (open in chrome://tracing)\n",
+                 power_trace_path.c_str());
   }
   return rc;
 }

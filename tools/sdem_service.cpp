@@ -17,9 +17,13 @@
 //       daemon over TCP and report end-to-end events/sec
 //
 // Responses are emitted in request order per connection (a per-connection
-// reorder buffer; shards complete out of order). STATS is a service-wide
-// barrier: it drains every shard, then reports per-shard throughput and
-// p50/p99 replan latency from the obs runtime domain.
+// reorder buffer; shards complete out of order). STATS/METRICS are
+// service-wide barriers: they drain every shard, then report per-shard
+// throughput and replan latency (cumulative in STATS, windowed Prometheus
+// exposition in METRICS) from the obs runtime domain.
+//
+// SIGINT/SIGTERM stop the daemon cleanly (self-pipe → request_stop), so an
+// interrupted --trace run still flushes a valid chrome://tracing JSON.
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
@@ -80,6 +84,10 @@ int usage(int code) {
       "  --connect PORT    daemon port for --load-gen\n"
       "  --conns C         concurrent load-gen connections (default 1)\n"
       "  --trace PATH      record a chrome://tracing JSON of the run\n"
+      "  --metrics-interval S  daemon mode: write a Prometheus metrics\n"
+      "                    snapshot every S seconds (needs --metrics-out)\n"
+      "  --metrics-out PATH  snapshot file, truncated each tick so it\n"
+      "                    always holds the latest exposition\n"
       "  --help            this message\n");
   return code;
 }
@@ -100,7 +108,23 @@ struct Options {
   int connect_port = -1;
   int conns = 1;
   std::string trace;
+  double metrics_interval = 0.0;
+  std::string metrics_out;
 };
+
+/// SIGINT/SIGTERM → one byte down a self-pipe; a watcher thread turns it
+/// into Daemon::request_stop(). The handler itself only calls write()
+/// (async-signal-safe) — the daemon then unwinds normally, so end-of-run
+/// work (the --trace flush in main) still happens.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void on_terminate_signal(int) {
+  const char b = 1;
+  ssize_t n;
+  do {
+    n = ::write(g_signal_pipe[1], &b, 1);
+  } while (n < 0 && errno == EINTR);
+}
 
 /// The canned per-island synthetic streams (paper §8.1.2 generator), merged
 /// into one globally release-sorted line list — per island the order is
@@ -436,6 +460,14 @@ int main(int argc, char** argv) {
       o.conns = std::atoi(value("--conns"));
     } else if (arg == "--trace") {
       o.trace = value("--trace");
+    } else if (arg == "--metrics-interval") {
+      o.metrics_interval = std::atof(value("--metrics-interval"));
+      if (!(o.metrics_interval > 0.0)) {
+        std::fprintf(stderr, "--metrics-interval needs a positive number\n");
+        return usage(2);
+      }
+    } else if (arg == "--metrics-out") {
+      o.metrics_out = value("--metrics-out");
     } else if (arg == "--help" || arg == "-h") {
       return usage(0);
     } else {
@@ -454,6 +486,11 @@ int main(int argc, char** argv) {
     } else if (!o.replay.empty()) {
       rc = run_replay(o);
     } else {
+      if ((o.metrics_interval > 0.0) != !o.metrics_out.empty()) {
+        std::fprintf(stderr,
+                     "--metrics-interval and --metrics-out go together\n");
+        return usage(2);
+      }
       DaemonOptions dopt;
       dopt.policy = o.policy;
       dopt.shards = o.shards;
@@ -462,7 +499,31 @@ int main(int argc, char** argv) {
       dopt.use_stdin = true;
       dopt.queue_capacity = o.queue_capacity;
       dopt.parse_on_shard = !o.parse_on_ingest;
-      rc = Daemon(dopt).run();
+      dopt.metrics_interval_s = o.metrics_interval;
+      dopt.metrics_path = o.metrics_out;
+      Daemon daemon(dopt);
+      std::thread sig_watcher;
+      if (::pipe(g_signal_pipe) == 0) {
+        std::signal(SIGINT, on_terminate_signal);
+        std::signal(SIGTERM, on_terminate_signal);
+        sig_watcher = std::thread([&daemon] {
+          char b;
+          ssize_t n;
+          do {
+            n = ::read(g_signal_pipe[0], &b, 1);
+          } while (n < 0 && errno == EINTR);
+          // n == 0: main closed the write end after a normal exit.
+          if (n > 0) daemon.request_stop();
+        });
+      }
+      rc = daemon.run();
+      if (sig_watcher.joinable()) {
+        std::signal(SIGINT, SIG_DFL);
+        std::signal(SIGTERM, SIG_DFL);
+        ::close(g_signal_pipe[1]);  // EOF-wakes the watcher if no signal came
+        sig_watcher.join();
+        ::close(g_signal_pipe[0]);
+      }
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
